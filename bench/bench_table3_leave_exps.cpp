@@ -1,0 +1,60 @@
+// Reproduces paper Table 3: "Detailed number of exponentiations for Leave",
+// including the CKD controller-leave case. n counts the leaving member.
+#include <cstdio>
+
+#include "bench/drivers.h"
+
+using namespace ss::bench;
+using ss::crypto::ExpPurpose;
+
+namespace {
+
+void print_row(const char* label, std::uint64_t measured, std::uint64_t expected) {
+  std::printf("    %-46s %6llu   (paper: %llu)%s\n", label,
+              static_cast<unsigned long long>(measured),
+              static_cast<unsigned long long>(expected), measured == expected ? "" : "  <-- MISMATCH");
+}
+
+}  // namespace
+
+int main() {
+  const auto& dh = bench_dh();
+  std::printf("Table 3 — Detailed number of exponentiations for LEAVE\n");
+  std::printf("DH group: %s (%zu-bit modulus)\n\n", dh.name().c_str(), dh.p().bit_length());
+
+  for (std::uint64_t n : bench_sizes()) {
+    ClqDriver clq(dh);
+    clq.grow_to(n);
+    const OpCost c = clq.leave();
+
+    CkdDriver ckd(dh);
+    ckd.grow_to(n);
+    const OpCost k = ckd.leave();
+
+    CkdDriver ckd2(dh);
+    ckd2.grow_to(n);
+    const OpCost kc = ckd2.controller_leave();
+
+    std::printf("group size before leave n = %llu\n", static_cast<unsigned long long>(n));
+    std::printf("  Cliques (controller):\n");
+    print_row("remove long term key with previous controller", c.controller_exps.count(ExpPurpose::kLongTermKey), 1);
+    print_row("new session key computation", c.controller_exps.count(ExpPurpose::kSessionKey), 1);
+    print_row("encryption of session key", c.controller_exps.count(ExpPurpose::kEncryptSessionKey), n - 2);
+    print_row("Total:", c.controller_exps.total(), n);
+
+    std::printf("  CKD (controller):\n");
+    print_row("new session key computation", k.controller_exps.count(ExpPurpose::kSessionKey), 1);
+    print_row("encryption of session key", k.controller_exps.count(ExpPurpose::kEncryptSessionKey), n - 2);
+    print_row("Total:", k.controller_exps.total(), n - 1);
+
+    std::printf("  CKD, when controller leaves (new controller):\n");
+    print_row("long term key computations", kc.controller_exps.count(ExpPurpose::kLongTermKey), n - 2);
+    print_row("pairwise key computation with each member (+r1)",
+              kc.controller_exps.count(ExpPurpose::kPairwiseKey), n - 2 + 1);
+    print_row("new session key computation", kc.controller_exps.count(ExpPurpose::kSessionKey), 1);
+    print_row("encryption of session key", kc.controller_exps.count(ExpPurpose::kEncryptSessionKey), n - 2);
+    print_row("Total (paper 3n-5; ours +1 one-time alpha^r1):", kc.controller_exps.total(), 3 * n - 5 + 1);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces paper Table 4: "Total number of serial exponentiations" for
+// Join / Leave / Controller-leave, Cliques vs CKD, measured from real
+// protocol runs.
+#include <cstdio>
+
+#include "bench/drivers.h"
+
+using namespace ss::bench;
+
+int main() {
+  const auto& dh = bench_dh();
+  std::printf("Table 4 — Total number of serial exponentiations\n");
+  std::printf("DH group: %s (%zu-bit modulus)\n\n", dh.name().c_str(), dh.p().bit_length());
+  std::printf("Paper formulas:  Join: Cliques 3n, CKD n+6 (controller n+2 & member 4)\n");
+  std::printf("                 Leave: Cliques n, CKD n-1\n");
+  std::printf("                 Controller leaves: Cliques n, CKD 3n-5 (+1 one-time r1)\n\n");
+  std::printf("%6s | %14s %14s | %12s %12s | %16s %16s\n", "n", "Join CLQ(3n)", "Join CKD",
+              "Leave CLQ(n)", "Leave CKD", "CtrlLeave CLQ(n)", "CtrlLeave CKD");
+  std::printf("-------+-------------------------------+---------------------------+"
+              "----------------------------------\n");
+
+  for (std::uint64_t n : bench_sizes()) {
+    // Join: serial chain = controller phase then joiner phase.
+    ClqDriver clq_join(dh);
+    clq_join.grow_to(n - 1);
+    const OpCost cj = clq_join.join();
+    const std::uint64_t clq_join_serial = cj.controller_exps.total() + cj.second_exps.total();
+
+    CkdDriver ckd_join(dh);
+    ckd_join.grow_to(n - 1);
+    const OpCost kj = ckd_join.join();
+    const std::uint64_t ckd_join_serial = kj.controller_exps.total() + kj.second_exps.total();
+
+    ClqDriver clq_leave(dh);
+    clq_leave.grow_to(n);
+    const std::uint64_t clq_leave_serial = clq_leave.leave().controller_exps.total();
+
+    CkdDriver ckd_leave(dh);
+    ckd_leave.grow_to(n);
+    const std::uint64_t ckd_leave_serial = ckd_leave.leave().controller_exps.total();
+
+    ClqDriver clq_cl(dh);
+    clq_cl.grow_to(n);
+    const std::uint64_t clq_cl_serial = clq_cl.controller_leave().controller_exps.total();
+
+    CkdDriver ckd_cl(dh);
+    ckd_cl.grow_to(n);
+    const std::uint64_t ckd_cl_serial = ckd_cl.controller_leave().controller_exps.total();
+
+    std::printf("%6llu | %8llu =3n:%-3llu %8llu     | %6llu =n:%-3llu %6llu    | %10llu =n:%-3llu %8llu\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(clq_join_serial),
+                static_cast<unsigned long long>(3 * n),
+                static_cast<unsigned long long>(ckd_join_serial),
+                static_cast<unsigned long long>(clq_leave_serial),
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(ckd_leave_serial),
+                static_cast<unsigned long long>(clq_cl_serial),
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(ckd_cl_serial));
+  }
+  std::printf("\n(CKD join column counts controller + new member = (n+2) + 4.)\n");
+  return 0;
+}

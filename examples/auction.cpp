@@ -1,0 +1,132 @@
+// Sealed-bid auction over SAFE delivery with centralized key distribution.
+//
+// Demonstrates two facets of the stack the other examples don't:
+//   - the SAFE service level: a bid is delivered only once every member's
+//     daemon holds it, so no bidder can claim "I never saw that bid" —
+//     useful for the non-repudiation-flavored goals of paper Section 2;
+//   - the CKD module (the paper's centralized baseline) as the group's key
+//     agreement, showing run-time module choice (Section 5.2).
+//
+// Build & run:   ./build/examples/auction
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cliques/key_directory.h"
+#include "gcs/daemon.h"
+#include "secure/secure_client.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "util/serial.h"
+
+using namespace ss;
+
+namespace {
+
+struct Bid {
+  std::string bidder;
+  std::uint32_t amount = 0;
+
+  util::Bytes encode() const {
+    util::Writer w;
+    w.str(bidder);
+    w.u32(amount);
+    return w.take();
+  }
+  static Bid decode(const util::Bytes& raw) {
+    util::Reader r(raw);
+    Bid b;
+    b.bidder = r.str();
+    b.amount = r.u32();
+    return b;
+  }
+};
+
+struct Bidder {
+  Bidder(const std::string& n, gcs::Daemon& d, cliques::KeyDirectory& dir, std::uint64_t seed)
+      : name(n), client(d, dir, seed) {
+    client.on_message([this](const secure::SecureMessage& m) {
+      const Bid b = Bid::decode(m.plaintext);
+      book.push_back(b);
+    });
+  }
+  std::string name;
+  secure::SecureGroupClient client;
+  std::vector<Bid> book;  // every bid, in the SAFE total order
+};
+
+}  // namespace
+
+int main() {
+  sim::Scheduler sched;
+  sim::SimNetwork net(sched, 505);
+  std::vector<gcs::DaemonId> ids = {0, 1, 2};
+  std::vector<std::unique_ptr<gcs::Daemon>> daemons;
+  for (gcs::DaemonId id : ids) {
+    daemons.push_back(std::make_unique<gcs::Daemon>(sched, net, id, ids, gcs::TimingConfig{},
+                                                    9090 + id));
+    net.add_node(daemons.back().get());
+  }
+  for (auto& d : daemons) d->start();
+  sched.run_until_condition(
+      [&] {
+        for (auto& d : daemons) {
+          if (!d->is_operational() || d->view_members().size() != 3) return false;
+        }
+        return true;
+      },
+      sim::kSecond);
+
+  cliques::KeyDirectory dir(crypto::DhGroup::ss256());
+  Bidder amy("amy", *daemons[0], dir, 1);
+  Bidder bo("bo", *daemons[1], dir, 2);
+  Bidder cy("cy", *daemons[2], dir, 3);
+  std::vector<Bidder*> bidders = {&amy, &bo, &cy};
+
+  secure::SecureGroupConfig cfg;
+  cfg.ka_module = "ckd";                       // centralized baseline (Table 5)
+  cfg.dh = &crypto::DhGroup::ss256();
+  cfg.data_service = gcs::ServiceType::kSafe;  // deliver only when stable
+  for (Bidder* b : bidders) b->client.join("auction", cfg);
+  sched.run_until_condition(
+      [&] {
+        for (Bidder* b : bidders) {
+          if (!b->client.has_key("auction")) return false;
+        }
+        return true;
+      },
+      10 * sim::kSecond);
+  std::printf("auction open: 3 bidders keyed via CKD (controller = oldest member)\n\n");
+
+  // Concurrent bidding — SAFE gives one total order everywhere, and no bid
+  // is revealed until every daemon holds it.
+  amy.client.send("auction", Bid{"amy", 100}.encode());
+  bo.client.send("auction", Bid{"bo", 120}.encode());
+  cy.client.send("auction", Bid{"cy", 110}.encode());
+  sched.run_for(500 * sim::kMillisecond);
+  amy.client.send("auction", Bid{"amy", 130}.encode());
+  sched.run_for(500 * sim::kMillisecond);
+
+  std::printf("bid books (identical order at every bidder):\n");
+  for (Bidder* b : bidders) {
+    std::printf("  %-4s:", b->name.c_str());
+    for (const Bid& bid : b->book) std::printf("  %s=%u", bid.bidder.c_str(), bid.amount);
+    std::printf("\n");
+  }
+
+  // Winner per the common order.
+  const Bid* best = nullptr;
+  for (const Bid& b : amy.book) {
+    if (best == nullptr || b.amount > best->amount) best = &b;
+  }
+  if (best != nullptr) {
+    std::printf("\nwinner: %s at %u (every replica computes the same winner)\n",
+                best->bidder.c_str(), best->amount);
+  }
+
+  const bool agree = amy.book.size() == bo.book.size() && bo.book.size() == cy.book.size();
+  std::printf("books consistent: %s\n", agree ? "yes" : "NO (bug!)");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Quickstart: a three-member secure group in one process.
+//
+// Demonstrates the full public API path:
+//   1. build a simulated network and a cluster of GCS daemons,
+//   2. connect secure clients, join a group with the Cliques module,
+//   3. exchange private messages,
+//   4. watch the group rekey when membership changes.
+//
+// Build & run:   ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cliques/key_directory.h"
+#include "crypto/dh.h"
+#include "gcs/daemon.h"
+#include "secure/secure_client.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "util/bytes.h"
+
+using namespace ss;
+
+int main() {
+  // --- 1. the substrate: a simulated LAN with three daemons ---------------
+  sim::Scheduler sched;
+  sim::SimNetwork net(sched, /*seed=*/2026);
+
+  std::vector<gcs::DaemonId> daemon_ids = {0, 1, 2};
+  std::vector<std::unique_ptr<gcs::Daemon>> daemons;
+  for (gcs::DaemonId id : daemon_ids) {
+    daemons.push_back(
+        std::make_unique<gcs::Daemon>(sched, net, id, daemon_ids, gcs::TimingConfig{}, id + 1));
+    net.add_node(daemons.back().get());
+  }
+  for (auto& d : daemons) d->start();
+  sched.run_until_condition(
+      [&] {
+        for (auto& d : daemons) {
+          if (!d->is_operational() || d->view_members().size() != 3) return false;
+        }
+        return true;
+      },
+      sim::kSecond);
+  std::printf("daemons converged into one configuration\n");
+
+  // --- 2. secure clients -----------------------------------------------------
+  // The key directory plays the PKI: long-term DH keys for every member.
+  cliques::KeyDirectory directory(crypto::DhGroup::ss512());
+
+  auto alice = std::make_unique<secure::SecureGroupClient>(*daemons[0], directory, 11);
+  auto bob = std::make_unique<secure::SecureGroupClient>(*daemons[1], directory, 22);
+  auto carol = std::make_unique<secure::SecureGroupClient>(*daemons[2], directory, 33);
+
+  auto wire = [](const char* who) {
+    return [who](const secure::SecureMessage& m) {
+      std::printf("  [%s] from %s: %s\n", who, m.sender.to_string().c_str(),
+                  util::string_of(m.plaintext).c_str());
+    };
+  };
+  alice->on_message(wire("alice"));
+  bob->on_message(wire("bob"));
+  carol->on_message(wire("carol"));
+
+  auto announce_rekeys = [](const char* who) {
+    return [who](const gcs::GroupName& g, const secure::RekeyStats& s) {
+      std::printf("  [%s] new key for '%s' (epoch %llu, %llu exponentiations, "
+                  "group size %zu)\n",
+                  who, g.c_str(), static_cast<unsigned long long>(s.epoch),
+                  static_cast<unsigned long long>(s.exps.total()), s.group_size);
+    };
+  };
+  alice->on_rekey(announce_rekeys("alice"));
+
+  // --- 3. join and talk privately ---------------------------------------------
+  secure::SecureGroupConfig cfg;          // cliques + blowfish-cbc-hmac
+  cfg.dh = &crypto::DhGroup::ss512();     // the paper's 512-bit modulus
+
+  std::printf("\nalice joins 'meeting'...\n");
+  alice->join("meeting", cfg);
+  std::printf("bob joins 'meeting'...\n");
+  bob->join("meeting", cfg);
+  sched.run_until_condition(
+      [&] { return alice->has_key("meeting") && bob->has_key("meeting"); }, sched.now() + sim::kSecond);
+
+  alice->send("meeting", util::bytes_of("hi bob — this is encrypted end to end"));
+  sched.run_for(50 * sim::kMillisecond);
+
+  std::printf("\ncarol joins 'meeting' (the group rekeys automatically)...\n");
+  carol->join("meeting", cfg);
+  sched.run_until_condition([&] { return carol->has_key("meeting"); },
+                            sched.now() + sim::kSecond);
+  carol->send("meeting", util::bytes_of("hello everyone, carol here"));
+  sched.run_for(50 * sim::kMillisecond);
+
+  // --- 4. membership change => fresh key -------------------------------------
+  std::printf("\nbob leaves; the survivors rekey so bob is locked out...\n");
+  bob->leave("meeting");
+  sched.run_until_condition(
+      [&] {
+        const auto* v = alice->current_view("meeting");
+        return v != nullptr && v->members.size() == 2 && alice->has_key("meeting") &&
+               carol->has_key("meeting");
+      },
+      sched.now() + sim::kSecond);
+  alice->send("meeting", util::bytes_of("just the two of us now"));
+  sched.run_for(50 * sim::kMillisecond);
+
+  std::printf("\nkey epochs: alice=%llu carol=%llu (identical key material: %s)\n",
+              static_cast<unsigned long long>(alice->key_epoch("meeting")),
+              static_cast<unsigned long long>(carol->key_epoch("meeting")),
+              alice->key_material("meeting", 16) == carol->key_material("meeting", 16)
+                  ? "yes"
+                  : "NO (bug!)");
+  return 0;
+}

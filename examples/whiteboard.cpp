@@ -1,0 +1,185 @@
+// Collaborative whiteboard under network partitions.
+//
+// The paper's introduction motivates secure group communication with
+// collaborative applications (white-boards, conferencing, shared
+// instruments). This example runs a shared whiteboard replicated across
+// three sites: every stroke is an encrypted totally-ordered multicast, so
+// all replicas converge to the same drawing. The demo then partitions the
+// network — each side keeps drawing under its own fresh key — and heals it,
+// showing the merge rekey and that strokes made during the partition stay
+// confidential to the side that drew them.
+//
+// Build & run:   ./build/examples/whiteboard
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cliques/key_directory.h"
+#include "gcs/daemon.h"
+#include "secure/secure_client.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "util/serial.h"
+
+using namespace ss;
+
+namespace {
+
+struct Stroke {
+  std::uint32_t x = 0, y = 0;
+  std::string color;
+
+  util::Bytes encode() const {
+    util::Writer w;
+    w.u32(x);
+    w.u32(y);
+    w.str(color);
+    return w.take();
+  }
+  static Stroke decode(const util::Bytes& raw) {
+    util::Reader r(raw);
+    Stroke s;
+    s.x = r.u32();
+    s.y = r.u32();
+    s.color = r.str();
+    return s;
+  }
+};
+
+/// One whiteboard replica: a secure client plus the local stroke log.
+class Board {
+ public:
+  Board(const std::string& name, gcs::Daemon& daemon, cliques::KeyDirectory& dir,
+        std::uint64_t seed)
+      : name_(name), client_(daemon, dir, seed) {
+    client_.on_message([this](const secure::SecureMessage& m) {
+      strokes_.push_back(Stroke::decode(m.plaintext));
+    });
+    secure::SecureGroupConfig cfg;
+    cfg.dh = &crypto::DhGroup::ss256();      // lighter modulus for the demo
+    cfg.data_service = gcs::ServiceType::kAgreed;  // total order: replicas converge
+    client_.join("board", cfg);
+  }
+
+  void draw(std::uint32_t x, std::uint32_t y, const std::string& color) {
+    client_.send("board", Stroke{x, y, color}.encode());
+  }
+
+  std::string fingerprint() const {
+    std::string out;
+    for (const auto& s : strokes_) {
+      out += s.color + "@" + std::to_string(s.x) + "," + std::to_string(s.y) + " ";
+    }
+    return out;
+  }
+
+  std::size_t stroke_count() const { return strokes_.size(); }
+  secure::SecureGroupClient& client() { return client_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  secure::SecureGroupClient client_;
+  std::vector<Stroke> strokes_;
+};
+
+}  // namespace
+
+int main() {
+  sim::Scheduler sched;
+  sim::SimNetwork net(sched, 99);
+  std::vector<gcs::DaemonId> ids = {0, 1, 2};
+  std::vector<std::unique_ptr<gcs::Daemon>> daemons;
+  for (gcs::DaemonId id : ids) {
+    daemons.push_back(std::make_unique<gcs::Daemon>(sched, net, id, ids, gcs::TimingConfig{},
+                                                    7000 + id));
+    net.add_node(daemons.back().get());
+  }
+  for (auto& d : daemons) d->start();
+  sched.run_until_condition(
+      [&] {
+        for (auto& d : daemons) {
+          if (!d->is_operational() || d->view_members().size() != 3) return false;
+        }
+        return true;
+      },
+      sim::kSecond);
+
+  cliques::KeyDirectory dir(crypto::DhGroup::ss256());
+  Board ann("ann", *daemons[0], dir, 1);
+  Board ben("ben", *daemons[1], dir, 2);
+  Board cas("cas", *daemons[2], dir, 3);
+  std::vector<Board*> boards = {&ann, &ben, &cas};
+
+  auto all_keyed = [&](std::size_t members) {
+    for (Board* b : boards) {
+      const auto* v = b->client().current_view("board");
+      if (v == nullptr || v->members.size() != members || !b->client().has_key("board")) {
+        return false;
+      }
+    }
+    return true;
+  };
+  sched.run_until_condition([&] { return all_keyed(3); }, 5 * sim::kSecond);
+  std::printf("three whiteboard replicas share one key (epoch %llu)\n",
+              static_cast<unsigned long long>(ann.client().key_epoch("board")));
+
+  // Everyone draws concurrently; agreed ordering converges the replicas.
+  ann.draw(1, 1, "red");
+  ben.draw(2, 2, "green");
+  cas.draw(3, 3, "blue");
+  ann.draw(4, 4, "red");
+  sched.run_until_condition(
+      [&] {
+        for (Board* b : boards) {
+          if (b->stroke_count() != 4) return false;
+        }
+        return true;
+      },
+      5 * sim::kSecond);
+  std::printf("\nafter concurrent drawing, all replicas converged:\n");
+  for (Board* b : boards) std::printf("  %-4s: %s\n", b->name().c_str(), b->fingerprint().c_str());
+
+  // --- partition: {ann} vs {ben, cas} ---------------------------------------
+  std::printf("\nnetwork partitions: ann is isolated...\n");
+  net.partition({{0}, {1, 2}});
+  sched.run_until_condition(
+      [&] {
+        const auto* va = ann.client().current_view("board");
+        const auto* vb = ben.client().current_view("board");
+        return va != nullptr && va->members.size() == 1 && ann.client().has_key("board") &&
+               vb != nullptr && vb->members.size() == 2 && ben.client().has_key("board") &&
+               cas.client().has_key("board");
+      },
+      10 * sim::kSecond);
+  std::printf("both sides rekeyed and keep working independently\n");
+
+  const std::size_t ann_before = ann.stroke_count();
+  ben.draw(5, 5, "green");
+  cas.draw(6, 6, "blue");
+  ann.draw(7, 7, "red");
+  sched.run_for(200 * sim::kMillisecond);
+  std::printf("  ann saw %zu new strokes during the partition (her own only)\n",
+              ann.stroke_count() - ann_before);
+  std::printf("  ben/cas: %s\n", ben.fingerprint().c_str());
+
+  // --- heal: merge + one shared key again -------------------------------------
+  std::printf("\nnetwork heals: the group merges and rekeys...\n");
+  net.heal();
+  sched.run_until_condition([&] { return all_keyed(3); }, 10 * sim::kSecond);
+  std::printf("merged under a fresh key (ann epoch %llu)\n",
+              static_cast<unsigned long long>(ann.client().key_epoch("board")));
+
+  ben.draw(8, 8, "green");
+  sched.run_until_condition(
+      [&] { return ann.stroke_count() >= 6 && cas.stroke_count() >= 7; }, 5 * sim::kSecond);
+  std::printf("post-merge stroke reached everyone; boards now:\n");
+  for (Board* b : boards) {
+    std::printf("  %-4s: %zu strokes\n", b->name().c_str(), b->stroke_count());
+  }
+  std::printf("\n(replicas differ only in strokes drawn on the other side of the\n");
+  std::printf(" partition — those were encrypted under a key ann never held.)\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "cliques/key_directory.h"
+
+#include <stdexcept>
+
+#include "crypto/exp_counter.h"
+
+namespace ss::cliques {
+
+const LongTermKeyPair& KeyDirectory::ensure(const gcs::MemberId& member,
+                                            crypto::RandomSource& rnd) {
+  auto it = keys_.find(member);
+  if (it != keys_.end()) return it->second;
+  // Key-pair provisioning is certificate machinery, not a protocol
+  // exponentiation: keep it out of the tally.
+  crypto::detail::ExpTallySuspender suspend;
+  LongTermKeyPair pair;
+  pair.priv = group_.random_share(rnd);
+  pair.pub = group_.exp_g(pair.priv);
+  return keys_.emplace(member, std::move(pair)).first->second;
+}
+
+const crypto::Bignum& KeyDirectory::public_key(const gcs::MemberId& member) const {
+  auto it = keys_.find(member);
+  if (it == keys_.end()) {
+    throw std::out_of_range("KeyDirectory: unknown member " + member.to_string());
+  }
+  return it->second.pub;
+}
+
+}  // namespace ss::cliques

@@ -1,0 +1,44 @@
+// Long-term Diffie-Hellman key pairs and their directory.
+//
+// Cliques' authenticated protocols (A-GDH.2) blind protocol values with
+// pairwise keys K_ij derived from the members' long-term DH keys
+// (K_ij = f(g^{x_i x_j})). In the real system long-term public keys come
+// from certificates; this reproduction provides an in-process directory
+// that plays the role of the PKI. Private keys are stored alongside (the
+// directory doubles as each member's keystore in the simulation); protocol
+// code only ever reads its *own* private key.
+#pragma once
+
+#include <map>
+
+#include "crypto/bignum.h"
+#include "crypto/dh.h"
+#include "gcs/types.h"
+
+namespace ss::cliques {
+
+struct LongTermKeyPair {
+  crypto::Bignum priv;  // x_i in [1, q-1]
+  crypto::Bignum pub;   // g^{x_i} mod p
+};
+
+class KeyDirectory {
+ public:
+  explicit KeyDirectory(const crypto::DhGroup& group) : group_(group) {}
+
+  /// Returns the member's key pair, generating one on first use.
+  const LongTermKeyPair& ensure(const gcs::MemberId& member, crypto::RandomSource& rnd);
+
+  /// Public key lookup; throws std::out_of_range for unknown members.
+  const crypto::Bignum& public_key(const gcs::MemberId& member) const;
+
+  bool contains(const gcs::MemberId& member) const { return keys_.contains(member); }
+
+  const crypto::DhGroup& group() const { return group_; }
+
+ private:
+  const crypto::DhGroup& group_;
+  std::map<gcs::MemberId, LongTermKeyPair> keys_;
+};
+
+}  // namespace ss::cliques

@@ -1,0 +1,544 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/exp_counter.h"
+
+namespace ss::crypto {
+
+namespace {
+constexpr std::uint64_t kBase = 1ULL << 32;
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("Bignum::from_hex: invalid digit");
+}
+}  // namespace
+
+Bignum::Bignum(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32 != 0) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Bignum::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+Bignum Bignum::from_hex(std::string_view hex) {
+  Bignum out;
+  if (hex.empty()) return out;
+  // Parse from the least-significant end, 8 hex digits per limb.
+  std::size_t end = hex.size();
+  while (end > 0) {
+    std::size_t begin = end >= 8 ? end - 8 : 0;
+    std::uint32_t limb = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      limb = limb << 4 | static_cast<std::uint32_t>(hex_val(hex[i]));
+    }
+    out.limbs_.push_back(limb);
+    end = begin;
+  }
+  out.normalize();
+  return out;
+}
+
+Bignum Bignum::from_bytes(const util::Bytes& bytes) {
+  Bignum out;
+  std::size_t n = bytes.size();
+  out.limbs_.reserve((n + 3) / 4);
+  std::size_t end = n;
+  while (end > 0) {
+    std::size_t begin = end >= 4 ? end - 4 : 0;
+    std::uint32_t limb = 0;
+    for (std::size_t i = begin; i < end; ++i) limb = limb << 8 | bytes[i];
+    out.limbs_.push_back(limb);
+    end = begin;
+  }
+  out.normalize();
+  return out;
+}
+
+std::string Bignum::to_hex() const {
+  if (is_zero()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  // Most significant limb without leading zeros, the rest zero-padded.
+  bool first = true;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    std::uint32_t limb = limbs_[i];
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      int d = static_cast<int>(limb >> shift & 0xF);
+      if (first && d == 0 && shift != 0) continue;
+      first = false;
+      out.push_back(digits[d]);
+    }
+  }
+  return out;
+}
+
+util::Bytes Bignum::to_bytes() const {
+  util::Bytes out;
+  if (is_zero()) return out;
+  out.reserve(limbs_.size() * 4);
+  bool started = false;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      auto b = static_cast<std::uint8_t>(limbs_[i] >> shift);
+      if (!started && b == 0) continue;
+      started = true;
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+util::Bytes Bignum::to_bytes_padded(std::size_t len) const {
+  util::Bytes raw = to_bytes();
+  if (raw.size() > len) throw std::length_error("Bignum::to_bytes_padded: value too large");
+  util::Bytes out(len - raw.size(), 0);
+  out.insert(out.end(), raw.begin(), raw.end());
+  return out;
+}
+
+std::size_t Bignum::bit_length() const {
+  if (is_zero()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool Bignum::bit(std::size_t i) const {
+  std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32) & 1u) != 0;
+}
+
+std::uint64_t Bignum::low_u64() const {
+  std::uint64_t v = 0;
+  if (limbs_.size() > 1) v = static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (!limbs_.empty()) v |= limbs_[0];
+  return v;
+}
+
+std::strong_ordering Bignum::cmp(const Bignum& a, const Bignum& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? std::strong_ordering::less
+                                             : std::strong_ordering::greater;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) {
+      return a.limbs_[i] < b.limbs_[i] ? std::strong_ordering::less
+                                       : std::strong_ordering::greater;
+    }
+  }
+  return std::strong_ordering::equal;
+}
+
+Bignum operator+(const Bignum& a, const Bignum& b) {
+  Bignum out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.normalize();
+  return out;
+}
+
+Bignum operator-(const Bignum& a, const Bignum& b) {
+  if (a < b) throw std::domain_error("Bignum: negative result in subtraction");
+  Bignum out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.normalize();
+  return out;
+}
+
+Bignum operator*(const Bignum& a, const Bignum& b) {
+  Bignum out;
+  if (a.is_zero() || b.is_zero()) return out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      std::uint64_t cur = out.limbs_[i + j] + ai * b.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    out.limbs_[i + b.limbs_.size()] = static_cast<std::uint32_t>(carry);
+  }
+  out.normalize();
+  return out;
+}
+
+Bignum operator<<(const Bignum& a, std::size_t bits) {
+  if (a.is_zero()) return Bignum();
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  Bignum out;
+  out.limbs_.assign(a.limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(a.limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.normalize();
+  return out;
+}
+
+Bignum operator>>(const Bignum& a, std::size_t bits) {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= a.limbs_.size()) return Bignum();
+  const std::size_t bit_shift = bits % 32;
+  Bignum out;
+  out.limbs_.assign(a.limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(a.limbs_[i + limb_shift]) >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < a.limbs_.size()) {
+      v |= static_cast<std::uint64_t>(a.limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.normalize();
+  return out;
+}
+
+std::pair<Bignum, Bignum> Bignum::divmod(const Bignum& a, const Bignum& b) {
+  if (b.is_zero()) throw std::domain_error("Bignum: division by zero");
+  if (a < b) return {Bignum(), a};
+  if (b.limbs_.size() == 1) {
+    // Fast single-limb path.
+    Bignum q;
+    q.limbs_.resize(a.limbs_.size(), 0);
+    const std::uint64_t d = b.limbs_[0];
+    std::uint64_t rem = 0;
+    for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+      std::uint64_t cur = rem << 32 | a.limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.normalize();
+    return {std::move(q), Bignum(rem)};
+  }
+
+  // Knuth Algorithm D. Normalize so the divisor's top limb has its high bit set.
+  int shift = 0;
+  for (std::uint32_t top = b.limbs_.back(); (top & 0x80000000u) == 0; top <<= 1) ++shift;
+  Bignum u = a << static_cast<std::size_t>(shift);
+  const Bignum v = b << static_cast<std::size_t>(shift);
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() >= n ? u.limbs_.size() - n : 0;
+  u.limbs_.resize(u.limbs_.size() + 1, 0);  // u has m+n+1 limbs
+
+  Bignum q;
+  q.limbs_.assign(m + 1, 0);
+  const std::uint64_t vn1 = v.limbs_[n - 1];
+  const std::uint64_t vn2 = v.limbs_[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat = (u[j+n]*B + u[j+n-1]) / v[n-1], then refine.
+    const std::uint64_t num = (static_cast<std::uint64_t>(u.limbs_[j + n]) << 32) | u.limbs_[j + n - 1];
+    std::uint64_t q_hat = num / vn1;
+    std::uint64_t r_hat = num % vn1;
+    while (q_hat >= kBase ||
+           q_hat * vn2 > ((r_hat << 32) | u.limbs_[j + n - 2])) {
+      --q_hat;
+      r_hat += vn1;
+      if (r_hat >= kBase) break;
+    }
+
+    // Multiply-and-subtract: u[j..j+n] -= q_hat * v.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = q_hat * v.limbs_[i] + carry;
+      carry = p >> 32;
+      std::int64_t diff =
+          static_cast<std::int64_t>(u.limbs_[i + j]) - static_cast<std::int64_t>(p & 0xFFFFFFFFu) - borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u.limbs_[i + j] = static_cast<std::uint32_t>(diff);
+    }
+    std::int64_t diff =
+        static_cast<std::int64_t>(u.limbs_[j + n]) - static_cast<std::int64_t>(carry) - borrow;
+    bool negative = diff < 0;
+    u.limbs_[j + n] = static_cast<std::uint32_t>(diff);
+
+    if (negative) {
+      // q_hat was one too large: add back.
+      --q_hat;
+      std::uint64_t c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum = static_cast<std::uint64_t>(u.limbs_[i + j]) + v.limbs_[i] + c;
+        u.limbs_[i + j] = static_cast<std::uint32_t>(sum);
+        c = sum >> 32;
+      }
+      u.limbs_[j + n] = static_cast<std::uint32_t>(u.limbs_[j + n] + c);
+    }
+    q.limbs_[j] = static_cast<std::uint32_t>(q_hat);
+  }
+
+  q.normalize();
+  u.normalize();
+  Bignum r = u >> static_cast<std::size_t>(shift);
+  return {std::move(q), std::move(r)};
+}
+
+Bignum Bignum::mod_mul(const Bignum& a, const Bignum& b, const Bignum& m) {
+  return (a * b) % m;
+}
+
+Bignum Bignum::mod_exp(const Bignum& base, const Bignum& exp, const Bignum& m) {
+  if (m.is_zero()) throw std::domain_error("Bignum::mod_exp: zero modulus");
+  if (m.is_one()) {
+    detail::record_exponentiation();
+    return Bignum();
+  }
+  if (m.is_odd()) {
+    MontgomeryCtx ctx(m);
+    return ctx.mod_exp(base, exp);
+  }
+  // Generic square-and-multiply for even moduli (test-only path).
+  detail::record_exponentiation();
+  Bignum result(1);
+  Bignum b = base % m;
+  for (std::size_t i = exp.bit_length(); i-- > 0;) {
+    result = (result * result) % m;
+    if (exp.bit(i)) result = (result * b) % m;
+  }
+  return result;
+}
+
+Bignum Bignum::mod_inverse_prime(const Bignum& a, const Bignum& p) {
+  if (p < Bignum(3) || !p.is_odd()) {
+    throw std::domain_error("Bignum::mod_inverse_prime: modulus must be an odd prime >= 3");
+  }
+  return mod_exp(a, p - Bignum(2), p);
+}
+
+Bignum Bignum::random_below(const Bignum& bound, RandomSource& rnd) {
+  if (bound.is_zero()) throw std::domain_error("Bignum::random_below: zero bound");
+  const std::size_t bits = bound.bit_length();
+  const std::size_t bytes = (bits + 7) / 8;
+  const unsigned top_mask = bits % 8 == 0 ? 0xFFu : (1u << (bits % 8)) - 1u;
+  util::Bytes buf(bytes);
+  for (;;) {
+    rnd.fill(buf.data(), buf.size());
+    buf[0] &= static_cast<std::uint8_t>(top_mask);
+    Bignum candidate = from_bytes(buf);
+    if (candidate < bound) return candidate;
+  }
+}
+
+Bignum Bignum::random_unit(const Bignum& bound, RandomSource& rnd) {
+  if (bound < Bignum(3)) throw std::domain_error("Bignum::random_unit: bound too small");
+  const Bignum upper = bound - Bignum(1);
+  for (;;) {
+    Bignum candidate = random_below(upper, rnd);
+    if (!candidate.is_zero()) return candidate;
+  }
+}
+
+bool Bignum::is_probable_prime(const Bignum& n, int rounds, RandomSource& rnd) {
+  if (n < Bignum(2)) return false;
+  static const std::uint32_t kSmallPrimes[] = {2,  3,  5,  7,  11, 13, 17, 19, 23, 29,
+                                               31, 37, 41, 43, 47, 53, 59, 61, 67, 71};
+  for (std::uint32_t p : kSmallPrimes) {
+    if (n == Bignum(p)) return true;
+    if ((n % Bignum(p)).is_zero()) return false;
+  }
+
+  // n - 1 = d * 2^s with d odd.
+  const Bignum n_minus_1 = n - Bignum(1);
+  Bignum d = n_minus_1;
+  std::size_t s = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++s;
+  }
+
+  MontgomeryCtx ctx(n);
+  auto witness = [&](const Bignum& a) {
+    detail::ExpTallySuspender suspend;  // MR internals are not protocol exponentiations
+    Bignum x = ctx.mod_exp(a, d);
+    if (x.is_one() || x == n_minus_1) return false;
+    for (std::size_t i = 1; i < s; ++i) {
+      x = (x * x) % n;
+      if (x == n_minus_1) return false;
+    }
+    return true;  // composite witness found
+  };
+
+  if (witness(Bignum(2))) return false;
+  for (int i = 0; i < rounds; ++i) {
+    Bignum a = random_below(n_minus_1 - Bignum(1), rnd) + Bignum(2);  // a in [2, n-1)
+    if (witness(a)) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// MontgomeryCtx
+
+MontgomeryCtx::MontgomeryCtx(const Bignum& m) : m_(m), n_(m.limbs_.size()) {
+  if (!m.is_odd() || m.is_one()) {
+    throw std::domain_error("MontgomeryCtx: modulus must be odd and > 1");
+  }
+  // n0_inv = -m^{-1} mod 2^32 via Newton iteration.
+  std::uint32_t inv = m.limbs_[0];  // inverse mod 2^4 seed? use 5 Newton steps from mod 2^8
+  for (int i = 0; i < 5; ++i) inv *= 2u - m.limbs_[0] * inv;
+  n0_inv_ = static_cast<std::uint32_t>(0u - inv);
+
+  // R^2 mod m where R = 2^(32 n): compute by shifting.
+  Bignum r2 = (Bignum(1) << (64 * n_)) % m_;
+  r2_.assign(n_, 0);
+  std::copy(r2.limbs_.begin(), r2.limbs_.end(), r2_.begin());
+}
+
+void MontgomeryCtx::mont_mul(const Limbs& a, const Limbs& b, Limbs& t) const {
+  // CIOS (coarsely integrated operand scanning) Montgomery multiplication.
+  const std::size_t n = n_;
+  const std::uint32_t* mp = m_.limbs_.data();
+  std::vector<std::uint32_t> acc(n + 2, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // acc += a[i] * b
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t cur = acc[j] + ai * b[j] + carry;
+      acc[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t cur = acc[n] + carry;
+    acc[n] = static_cast<std::uint32_t>(cur);
+    acc[n + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+    // acc += (acc[0] * n0_inv mod B) * m ; then acc >>= 32
+    const std::uint64_t u = static_cast<std::uint32_t>(acc[0] * n0_inv_);
+    carry = 0;
+    std::uint64_t first = acc[0] + u * mp[0];
+    carry = first >> 32;
+    for (std::size_t j = 1; j < n; ++j) {
+      const std::uint64_t cur2 = acc[j] + u * mp[j] + carry;
+      acc[j - 1] = static_cast<std::uint32_t>(cur2);
+      carry = cur2 >> 32;
+    }
+    cur = acc[n] + carry;
+    acc[n - 1] = static_cast<std::uint32_t>(cur);
+    acc[n] = acc[n + 1] + static_cast<std::uint32_t>(cur >> 32);
+    acc[n + 1] = 0;
+  }
+  // Final conditional subtraction.
+  bool ge = acc[n] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = n; i-- > 0;) {
+      if (acc[i] != mp[i]) {
+        ge = acc[i] > mp[i];
+        break;
+      }
+    }
+  }
+  t.assign(n, 0);
+  if (ge) {
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int64_t diff = static_cast<std::int64_t>(acc[i]) - mp[i] - borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      t[i] = static_cast<std::uint32_t>(diff);
+    }
+  } else {
+    std::copy(acc.begin(), acc.begin() + static_cast<std::ptrdiff_t>(n), t.begin());
+  }
+}
+
+MontgomeryCtx::Limbs MontgomeryCtx::to_mont(const Bignum& x) const {
+  Bignum reduced = x % m_;
+  Limbs xl(n_, 0);
+  std::copy(reduced.limbs_.begin(), reduced.limbs_.end(), xl.begin());
+  Limbs out;
+  mont_mul(xl, r2_, out);
+  return out;
+}
+
+Bignum MontgomeryCtx::from_mont(const Limbs& x) const {
+  Limbs one(n_, 0);
+  one[0] = 1;
+  Limbs out;
+  mont_mul(x, one, out);
+  Bignum r;
+  r.limbs_.assign(out.begin(), out.end());
+  r.normalize();
+  return r;
+}
+
+Bignum MontgomeryCtx::mod_exp(const Bignum& base, const Bignum& exp) const {
+  detail::record_exponentiation();
+  if (exp.is_zero()) return Bignum(1) % m_;
+
+  // 4-bit fixed window.
+  const Limbs b = to_mont(base);
+  Limbs table[16];
+  table[0] = to_mont(Bignum(1));
+  table[1] = b;
+  for (int i = 2; i < 16; ++i) mont_mul(table[i - 1], b, table[i]);
+
+  const std::size_t bits = exp.bit_length();
+  const std::size_t windows = (bits + 3) / 4;
+  Limbs acc = table[0];
+  Limbs tmp;
+  for (std::size_t w = windows; w-- > 0;) {
+    if (w != windows - 1) {
+      for (int i = 0; i < 4; ++i) {
+        mont_mul(acc, acc, tmp);
+        acc.swap(tmp);
+      }
+    }
+    unsigned idx = 0;
+    for (int i = 3; i >= 0; --i) {
+      idx = idx << 1 | static_cast<unsigned>(exp.bit(w * 4 + static_cast<std::size_t>(i)));
+    }
+    if (idx != 0) {
+      mont_mul(acc, table[idx], tmp);
+      acc.swap(tmp);
+    }
+  }
+  return from_mont(acc);
+}
+
+}  // namespace ss::crypto

@@ -1,0 +1,180 @@
+#include "crypto/blowfish.h"
+
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "crypto/pi_spigot.h"
+
+namespace ss::crypto {
+
+namespace {
+
+struct PiBoxes {
+  std::array<std::uint32_t, 18> p;
+  std::array<std::array<std::uint32_t, 256>, 4> s;
+};
+
+// 18 + 4*256 = 1042 words = 8336 hex digits of pi, computed once per process.
+const PiBoxes& pi_boxes() {
+  static const PiBoxes boxes = [] {
+    PiBoxes b;
+    const std::string hex = pi_frac_hex((18 + 4 * 256) * 8);
+    std::size_t pos = 0;
+    auto next_word = [&] {
+      std::uint32_t w = 0;
+      for (int i = 0; i < 8; ++i) {
+        const char c = hex[pos++];
+        const std::uint32_t v =
+            c <= '9' ? static_cast<std::uint32_t>(c - '0') : static_cast<std::uint32_t>(c - 'a' + 10);
+        w = w << 4 | v;
+      }
+      return w;
+    };
+    for (auto& w : b.p) w = next_word();
+    for (auto& box : b.s) {
+      for (auto& w : box) w = next_word();
+    }
+    return b;
+  }();
+  return boxes;
+}
+
+}  // namespace
+
+Blowfish::Blowfish(const util::Bytes& key) {
+  if (key.size() < kMinKeyBytes || key.size() > kMaxKeyBytes) {
+    throw std::invalid_argument("Blowfish: key must be 4..56 bytes");
+  }
+  const PiBoxes& init = pi_boxes();
+  p_ = init.p;
+  s_ = init.s;
+
+  // XOR the key, cyclically, into the P-array.
+  std::size_t k = 0;
+  for (auto& p : p_) {
+    std::uint32_t chunk = 0;
+    for (int i = 0; i < 4; ++i) {
+      chunk = chunk << 8 | key[k];
+      k = (k + 1) % key.size();
+    }
+    p ^= chunk;
+  }
+
+  // Replace P and S entries with successive encryptions of the zero block.
+  std::uint32_t left = 0, right = 0;
+  for (std::size_t i = 0; i < p_.size(); i += 2) {
+    encrypt_block(left, right);
+    p_[i] = left;
+    p_[i + 1] = right;
+  }
+  for (auto& box : s_) {
+    for (std::size_t i = 0; i < box.size(); i += 2) {
+      encrypt_block(left, right);
+      box[i] = left;
+      box[i + 1] = right;
+    }
+  }
+}
+
+std::uint32_t Blowfish::feistel(std::uint32_t x) const {
+  const std::uint32_t a = x >> 24;
+  const std::uint32_t b = x >> 16 & 0xFF;
+  const std::uint32_t c = x >> 8 & 0xFF;
+  const std::uint32_t d = x & 0xFF;
+  return ((s_[0][a] + s_[1][b]) ^ s_[2][c]) + s_[3][d];
+}
+
+void Blowfish::encrypt_block(std::uint32_t& left, std::uint32_t& right) const {
+  std::uint32_t l = left, r = right;
+  for (int i = 0; i < 16; ++i) {
+    l ^= p_[i];
+    r ^= feistel(l);
+    std::swap(l, r);
+  }
+  std::swap(l, r);
+  r ^= p_[16];
+  l ^= p_[17];
+  left = l;
+  right = r;
+}
+
+void Blowfish::decrypt_block(std::uint32_t& left, std::uint32_t& right) const {
+  std::uint32_t l = left, r = right;
+  for (int i = 17; i > 1; --i) {
+    l ^= p_[i];
+    r ^= feistel(l);
+    std::swap(l, r);
+  }
+  std::swap(l, r);
+  r ^= p_[1];
+  l ^= p_[0];
+  left = l;
+  right = r;
+}
+
+void Blowfish::encrypt_block(const std::uint8_t in[kBlockSize], std::uint8_t out[kBlockSize]) const {
+  std::uint32_t l = static_cast<std::uint32_t>(in[0]) << 24 | in[1] << 16 | in[2] << 8 | in[3];
+  std::uint32_t r = static_cast<std::uint32_t>(in[4]) << 24 | in[5] << 16 | in[6] << 8 | in[7];
+  encrypt_block(l, r);
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(l >> (24 - 8 * i));
+  for (int i = 0; i < 4; ++i) out[4 + i] = static_cast<std::uint8_t>(r >> (24 - 8 * i));
+}
+
+void Blowfish::decrypt_block(const std::uint8_t in[kBlockSize], std::uint8_t out[kBlockSize]) const {
+  std::uint32_t l = static_cast<std::uint32_t>(in[0]) << 24 | in[1] << 16 | in[2] << 8 | in[3];
+  std::uint32_t r = static_cast<std::uint32_t>(in[4]) << 24 | in[5] << 16 | in[6] << 8 | in[7];
+  decrypt_block(l, r);
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(l >> (24 - 8 * i));
+  for (int i = 0; i < 4; ++i) out[4 + i] = static_cast<std::uint8_t>(r >> (24 - 8 * i));
+}
+
+util::Bytes Blowfish::encrypt_cbc(const util::Bytes& iv, const util::Bytes& plaintext) const {
+  if (iv.size() != kBlockSize) throw std::invalid_argument("Blowfish CBC: bad IV size");
+  const std::size_t pad = kBlockSize - plaintext.size() % kBlockSize;
+  util::Bytes padded = plaintext;
+  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+
+  util::Bytes out(padded.size());
+  std::uint8_t chain[kBlockSize];
+  std::copy(iv.begin(), iv.end(), chain);
+  for (std::size_t off = 0; off < padded.size(); off += kBlockSize) {
+    std::uint8_t block[kBlockSize];
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+      block[i] = static_cast<std::uint8_t>(padded[off + i] ^ chain[i]);
+    }
+    encrypt_block(block, &out[off]);
+    std::copy(&out[off], &out[off] + kBlockSize, chain);
+  }
+  return out;
+}
+
+util::Bytes Blowfish::decrypt_cbc(const util::Bytes& iv, const util::Bytes& ciphertext) const {
+  if (iv.size() != kBlockSize) throw std::invalid_argument("Blowfish CBC: bad IV size");
+  if (ciphertext.empty() || ciphertext.size() % kBlockSize != 0) {
+    throw std::runtime_error("Blowfish CBC: ciphertext not block aligned");
+  }
+  util::Bytes out(ciphertext.size());
+  std::uint8_t chain[kBlockSize];
+  std::copy(iv.begin(), iv.end(), chain);
+  for (std::size_t off = 0; off < ciphertext.size(); off += kBlockSize) {
+    std::uint8_t block[kBlockSize];
+    decrypt_block(&ciphertext[off], block);
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+      out[off + i] = static_cast<std::uint8_t>(block[i] ^ chain[i]);
+    }
+    std::copy(ciphertext.begin() + static_cast<std::ptrdiff_t>(off),
+              ciphertext.begin() + static_cast<std::ptrdiff_t>(off + kBlockSize), chain);
+  }
+  const std::uint8_t pad = out.back();
+  if (pad == 0 || pad > kBlockSize || pad > out.size()) {
+    throw std::runtime_error("Blowfish CBC: bad padding");
+  }
+  for (std::size_t i = out.size() - pad; i < out.size(); ++i) {
+    if (out[i] != pad) throw std::runtime_error("Blowfish CBC: bad padding");
+  }
+  out.resize(out.size() - pad);
+  return out;
+}
+
+}  // namespace ss::crypto

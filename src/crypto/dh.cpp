@@ -1,0 +1,116 @@
+#include "crypto/dh.h"
+
+#include <stdexcept>
+
+#include "crypto/exp_counter.h"
+#include "crypto/pi_spigot.h"
+
+namespace ss::crypto {
+
+namespace {
+// Offsets k in the RFC 2412 construction. 149686 / 129093 are the published
+// Oakley Group 1 / Group 2 values; the 256/512-bit offsets were found with
+// tools/find_primes (smallest k giving a safe prime) and are re-verified by
+// unit tests with Miller-Rabin.
+constexpr std::uint64_t kOakley768Offset = 149686;
+constexpr std::uint64_t kOakley1024Offset = 129093;
+constexpr std::uint64_t kSs256Offset = 3220;  // found by tools/find_primes
+constexpr std::uint64_t kSs512Offset = 131;   // found by tools/find_primes
+
+// 64-bit safe prime (p and (p-1)/2 prime), found by tools/find_primes.
+constexpr std::uint64_t kTiny64Prime = 18446744073709550147ULL;
+}  // namespace
+
+DhGroup::DhGroup(Bignum p, Bignum g, Bignum q, std::string name)
+    : p_(std::move(p)), g_(std::move(g)), q_(std::move(q)), name_(std::move(name)), mont_(p_) {
+  if (!(g_ > Bignum(1)) || !(g_ < p_)) throw std::invalid_argument("DhGroup: bad generator");
+}
+
+Bignum DhGroup::oakley_prime(std::size_t bits, std::uint64_t offset) {
+  if (bits < 192) throw std::invalid_argument("oakley_prime: need bits >= 192");
+  const Bignum base = (Bignum(1) << bits) - (Bignum(1) << (bits - 64)) - Bignum(1);
+  return base + ((pi_floor_shifted(bits - 130) + Bignum(offset)) << 64);
+}
+
+namespace {
+DhGroup make_oakley(std::size_t bits, std::uint64_t offset, const std::string& name) {
+  Bignum p = DhGroup::oakley_prime(bits, offset);
+  Bignum q = (p - Bignum(1)) >> 1;
+  return DhGroup(std::move(p), Bignum(4), std::move(q), name);
+}
+}  // namespace
+
+const DhGroup& DhGroup::oakley_group1() {
+  static const DhGroup g = make_oakley(768, kOakley768Offset, "oakley1");
+  return g;
+}
+
+const DhGroup& DhGroup::oakley_group2() {
+  static const DhGroup g = make_oakley(1024, kOakley1024Offset, "oakley2");
+  return g;
+}
+
+const DhGroup& DhGroup::ss512() {
+  static const DhGroup g = make_oakley(512, kSs512Offset, "ss512");
+  return g;
+}
+
+const DhGroup& DhGroup::ss256() {
+  static const DhGroup g = make_oakley(256, kSs256Offset, "ss256");
+  return g;
+}
+
+const DhGroup& DhGroup::tiny64() {
+  static const DhGroup g = [] {
+    Bignum p(kTiny64Prime);
+    Bignum q = (p - Bignum(1)) >> 1;
+    return DhGroup(std::move(p), Bignum(4), std::move(q), "tiny64");
+  }();
+  return g;
+}
+
+const DhGroup& DhGroup::by_name(const std::string& name) {
+  if (name == "oakley1") return oakley_group1();
+  if (name == "oakley2") return oakley_group2();
+  if (name == "ss512") return ss512();
+  if (name == "ss256") return ss256();
+  if (name == "tiny64") return tiny64();
+  throw std::invalid_argument("DhGroup::by_name: unknown group " + name);
+}
+
+Bignum DhGroup::random_share(RandomSource& rnd) const {
+  return Bignum::random_unit(q_, rnd);
+}
+
+Bignum DhGroup::exp(const Bignum& base, const Bignum& e) const {
+  return mont_.mod_exp(base, e);
+}
+
+Bignum DhGroup::exp_g(const Bignum& e) const { return mont_.mod_exp(g_, e); }
+
+Bignum DhGroup::inverse_share(const Bignum& share) const {
+  // Fermat inverse; not a protocol exponentiation (pure exponent arithmetic).
+  detail::ExpTallySuspender suspend;
+  return Bignum::mod_exp(share, q_ - Bignum(2), q_);
+}
+
+Bignum DhGroup::mul_mod_q(const Bignum& a, const Bignum& b) const {
+  return (a * b) % q_;
+}
+
+bool DhGroup::is_valid_element(const Bignum& y) const {
+  if (!(y > Bignum(1)) || !(y < p_)) return false;
+  detail::ExpTallySuspender suspend;  // validation, not protocol work
+  return mont_.mod_exp(y, q_).is_one();
+}
+
+bool DhGroup::verify(int mr_rounds, RandomSource& rnd) const {
+  if (!Bignum::is_probable_prime(p_, mr_rounds, rnd)) return false;
+  if (!Bignum::is_probable_prime(q_, mr_rounds, rnd)) return false;
+  detail::ExpTallySuspender suspend;
+  if (!mont_.mod_exp(g_, q_).is_one()) return false;  // order divides q
+  if (g_.is_one()) return false;                      // and is not 1
+  return true;
+}
+
+}  // namespace ss::crypto

@@ -1,0 +1,68 @@
+#include "crypto/drbg.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+#include "crypto/sha1.h"
+
+namespace ss::crypto {
+
+HmacDrbg::HmacDrbg(const util::Bytes& seed)
+    : key_(Sha1::kDigestSize, 0x00), v_(Sha1::kDigestSize, 0x01) {
+  update(seed);
+}
+
+HmacDrbg::HmacDrbg(std::uint64_t seed, const std::string& personalization)
+    : HmacDrbg([&] {
+        util::Bytes s;
+        for (int i = 56; i >= 0; i -= 8) s.push_back(static_cast<std::uint8_t>(seed >> i));
+        s.insert(s.end(), personalization.begin(), personalization.end());
+        return s;
+      }()) {}
+
+void HmacDrbg::update(const util::Bytes& data) {
+  util::Bytes buf = v_;
+  buf.push_back(0x00);
+  buf.insert(buf.end(), data.begin(), data.end());
+  key_ = hmac_sha1(key_, buf);
+  v_ = hmac_sha1(key_, v_);
+  if (!data.empty()) {
+    buf = v_;
+    buf.push_back(0x01);
+    buf.insert(buf.end(), data.begin(), data.end());
+    key_ = hmac_sha1(key_, buf);
+    v_ = hmac_sha1(key_, v_);
+  }
+}
+
+void HmacDrbg::fill(std::uint8_t* out, std::size_t len) {
+  std::size_t produced = 0;
+  while (produced < len) {
+    v_ = hmac_sha1(key_, v_);
+    const std::size_t take = std::min(len - produced, v_.size());
+    std::copy(v_.begin(), v_.begin() + static_cast<std::ptrdiff_t>(take), out + produced);
+    produced += take;
+  }
+  update({});
+}
+
+util::Bytes HmacDrbg::generate(std::size_t len) {
+  util::Bytes out(len);
+  fill(out.data(), out.size());
+  return out;
+}
+
+void HmacDrbg::reseed(const util::Bytes& entropy) { update(entropy); }
+
+HmacDrbg HmacDrbg::from_os_entropy() {
+  util::Bytes seed(48);
+  std::FILE* f = std::fopen("/dev/urandom", "rb");
+  if (f == nullptr) throw std::runtime_error("HmacDrbg: cannot open /dev/urandom");
+  const std::size_t got = std::fread(seed.data(), 1, seed.size(), f);
+  std::fclose(f);
+  if (got != seed.size()) throw std::runtime_error("HmacDrbg: short read from /dev/urandom");
+  return HmacDrbg(seed);
+}
+
+}  // namespace ss::crypto

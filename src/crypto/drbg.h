@@ -1,0 +1,40 @@
+// Deterministic random bit generator (HMAC-DRBG, SP 800-90A structure,
+// instantiated with HMAC-SHA1). Implements RandomSource for key shares,
+// nonces and IVs.
+//
+// Determinism matters here: the whole reproduction (simulation, protocol
+// runs, benches) is seeded, so every experiment is replayable bit-for-bit.
+// Production deployments would seed from OS entropy via seed_from_os().
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/bignum.h"
+#include "util/bytes.h"
+
+namespace ss::crypto {
+
+class HmacDrbg final : public RandomSource {
+ public:
+  /// Instantiates from arbitrary seed material.
+  explicit HmacDrbg(const util::Bytes& seed);
+  /// Convenience: seed from a 64-bit value plus a personalization string.
+  HmacDrbg(std::uint64_t seed, const std::string& personalization);
+
+  void fill(std::uint8_t* out, std::size_t len) override;
+  util::Bytes generate(std::size_t len);
+
+  /// Mixes fresh entropy into the state.
+  void reseed(const util::Bytes& entropy);
+
+  /// New DRBG seeded from OS entropy (/dev/urandom); throws on failure.
+  static HmacDrbg from_os_entropy();
+
+ private:
+  void update(const util::Bytes& data);
+
+  util::Bytes key_;
+  util::Bytes v_;
+};
+
+}  // namespace ss::crypto

@@ -1,0 +1,66 @@
+#include "crypto/exp_counter.h"
+
+namespace ss::crypto {
+
+namespace {
+thread_local ExpTally g_tally;
+thread_local ExpPurpose g_purpose = ExpPurpose::kUnspecified;
+thread_local bool g_suspended = false;
+}  // namespace
+
+std::string exp_purpose_name(ExpPurpose p) {
+  switch (p) {
+    case ExpPurpose::kUnspecified: return "unspecified";
+    case ExpPurpose::kUpdateKeyShare: return "update key share";
+    case ExpPurpose::kLongTermKey: return "long term key computation";
+    case ExpPurpose::kPairwiseKey: return "pairwise key computation";
+    case ExpPurpose::kSessionKey: return "new session key computation";
+    case ExpPurpose::kEncryptSessionKey: return "encryption of session key";
+    case ExpPurpose::kDecryptSessionKey: return "decryption of session key";
+    case ExpPurpose::kCount: break;
+  }
+  return "?";
+}
+
+std::uint64_t ExpTally::total() const {
+  std::uint64_t sum = 0;
+  for (auto v : by_purpose) sum += v;
+  return sum;
+}
+
+ExpTally ExpTally::operator-(const ExpTally& rhs) const {
+  ExpTally out;
+  for (std::size_t i = 0; i < kExpPurposeCount; ++i) {
+    out.by_purpose[i] = by_purpose[i] - rhs.by_purpose[i];
+  }
+  return out;
+}
+
+ExpTally& ExpTally::operator+=(const ExpTally& rhs) {
+  for (std::size_t i = 0; i < kExpPurposeCount; ++i) by_purpose[i] += rhs.by_purpose[i];
+  return *this;
+}
+
+ExpTally exp_tally() { return g_tally; }
+
+void reset_exp_tally() { g_tally = ExpTally{}; }
+
+ExpPurposeScope::ExpPurposeScope(ExpPurpose purpose) : saved_(g_purpose) {
+  g_purpose = purpose;
+}
+
+ExpPurposeScope::~ExpPurposeScope() { g_purpose = saved_; }
+
+namespace detail {
+
+void record_exponentiation() {
+  if (g_suspended) return;
+  ++g_tally.by_purpose[static_cast<std::size_t>(g_purpose)];
+}
+
+ExpTallySuspender::ExpTallySuspender() : saved_(g_suspended) { g_suspended = true; }
+
+ExpTallySuspender::~ExpTallySuspender() { g_suspended = saved_; }
+
+}  // namespace detail
+}  // namespace ss::crypto

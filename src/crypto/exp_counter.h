@@ -1,0 +1,80 @@
+// Instrumentation for serial modular-exponentiation counts.
+//
+// Tables 2-4 of the paper itemize how many modular exponentiations each
+// protocol role performs per membership operation, bucketed by purpose
+// ("long term key computation", "encryption of session key", ...). Rather
+// than asserting those counts from protocol pseudocode, we measure them:
+// Bignum::mod_exp / MontgomeryCtx::mod_exp record every exponentiation into
+// a thread-local tally, and protocol code labels regions with ExpPurposeScope.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ss::crypto {
+
+enum class ExpPurpose : std::uint8_t {
+  kUnspecified = 0,
+  kUpdateKeyShare,      // controller refreshing partial keys with its new share
+  kLongTermKey,         // pairwise long-term DH key (alpha^{x_i x_j})
+  kPairwiseKey,         // ephemeral pairwise blinding key (CKD rounds 1-2)
+  kSessionKey,          // computing the new group session key
+  kEncryptSessionKey,   // blinding/"encrypting" the session key for a member
+  kDecryptSessionKey,   // unblinding the received session key
+  kCount,               // sentinel
+};
+
+constexpr std::size_t kExpPurposeCount = static_cast<std::size_t>(ExpPurpose::kCount);
+
+std::string exp_purpose_name(ExpPurpose p);
+
+/// Snapshot of exponentiation counts, indexable by purpose.
+struct ExpTally {
+  std::array<std::uint64_t, kExpPurposeCount> by_purpose{};
+
+  std::uint64_t total() const;
+  std::uint64_t count(ExpPurpose p) const {
+    return by_purpose[static_cast<std::size_t>(p)];
+  }
+  ExpTally operator-(const ExpTally& rhs) const;
+  ExpTally& operator+=(const ExpTally& rhs);
+};
+
+/// Current thread's cumulative tally since process start (or last reset).
+ExpTally exp_tally();
+void reset_exp_tally();
+
+/// Labels all exponentiations within the scope with a purpose.
+/// Scopes nest; the innermost label wins.
+class ExpPurposeScope {
+ public:
+  explicit ExpPurposeScope(ExpPurpose purpose);
+  ~ExpPurposeScope();
+  ExpPurposeScope(const ExpPurposeScope&) = delete;
+  ExpPurposeScope& operator=(const ExpPurposeScope&) = delete;
+
+ private:
+  ExpPurpose saved_;
+};
+
+namespace detail {
+
+/// Called by the bignum layer on every modular exponentiation.
+void record_exponentiation();
+
+/// Disables recording within the scope (e.g. Miller-Rabin internals, which
+/// are key-generation machinery rather than protocol exponentiations).
+class ExpTallySuspender {
+ public:
+  ExpTallySuspender();
+  ~ExpTallySuspender();
+  ExpTallySuspender(const ExpTallySuspender&) = delete;
+  ExpTallySuspender& operator=(const ExpTallySuspender&) = delete;
+
+ private:
+  bool saved_;
+};
+
+}  // namespace detail
+}  // namespace ss::crypto

@@ -1,0 +1,50 @@
+#include "crypto/hmac.h"
+
+#include "crypto/sha1.h"
+
+namespace ss::crypto {
+
+util::Bytes hmac_sha1(const util::Bytes& key, const util::Bytes& data) {
+  util::Bytes k = key;
+  if (k.size() > Sha1::kBlockSize) k = Sha1::hash(k);
+  k.resize(Sha1::kBlockSize, 0);
+
+  util::Bytes inner(Sha1::kBlockSize);
+  util::Bytes outer(Sha1::kBlockSize);
+  for (std::size_t i = 0; i < Sha1::kBlockSize; ++i) {
+    inner[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    outer[i] = static_cast<std::uint8_t>(k[i] ^ 0x5C);
+  }
+
+  Sha1 h;
+  h.update(inner);
+  h.update(data);
+  auto inner_digest = h.digest();
+
+  h.reset();
+  h.update(outer);
+  h.update(inner_digest.data(), inner_digest.size());
+  auto tag = h.digest();
+  return util::Bytes(tag.begin(), tag.end());
+}
+
+util::Bytes kdf_sha1(const util::Bytes& ikm, const std::string& label, std::size_t len) {
+  // Extract with a fixed salt, then expand in counter mode (HKDF structure).
+  const util::Bytes salt = util::bytes_of("secure-spread/kdf/v1");
+  const util::Bytes prk = hmac_sha1(salt, ikm);
+
+  util::Bytes out;
+  util::Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < len) {
+    util::Bytes block = t;
+    block.insert(block.end(), label.begin(), label.end());
+    block.push_back(counter++);
+    t = hmac_sha1(prk, block);
+    out.insert(out.end(), t.begin(), t.end());
+  }
+  out.resize(len);
+  return out;
+}
+
+}  // namespace ss::crypto

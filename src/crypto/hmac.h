@@ -1,0 +1,16 @@
+// HMAC-SHA1 (RFC 2104) — the paper cites HMAC as its data-integrity MAC.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace ss::crypto {
+
+/// HMAC-SHA1 of `data` under `key`. 20-byte tag.
+util::Bytes hmac_sha1(const util::Bytes& key, const util::Bytes& data);
+
+/// Simple extract-and-expand KDF built from HMAC-SHA1 (HKDF-style).
+/// Derives `len` bytes from input keying material and a context label.
+/// Used to turn a Diffie-Hellman group secret into cipher and MAC keys.
+util::Bytes kdf_sha1(const util::Bytes& ikm, const std::string& label, std::size_t len);
+
+}  // namespace ss::crypto

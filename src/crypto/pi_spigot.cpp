@@ -1,0 +1,59 @@
+#include "crypto/pi_spigot.h"
+
+#include <stdexcept>
+
+#include "util/bytes.h"
+
+namespace ss::crypto {
+
+namespace {
+
+// atan(1/x) * 2^prec_bits, truncated. Gregory series with alternating terms;
+// the running sum stays positive for x >= 2 so unsigned arithmetic suffices.
+Bignum atan_inv_scaled(std::uint32_t x, std::size_t prec_bits) {
+  const Bignum one_scaled = Bignum(1) << prec_bits;
+  Bignum term = one_scaled / Bignum(x);  // F / x
+  Bignum sum = term;
+  const Bignum x2(static_cast<std::uint64_t>(x) * x);
+  bool subtract = true;
+  for (std::uint64_t k = 1; !term.is_zero(); ++k) {
+    term = term / x2;  // F / x^(2k+1)
+    const Bignum t = term / Bignum(2 * k + 1);
+    if (t.is_zero()) break;
+    sum = subtract ? sum - t : sum + t;
+    subtract = !subtract;
+  }
+  return sum;
+}
+
+// pi * 2^prec_bits (truncated up to a few ulps from series truncation).
+Bignum pi_scaled(std::size_t prec_bits) {
+  // Carry extra guard bits so truncation errors never reach requested digits.
+  const std::size_t guard = 64;
+  const std::size_t prec = prec_bits + guard;
+  const Bignum a = atan_inv_scaled(5, prec) << 4;    // 16 * atan(1/5)
+  const Bignum b = atan_inv_scaled(239, prec) << 2;  // 4 * atan(1/239)
+  return (a - b) >> guard;
+}
+
+}  // namespace
+
+std::string pi_frac_hex(std::size_t n) {
+  if (n == 0) return {};
+  // Round precision up to whole bytes so the hex extraction is byte-aligned.
+  const std::size_t digits = (n + 1) & ~std::size_t{1};
+  const std::size_t prec_bits = digits * 4;
+  const Bignum pi = pi_scaled(prec_bits);
+  const Bignum frac = pi - (Bignum(3) << prec_bits);
+  const util::Bytes bytes = frac.to_bytes_padded(prec_bits / 8);
+  std::string hex = util::to_hex(bytes);
+  hex.resize(n);
+  return hex;
+}
+
+Bignum pi_floor_shifted(std::size_t k) {
+  const std::size_t prec_bits = k + 8;
+  return pi_scaled(prec_bits) >> (prec_bits - k);
+}
+
+}  // namespace ss::crypto

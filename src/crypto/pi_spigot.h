@@ -1,0 +1,27 @@
+// Hexadecimal digits of pi, computed from scratch.
+//
+// Two published artifacts in this system are defined in terms of pi's binary
+// expansion: Blowfish's P-array/S-boxes (first 8336 hex digits of the
+// fractional part) and the Oakley "well-known" Diffie-Hellman primes
+// (p = 2^b - 2^{b-64} - 1 + 2^64 * (floor(2^{b-130} * pi) + k), RFC 2412).
+// Since this reproduction has no network access and hardcoding kilobytes of
+// magic constants is error-prone, we compute pi ourselves with the Machin
+// formula (pi = 16*atan(1/5) - 4*atan(1/239)) in fixed point on our bignum,
+// and validate the output against published test vectors (Blowfish KATs and
+// the leading words of the Oakley primes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/bignum.h"
+
+namespace ss::crypto {
+
+/// First `n` hex digits of the fractional part of pi: "243f6a8885a308d3...".
+std::string pi_frac_hex(std::size_t n);
+
+/// floor(2^k * pi) — the quantity the Oakley prime formulas use.
+Bignum pi_floor_shifted(std::size_t k);
+
+}  // namespace ss::crypto

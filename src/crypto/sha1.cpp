@@ -1,0 +1,99 @@
+#include "crypto/sha1.h"
+
+#include <cstring>
+
+namespace ss::crypto {
+
+namespace {
+std::uint32_t rotl(std::uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+}  // namespace
+
+Sha1::Sha1() { reset(); }
+
+void Sha1::reset() {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  buffer_len_ = 0;
+  total_len_ = 0;
+}
+
+void Sha1::update(const std::uint8_t* data, std::size_t len) {
+  total_len_ += len;
+  while (len > 0) {
+    const std::size_t take = std::min(len, kBlockSize - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, data, take);
+    buffer_len_ += take;
+    data += take;
+    len -= take;
+    if (buffer_len_ == kBlockSize) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+}
+
+std::array<std::uint8_t, Sha1::kDigestSize> Sha1::digest() {
+  const std::uint64_t bit_len = total_len_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(&pad, 1);
+  const std::uint8_t zero = 0x00;
+  while (buffer_len_ != 56) update(&zero, 1);
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  update(len_bytes, 8);
+
+  std::array<std::uint8_t, kDigestSize> out{};
+  for (int i = 0; i < 5; ++i) {
+    out[static_cast<std::size_t>(i) * 4 + 0] = static_cast<std::uint8_t>(h_[i] >> 24);
+    out[static_cast<std::size_t>(i) * 4 + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    out[static_cast<std::size_t>(i) * 4 + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    out[static_cast<std::size_t>(i) * 4 + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = static_cast<std::uint32_t>(block[i * 4] << 24 | block[i * 4 + 1] << 16 |
+                                      block[i * 4 + 2] << 8 | block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+util::Bytes Sha1::hash(const util::Bytes& data) {
+  Sha1 ctx;
+  ctx.update(data);
+  auto d = ctx.digest();
+  return util::Bytes(d.begin(), d.end());
+}
+
+}  // namespace ss::crypto

@@ -1,0 +1,196 @@
+#include "flush/flush.h"
+
+#include "util/serial.h"
+
+namespace ss::flush {
+
+namespace {
+
+util::Bytes wrap_data(const gcs::GroupViewId& vid, std::int16_t app_type,
+                      const util::Bytes& payload) {
+  util::Writer w;
+  vid.encode(w);
+  w.u16(static_cast<std::uint16_t>(app_type));
+  w.bytes(payload);
+  return w.take();
+}
+
+struct Unwrapped {
+  gcs::GroupViewId vid;
+  std::int16_t app_type;
+  util::Bytes payload;
+};
+
+Unwrapped unwrap_data(const util::Bytes& raw) {
+  util::Reader r(raw);
+  Unwrapped u;
+  u.vid = gcs::GroupViewId::decode(r);
+  u.app_type = static_cast<std::int16_t>(r.u16());
+  u.payload = r.bytes();
+  return u;
+}
+
+}  // namespace
+
+FlushMailbox::FlushMailbox(gcs::Daemon& daemon) : mbox_(daemon) {
+  mbox_.on_view([this](const gcs::GroupView& v) { handle_raw_view(v); });
+  mbox_.on_message([this](const gcs::Message& m) { handle_raw_message(m); });
+  mbox_.on_transitional([this](const gcs::GroupName& g) {
+    if (on_transitional_) on_transitional_(g);
+  });
+}
+
+void FlushMailbox::join(const gcs::GroupName& group) { mbox_.join(group); }
+
+void FlushMailbox::leave(const gcs::GroupName& group) { mbox_.leave(group); }
+
+bool FlushMailbox::flushing(const gcs::GroupName& group) const {
+  auto it = state_.find(group);
+  return it != state_.end() && it->second.is_flushing;
+}
+
+const gcs::GroupView* FlushMailbox::current_view(const gcs::GroupName& group) const {
+  auto it = state_.find(group);
+  return it != state_.end() && it->second.has_view ? &it->second.current : nullptr;
+}
+
+bool FlushMailbox::send(gcs::ServiceType service, const gcs::GroupName& group,
+                        util::Bytes payload, std::int16_t msg_type) {
+  if (msg_type <= kFlushReservedType) return false;  // reserved range
+  auto it = state_.find(group);
+  if (it == state_.end() || !it->second.has_view || it->second.is_flushing) return false;
+  mbox_.multicast(service, group, wrap_data(it->second.current.view_id, msg_type, payload),
+                  kFlushDataType);
+  return true;
+}
+
+void FlushMailbox::unicast(const gcs::MemberId& to, const gcs::GroupName& group,
+                           util::Bytes payload, std::int16_t msg_type) {
+  mbox_.unicast(to, group, std::move(payload), msg_type);
+}
+
+void FlushMailbox::flush_ok(const gcs::GroupName& group) {
+  auto it = state_.find(group);
+  if (it == state_.end() || !it->second.is_flushing || it->second.sent_ok) return;
+  send_flush_ok(group, it->second);
+}
+
+void FlushMailbox::send_flush_ok(const gcs::GroupName& group, GroupState& st) {
+  st.sent_ok = true;
+  util::Writer w;
+  st.pending.view_id.encode(w);
+  // FIFO suffices: the marker must simply follow the sender's final
+  // old-view messages, which per-sender FIFO guarantees (paper 5.3: key
+  // agreement and control need only FIFO).
+  mbox_.multicast(gcs::ServiceType::kFifo, group, w.take(), kFlushOkType);
+}
+
+void FlushMailbox::handle_raw_view(const gcs::GroupView& view) {
+  if (view.reason == gcs::MembershipReason::kSelfLeave) {
+    state_.erase(view.group);
+    if (on_view_) on_view_(view);
+    return;
+  }
+
+  GroupState& st = state_[view.group];
+  if (st.is_flushing && !st.buffered.empty()) {
+    // Cascade: the view we were flushing toward was superseded. Deliver what
+    // was buffered for it (EVS-grade guarantee during cascades), in order.
+    for (const gcs::Message& m : st.buffered) {
+      if (on_message_) on_message_(m);
+    }
+  }
+  st.buffered.clear();
+  st.is_flushing = true;
+  st.sent_ok = false;
+  st.pending = view;
+  st.oks.clear();
+
+  // Collect acknowledgements that raced ahead of the view.
+  auto early = early_oks_.find(view.view_id);
+  if (early != early_oks_.end()) {
+    st.oks = std::move(early->second);
+    early_oks_.erase(early);
+  }
+
+  if (!st.has_view) {
+    // Joining member: nothing to flush, acknowledge immediately.
+    send_flush_ok(view.group, st);
+  } else if (on_flush_request_) {
+    on_flush_request_(view.group);
+  }
+  maybe_install(view.group);
+}
+
+void FlushMailbox::handle_raw_message(const gcs::Message& msg) {
+  if (msg.msg_type == kFlushOkType) {
+    gcs::GroupViewId vid;
+    try {
+      util::Reader r(msg.payload);
+      vid = gcs::GroupViewId::decode(r);
+    } catch (const util::SerialError&) {
+      return;
+    }
+    auto it = state_.find(msg.group);
+    if (it != state_.end() && it->second.is_flushing && it->second.pending.view_id == vid) {
+      it->second.oks.insert(msg.sender);
+      maybe_install(msg.group);
+    } else {
+      early_oks_[vid].insert(msg.sender);
+    }
+    return;
+  }
+
+  if (msg.msg_type != kFlushDataType) {
+    // Raw traffic from a non-flush client (open-group sender): not part of
+    // the VS contract; surface it unchanged.
+    if (on_message_) on_message_(msg);
+    return;
+  }
+
+  Unwrapped u;
+  try {
+    u = unwrap_data(msg.payload);
+  } catch (const util::SerialError&) {
+    return;
+  }
+  gcs::Message app = msg;
+  app.msg_type = u.app_type;
+  app.payload = std::move(u.payload);
+  app.view_id = u.vid;
+
+  auto it = state_.find(msg.group);
+  if (it == state_.end()) return;
+  GroupState& st = it->second;
+  if (st.has_view && u.vid == st.current.view_id) {
+    // Sent in our installed view (this covers both normal operation and
+    // old-view traffic still arriving during a flush).
+    if (on_message_) on_message_(app);
+  } else if (st.is_flushing && u.vid == st.pending.view_id) {
+    // Sent by a member that installed the pending view before us.
+    st.buffered.push_back(std::move(app));
+  }
+  // Anything else: a view this member never installs; drop.
+}
+
+void FlushMailbox::maybe_install(const gcs::GroupName& group) {
+  auto it = state_.find(group);
+  if (it == state_.end()) return;
+  GroupState& st = it->second;
+  if (!st.is_flushing) return;
+  for (const gcs::MemberId& m : st.pending.members) {
+    if (!st.oks.contains(m)) return;
+  }
+  st.is_flushing = false;
+  st.has_view = true;
+  st.current = st.pending;
+  st.oks.clear();
+  std::vector<gcs::Message> buffered = std::move(st.buffered);
+  st.buffered.clear();
+  if (on_view_) on_view_(st.current);
+  for (const gcs::Message& m : buffered) {
+    if (on_message_) on_message_(m);
+  }
+}
+
+}  // namespace ss::flush

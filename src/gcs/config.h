@@ -1,0 +1,25 @@
+// Timing knobs for the daemon stack (the simulated spread.conf).
+#pragma once
+
+#include "sim/scheduler.h"
+
+namespace ss::gcs {
+
+struct TimingConfig {
+  sim::Time heartbeat_interval = 5 * sim::kMillisecond;
+  sim::Time fd_check_interval = 5 * sim::kMillisecond;
+  /// A silent peer is declared unreachable after this long.
+  sim::Time fail_timeout = 20 * sim::kMillisecond;
+  /// Link retransmission timeout.
+  sim::Time link_rto = 2 * sim::kMillisecond;
+  /// Quiet period of candidate-set stability before the coordinator proposes.
+  sim::Time gather_stable = 6 * sim::kMillisecond;
+  /// Non-coordinators regather if no proposal/install arrives in time.
+  sim::Time gather_timeout = 60 * sim::kMillisecond;
+  /// Members regather if their recovery plan cannot be completed in time.
+  sim::Time recovery_timeout = 80 * sim::kMillisecond;
+  /// Daemon <-> local client IPC latency.
+  sim::Time client_ipc_delay = 20 * sim::kMicrosecond;
+};
+
+}  // namespace ss::gcs

@@ -1,0 +1,304 @@
+// Daemon core: lifecycle, packet plumbing, heartbeats and the client API.
+// The membership engine lives in daemon_membership.cpp and the ordered data
+// path in daemon_delivery.cpp.
+#include "gcs/daemon.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace ss::gcs {
+
+Daemon::Daemon(sim::Scheduler& sched, sim::SimNetwork& net, DaemonId self,
+               std::vector<DaemonId> configured, TimingConfig timing, std::uint64_t seed,
+               DaemonKeyStore* key_store)
+    : sched_(sched),
+      net_(net),
+      self_(self),
+      configured_(std::move(configured)),
+      timing_(timing),
+      rng_(seed ^ (static_cast<std::uint64_t>(self) << 32)),
+      key_store_(key_store) {
+  std::sort(configured_.begin(), configured_.end());
+}
+
+Daemon::~Daemon() {
+  if (state_ != DState::kDown) stop();
+}
+
+void Daemon::start() {
+  if (state_ != DState::kDown) return;
+  boot_id_ = rng_.next() | 1;  // never 0 (0 means "unknown" in the link layer)
+  links_ = std::make_unique<LinkManager>(
+      sched_, net_, self_, boot_id_, timing_,
+      [this](DaemonId from, const util::Bytes& msg) { handle_message(from, msg); });
+  if (key_store_ != nullptr) {
+    crypto::HmacDrbg provision_rnd(rng_.next(), "daemon-lt-key");
+    key_store_->provision(self_, provision_rnd);
+    link_crypto_ = std::make_unique<LinkCrypto>(*key_store_, self_, rng_.next());
+    links_->set_crypto(link_crypto_.get());
+    key_agent_ = std::make_unique<DaemonKeyAgent>(
+        *key_store_, self_, rng_.next(), [this](DaemonId to, const util::Bytes& body) {
+          links_->send(to, frame(MsgType::kDaemonKeyDist, body));
+        });
+  }
+  fd_ = std::make_unique<FailureDetector>(sched_, timing_, self_, configured_,
+                                          [this] { on_fd_change(); });
+
+  // Boot into a singleton view; peers are discovered via heartbeats.
+  const ViewId initial{++max_round_seen_, self_};
+  state_ = DState::kOperational;  // install_view requires non-down state
+  install_view(initial, {self_}, GroupTable{});
+  fd_->start();
+  send_heartbeats();
+  SS_LOG_INFO("daemon", "d", self_, " started, view ", view_id_.to_string());
+}
+
+void Daemon::stop() {
+  if (state_ == DState::kDown) return;
+  state_ = DState::kDown;
+  if (hb_timer_ != 0) sched_.cancel(hb_timer_);
+  if (stable_timer_armed_) sched_.cancel(gather_stable_timer_);
+  if (timeout_timer_armed_) sched_.cancel(gather_timeout_timer_);
+  if (recovery_timer_armed_) sched_.cancel(recovery_timer_);
+  stable_timer_armed_ = timeout_timer_armed_ = recovery_timer_armed_ = false;
+  if (fd_) fd_->stop();
+  if (links_) links_->shutdown();
+  fd_.reset();
+  links_.reset();
+  link_crypto_.reset();
+  key_agent_.reset();
+  contexts_.clear();
+  future_view_buffer_.clear();
+  groups_ = GroupTable{};
+  group_views_.clear();
+  clients_.clear();
+  pending_sends_.clear();
+  collected_states_.clear();
+  pending_install_.reset();
+  gather_announced_.clear();
+}
+
+void Daemon::crash() {
+  net_.crash(self_);
+  stop();
+}
+
+void Daemon::on_packet(sim::NodeId from, const util::Bytes& payload) {
+  if (state_ == DState::kDown) return;
+  if (fd_) fd_->heard_from(from);
+  try {
+    links_->on_packet(from, payload);
+  } catch (const util::SerialError&) {
+    // Corrupt frame: treat as loss.
+  }
+}
+
+void Daemon::handle_message(DaemonId from, const util::Bytes& raw) {
+  if (state_ == DState::kDown) return;
+  try {
+    auto [type, body] = unframe(raw);
+    util::Reader r(body);
+    switch (type) {
+      case MsgType::kHeartbeat: {
+        const HeartbeatMsg m = HeartbeatMsg::decode(r);
+        max_round_seen_ = std::max(max_round_seen_, m.view.round);
+        // Stability input for SAFE delivery.
+        auto it = contexts_.find(view_id_);
+        if (it != contexts_.end() &&
+            std::find(view_members_.begin(), view_members_.end(), from) != view_members_.end()) {
+          it->second.peer_contig_gseq[from] = m.delivered_gseq;
+          if (!it->second.frozen) try_deliver(it->second);
+        }
+        // Foreign daemon with an alien view: network components merged.
+        if (state_ == DState::kOperational &&
+            std::find(view_members_.begin(), view_members_.end(), from) == view_members_.end()) {
+          trigger_gather();
+        }
+        break;
+      }
+      case MsgType::kGatherAnnounce:
+        on_gather_announce(from, GatherAnnounceMsg::decode(r));
+        break;
+      case MsgType::kProposal:
+        on_proposal(from, ProposalMsg::decode(r));
+        break;
+      case MsgType::kStateExchange:
+        on_state_exchange(from, StateExchangeMsg::decode(r));
+        break;
+      case MsgType::kInstall:
+        on_install(from, InstallMsg::decode(r));
+        break;
+      case MsgType::kRetransReq:
+        on_retrans_req(from, RetransReqMsg::decode(r));
+        break;
+      case MsgType::kRetransData:
+        on_retrans_data(from, RetransDataMsg::decode(r));
+        break;
+      case MsgType::kData:
+        on_data(DataMsg::decode(r));
+        break;
+      case MsgType::kOrderStamp:
+        on_order_stamp(OrderStampMsg::decode(r));
+        break;
+      case MsgType::kDaemonKeyDist:
+        if (key_agent_) key_agent_->on_key_dist(from, r.rest());
+        break;
+      case MsgType::kUnicast: {
+        const UnicastMsg m = UnicastMsg::decode(r);
+        auto it = clients_.find(m.to.client);
+        if (m.to.daemon == self_ && it != clients_.end() && it->second.connected) {
+          Message out;
+          out.group = m.group;
+          out.sender = m.from;
+          out.service = ServiceType::kFifo;
+          out.msg_type = m.msg_type;
+          out.payload = m.payload;
+          const std::uint32_t client = m.to.client;
+          schedule_client_delivery([this, client, out] {
+            auto cit = clients_.find(client);
+            if (cit != clients_.end() && cit->second.connected) cit->second.cb->deliver_message(out);
+          });
+        }
+        break;
+      }
+    }
+  } catch (const util::SerialError&) {
+    SS_LOG_WARN("daemon", "d", self_, " dropped undecodable message from d", from);
+  }
+}
+
+void Daemon::send_heartbeats() {
+  if (state_ == DState::kDown) return;
+  HeartbeatMsg hb;
+  hb.view = view_id_;
+  auto it = contexts_.find(view_id_);
+  hb.delivered_gseq = it != contexts_.end() ? it->second.contig_gseq : 0;
+  const util::Bytes framed = frame(MsgType::kHeartbeat, hb.encode());
+  for (DaemonId peer : configured_) {
+    if (peer != self_) links_->send_raw(peer, framed);
+  }
+  hb_timer_ = sched_.after(timing_.heartbeat_interval, [this] { send_heartbeats(); });
+}
+
+void Daemon::broadcast_to(const std::vector<DaemonId>& daemons, MsgType type,
+                          const util::Bytes& body) {
+  const util::Bytes framed = frame(type, body);
+  for (DaemonId d : daemons) links_->send(d, framed);
+}
+
+void Daemon::schedule_client_delivery(std::function<void()> fn) {
+  const std::uint64_t boot = boot_id_;
+  sched_.after(timing_.client_ipc_delay, [this, boot, fn = std::move(fn)] {
+    if (state_ != DState::kDown && boot_id_ == boot) fn();
+  });
+}
+
+// --- client interface -------------------------------------------------------
+
+MemberId Daemon::attach_client(ClientCallbacks* cb) {
+  const MemberId id{self_, next_client_++};
+  LocalClient lc;
+  lc.cb = cb;
+  lc.connected = true;
+  clients_.emplace(id.client, std::move(lc));
+  return id;
+}
+
+void Daemon::detach_client(const MemberId& id, bool graceful) {
+  auto it = clients_.find(id.client);
+  if (it == clients_.end() || id.daemon != self_) return;
+  // Announce departure from every joined group; ungraceful detach shows up
+  // as a Disconnect at the survivors (paper Table 1 maps both to Leave).
+  // Copy: delivering the change erases from the live joined set.
+  const std::set<GroupName> joined = it->second.joined;
+  for (const GroupName& g : joined) {
+    GroupChangeMsg change;
+    change.kind = graceful ? GroupChangeKind::kLeave : GroupChangeKind::kDisconnect;
+    change.group = g;
+    change.member = id;
+    PendingSend ps{ServiceType::kAgreed, true, g, id, 0, change.encode()};
+    if (state_ == DState::kOperational) {
+      multicast_data(std::move(ps));
+    } else {
+      pending_sends_.push_back(std::move(ps));
+    }
+  }
+  it->second.connected = false;
+  clients_.erase(it);
+}
+
+void Daemon::client_join(const MemberId& id, const GroupName& group) {
+  auto it = clients_.find(id.client);
+  if (it == clients_.end() || !it->second.connected) return;
+  GroupChangeMsg change;
+  change.kind = GroupChangeKind::kJoin;
+  change.group = group;
+  change.member = id;
+  PendingSend ps{ServiceType::kAgreed, true, group, id, 0, change.encode()};
+  if (state_ == DState::kOperational) {
+    multicast_data(std::move(ps));
+  } else {
+    pending_sends_.push_back(std::move(ps));
+  }
+}
+
+void Daemon::client_leave(const MemberId& id, const GroupName& group) {
+  auto it = clients_.find(id.client);
+  if (it == clients_.end() || !it->second.connected) return;
+  GroupChangeMsg change;
+  change.kind = GroupChangeKind::kLeave;
+  change.group = group;
+  change.member = id;
+  PendingSend ps{ServiceType::kAgreed, true, group, id, 0, change.encode()};
+  if (state_ == DState::kOperational) {
+    multicast_data(std::move(ps));
+  } else {
+    pending_sends_.push_back(std::move(ps));
+  }
+}
+
+void Daemon::client_multicast(const MemberId& id, ServiceType service, const GroupName& group,
+                              std::int16_t msg_type, util::Bytes payload) {
+  auto it = clients_.find(id.client);
+  if (it == clients_.end() || !it->second.connected) return;
+  PendingSend ps{service, false, group, id, msg_type, std::move(payload)};
+  if (state_ == DState::kOperational) {
+    multicast_data(std::move(ps));
+  } else {
+    pending_sends_.push_back(std::move(ps));
+  }
+}
+
+void Daemon::client_unicast(const MemberId& from, const MemberId& to, const GroupName& group,
+                            std::int16_t msg_type, util::Bytes payload) {
+  auto it = clients_.find(from.client);
+  if (it == clients_.end() || !it->second.connected) return;
+  UnicastMsg m;
+  m.from = from;
+  m.to = to;
+  m.group = group;
+  m.msg_type = msg_type;
+  m.payload = std::move(payload);
+  links_->send(to.daemon, frame(MsgType::kUnicast, m.encode()));
+}
+
+std::vector<MemberId> Daemon::members_of(const GroupName& group) const {
+  std::vector<MemberId> out;
+  auto it = groups_.groups.find(group);
+  if (it == groups_.groups.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& e : it->second) out.push_back(e.member);
+  return out;
+}
+
+std::vector<MemberId> Daemon::group_members(const GroupName& group) const {
+  return members_of(group);
+}
+
+GroupViewId Daemon::current_group_view_id(const GroupName& group) const {
+  auto it = group_views_.find(group);
+  return it != group_views_.end() ? it->second : GroupViewId{view_id_, 0};
+}
+
+}  // namespace ss::gcs

@@ -1,0 +1,74 @@
+#include "gcs/daemon_key.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+#include "util/serial.h"
+
+namespace ss::gcs {
+
+DaemonKeyAgent::DaemonKeyAgent(const DaemonKeyStore& store, DaemonId self, std::uint64_t seed,
+                               SendFn send)
+    : store_(store),
+      self_(self),
+      rnd_(seed, "daemon-key-agent"),
+      crypto_(store, self, seed ^ 0x9E3779B97F4A7C15ULL),
+      send_(std::move(send)) {}
+
+util::Bytes DaemonKeyAgent::encode_dist(const ViewId& view, const util::Bytes& sealed_key) {
+  util::Writer w;
+  view.encode(w);
+  w.bytes(sealed_key);
+  return w.take();
+}
+
+std::pair<ViewId, util::Bytes> DaemonKeyAgent::decode_dist(const util::Bytes& body) {
+  util::Reader r(body);
+  ViewId view = ViewId::decode(r);
+  util::Bytes sealed = r.bytes();
+  return {view, std::move(sealed)};
+}
+
+void DaemonKeyAgent::on_view_installed(const ViewId& view, const std::vector<DaemonId>& members) {
+  current_view_ = view;
+  current_members_ = members;
+  key_.clear();  // old-view key retired
+
+  const DaemonId coordinator = *std::min_element(members.begin(), members.end());
+  if (coordinator != self_) return;  // wait for the distribution
+
+  // Coordinator: fresh key, sealed per member under the pairwise channel.
+  util::Bytes key = rnd_.generate(32);
+  for (DaemonId d : members) {
+    if (d == self_) continue;
+    try {
+      send_(d, encode_dist(view, crypto_.seal(d, key)));
+    } catch (const std::exception& e) {
+      SS_LOG_WARN("daemon-key", "d", self_, " cannot seal daemon key for d", d, ": ", e.what());
+    }
+  }
+  install_key(view, std::move(key));
+}
+
+void DaemonKeyAgent::on_key_dist(DaemonId from, const util::Bytes& body) {
+  try {
+    auto [view, sealed] = decode_dist(body);
+    if (view != current_view_) return;  // stale distribution
+    if (current_members_.empty() ||
+        from != *std::min_element(current_members_.begin(), current_members_.end())) {
+      return;  // not from the coordinator
+    }
+    install_key(view, crypto_.open(from, sealed));
+  } catch (const std::exception& e) {
+    SS_LOG_WARN("daemon-key", "d", self_, " rejected daemon key dist: ", e.what());
+  }
+}
+
+void DaemonKeyAgent::install_key(const ViewId& view, util::Bytes key) {
+  key_ = std::move(key);
+  key_view_ = view;
+  ++rekeys_;
+  SS_LOG_DEBUG("daemon-key", "d", self_, " daemon group key for ", view.to_string());
+}
+
+}  // namespace ss::gcs

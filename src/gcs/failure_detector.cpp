@@ -1,0 +1,78 @@
+#include "gcs/failure_detector.h"
+
+#include <algorithm>
+
+namespace ss::gcs {
+
+FailureDetector::FailureDetector(sim::Scheduler& sched, TimingConfig timing, DaemonId self,
+                                 std::vector<DaemonId> peers, ChangeFn on_change)
+    : sched_(sched),
+      timing_(timing),
+      self_(self),
+      peers_(std::move(peers)),
+      on_change_(std::move(on_change)) {
+  for (DaemonId p : peers_) {
+    if (p == self_) continue;
+    up_[p] = false;
+  }
+}
+
+FailureDetector::~FailureDetector() { stop(); }
+
+void FailureDetector::start() {
+  if (running_) return;
+  running_ = true;
+  timer_ = sched_.after(timing_.fd_check_interval, [this] { check(); });
+}
+
+void FailureDetector::stop() {
+  if (!running_) return;
+  running_ = false;
+  sched_.cancel(timer_);
+}
+
+void FailureDetector::heard_from(DaemonId peer) {
+  if (peer == self_) return;
+  last_heard_[peer] = sched_.now();
+  auto it = up_.find(peer);
+  if (it == up_.end()) return;  // unconfigured daemon: ignore
+  if (!it->second) {
+    it->second = true;
+    if (running_ && on_change_) on_change_();
+  }
+}
+
+bool FailureDetector::reachable(DaemonId peer) const {
+  if (peer == self_) return true;
+  auto it = up_.find(peer);
+  return it != up_.end() && it->second;
+}
+
+std::vector<DaemonId> FailureDetector::reachable_set() const {
+  std::vector<DaemonId> out;
+  out.push_back(self_);
+  for (const auto& [peer, alive] : up_) {
+    if (alive) out.push_back(peer);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void FailureDetector::check() {
+  if (!running_) return;
+  bool changed = false;
+  const sim::Time now = sched_.now();
+  for (auto& [peer, alive] : up_) {
+    if (!alive) continue;
+    auto it = last_heard_.find(peer);
+    const sim::Time last = it == last_heard_.end() ? 0 : it->second;
+    if (now - last > timing_.fail_timeout) {
+      alive = false;
+      changed = true;
+    }
+  }
+  timer_ = sched_.after(timing_.fd_check_interval, [this] { check(); });
+  if (changed && on_change_) on_change_();
+}
+
+}  // namespace ss::gcs

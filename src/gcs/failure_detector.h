@@ -1,0 +1,57 @@
+// Heartbeat-based failure detector (fail-stop / crash-recover model).
+//
+// Each daemon periodically pings every configured peer; a peer silent for
+// fail_timeout is declared unreachable. The detector is unreliable in the
+// theoretical sense — it can suspect live-but-slow peers — which is exactly
+// the asynchronous-network reality the paper's membership layer is built to
+// absorb (Section 1.1: distinguishing a faulty network from an adversary is
+// impossible; the system reacts identically).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "gcs/config.h"
+#include "gcs/types.h"
+#include "sim/scheduler.h"
+
+namespace ss::gcs {
+
+class FailureDetector {
+ public:
+  using ChangeFn = std::function<void()>;
+
+  FailureDetector(sim::Scheduler& sched, TimingConfig timing, DaemonId self,
+                  std::vector<DaemonId> peers, ChangeFn on_change);
+  ~FailureDetector();
+
+  FailureDetector(const FailureDetector&) = delete;
+  FailureDetector& operator=(const FailureDetector&) = delete;
+
+  void start();
+  void stop();
+
+  /// Any received packet counts as a liveness proof.
+  void heard_from(DaemonId peer);
+
+  bool reachable(DaemonId peer) const;
+  /// Currently reachable peers plus self, sorted.
+  std::vector<DaemonId> reachable_set() const;
+
+ private:
+  void check();
+
+  sim::Scheduler& sched_;
+  TimingConfig timing_;
+  DaemonId self_;
+  std::vector<DaemonId> peers_;
+  ChangeFn on_change_;
+  std::map<DaemonId, sim::Time> last_heard_;
+  std::map<DaemonId, bool> up_;
+  sim::EventId timer_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace ss::gcs

@@ -1,0 +1,205 @@
+#include "gcs/link.h"
+
+#include <deque>
+
+#include "util/serial.h"
+
+namespace ss::gcs {
+
+namespace {
+constexpr std::uint8_t kFrameData = 0;
+constexpr std::uint8_t kFrameAck = 1;
+constexpr std::uint8_t kFrameRaw = 2;
+constexpr std::uint32_t kMaxBackoffShift = 8;  // RTO * 2^8 cap
+}  // namespace
+
+LinkManager::LinkManager(sim::Scheduler& sched, sim::SimNetwork& net, DaemonId self,
+                         std::uint64_t boot_id, TimingConfig timing, DeliverFn deliver)
+    : sched_(sched),
+      net_(net),
+      self_(self),
+      boot_id_(boot_id),
+      timing_(timing),
+      deliver_(std::move(deliver)) {}
+
+LinkManager::~LinkManager() { shutdown(); }
+
+void LinkManager::shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  for (auto& [peer, st] : send_) {
+    if (st.timer_armed) sched_.cancel(st.rto_timer);
+    st.timer_armed = false;
+  }
+}
+
+void LinkManager::ship(DaemonId to, util::Bytes frame) {
+  if (crypto_ != nullptr) {
+    try {
+      frame = crypto_->seal(to, frame);
+    } catch (const std::exception&) {
+      return;  // peer not provisioned: refuse to talk to it
+    }
+  }
+  net_.send(self_, to, std::move(frame));
+}
+
+void LinkManager::transmit(DaemonId to, std::uint64_t seq, const util::Bytes& msg) {
+  util::Writer w;
+  w.u8(kFrameData);
+  w.u64(boot_id_);
+  w.u64(seq);
+  w.bytes(msg);
+  ship(to, w.take());
+}
+
+void LinkManager::send(DaemonId to, const util::Bytes& msg) {
+  if (shutdown_) return;
+  if (to == self_) {
+    // Local loopback: asynchronous, like a kernel socket to ourselves.
+    sched_.after(1, [this, msg] {
+      if (!shutdown_) deliver_(self_, msg);
+    });
+    return;
+  }
+  SendState& st = send_[to];
+  const std::uint64_t seq = st.next_seq++;
+  st.unacked.emplace(seq, msg);
+  transmit(to, seq, msg);
+  arm_timer(to);
+}
+
+void LinkManager::send_raw(DaemonId to, const util::Bytes& msg) {
+  if (shutdown_ || to == self_) return;
+  util::Writer w;
+  w.u8(kFrameRaw);
+  w.bytes(msg);
+  ship(to, w.take());
+}
+
+void LinkManager::arm_timer(DaemonId peer) {
+  SendState& st = send_[peer];
+  if (st.timer_armed || st.unacked.empty()) return;
+  st.timer_armed = true;
+  const sim::Time rto = timing_.link_rto << st.backoff_shift;
+  st.rto_timer = sched_.after(rto, [this, peer] { on_timeout(peer); });
+}
+
+void LinkManager::on_timeout(DaemonId peer) {
+  if (shutdown_) return;
+  SendState& st = send_[peer];
+  st.timer_armed = false;
+  if (st.unacked.empty()) return;
+  // Go-back-N: resend everything outstanding (network is per-pair FIFO,
+  // so the receiver reaccepts in order). Exponential backoff bounds the
+  // retransmission churn toward partitioned or crashed peers.
+  for (const auto& [seq, msg] : st.unacked) {
+    ++retransmissions_;
+    transmit(peer, seq, msg);
+  }
+  if (st.backoff_shift < kMaxBackoffShift) ++st.backoff_shift;
+  arm_timer(peer);
+}
+
+void LinkManager::send_ack(DaemonId to, std::uint64_t echo_boot, std::uint64_t cum_seq) {
+  util::Writer w;
+  w.u8(kFrameAck);
+  w.u64(echo_boot);
+  w.u64(boot_id_);
+  w.u64(cum_seq);
+  ship(to, w.take());
+}
+
+void LinkManager::on_packet(DaemonId from, const util::Bytes& raw) {
+  if (shutdown_) return;
+  util::Bytes frame = raw;
+  if (crypto_ != nullptr) {
+    try {
+      frame = crypto_->open(from, raw);
+    } catch (const std::exception&) {
+      ++frames_rejected_;  // forged/corrupt/unauthorized: drop
+      return;
+    }
+  }
+  util::Reader r(frame);
+  const std::uint8_t kind = r.u8();
+
+  if (kind == kFrameRaw) {
+    deliver_(from, r.bytes());
+    return;
+  }
+
+  if (kind == kFrameAck) {
+    const std::uint64_t echo_boot = r.u64();
+    const std::uint64_t peer_boot = r.u64();
+    const std::uint64_t cum = r.u64();
+    if (echo_boot != boot_id_) return;  // ack for a previous incarnation of us
+    SendState& st = send_[from];
+    if (st.peer_boot != 0 && st.peer_boot != peer_boot) {
+      // Peer rebooted: its receive stream restarted. Renumber all unacked
+      // messages from 1 and replay, so the fresh peer accepts them.
+      st.peer_boot = peer_boot;
+      std::deque<util::Bytes> backlog;
+      for (auto& [seq, msg] : st.unacked) backlog.push_back(std::move(msg));
+      st.unacked.clear();
+      st.next_seq = 1;
+      st.backoff_shift = 0;
+      for (auto& msg : backlog) {
+        const std::uint64_t seq = st.next_seq++;
+        st.unacked.emplace(seq, msg);
+        transmit(from, seq, msg);
+      }
+      if (st.timer_armed) {
+        sched_.cancel(st.rto_timer);
+        st.timer_armed = false;
+      }
+      arm_timer(from);
+      return;
+    }
+    st.peer_boot = peer_boot;
+    const bool progressed = !st.unacked.empty() && st.unacked.begin()->first <= cum;
+    while (!st.unacked.empty() && st.unacked.begin()->first <= cum) {
+      st.unacked.erase(st.unacked.begin());
+    }
+    if (progressed) st.backoff_shift = 0;
+    if (st.unacked.empty() && st.timer_armed) {
+      sched_.cancel(st.rto_timer);
+      st.timer_armed = false;
+    }
+    return;
+  }
+
+  if (kind == kFrameData) {
+    const std::uint64_t boot = r.u64();
+    const std::uint64_t seq = r.u64();
+    util::Bytes msg = r.bytes();
+    RecvState& st = recv_[from];
+    if (st.boot_id != boot) {
+      // Peer restarted (or first contact): fresh stream.
+      st.boot_id = boot;
+      st.next_seq = 1;
+    }
+    if (seq == st.next_seq) {
+      ++st.next_seq;
+      send_ack(from, boot, seq);
+      deliver_(from, msg);
+    } else {
+      // Duplicate (retransmission) or gap (a predecessor was lost; go-back-N
+      // replays in order). Either way, ack what we have contiguously.
+      send_ack(from, boot, st.next_seq - 1);
+    }
+    return;
+  }
+  // Unknown frame kind: drop.
+}
+
+void LinkManager::reset_peer(DaemonId peer) {
+  auto it = send_.find(peer);
+  if (it != send_.end()) {
+    if (it->second.timer_armed) sched_.cancel(it->second.rto_timer);
+    send_.erase(it);
+  }
+  recv_.erase(peer);
+}
+
+}  // namespace ss::gcs

@@ -1,0 +1,87 @@
+#include "gcs/link_crypto.h"
+
+#include <stdexcept>
+
+#include "crypto/exp_counter.h"
+#include "crypto/hmac.h"
+
+namespace ss::gcs {
+
+void DaemonKeyStore::provision(DaemonId daemon, crypto::RandomSource& rnd) {
+  if (keys_.contains(daemon)) return;
+  crypto::detail::ExpTallySuspender suspend;  // infrastructure, not protocol
+  crypto::Bignum priv = group_.random_share(rnd);
+  crypto::Bignum pub = group_.exp_g(priv);
+  keys_.emplace(daemon, std::make_pair(std::move(priv), std::move(pub)));
+}
+
+const crypto::Bignum& DaemonKeyStore::public_key(DaemonId daemon) const {
+  auto it = keys_.find(daemon);
+  if (it == keys_.end()) throw std::out_of_range("DaemonKeyStore: unknown daemon");
+  return it->second.second;
+}
+
+const crypto::Bignum& DaemonKeyStore::private_key(DaemonId daemon) const {
+  auto it = keys_.find(daemon);
+  if (it == keys_.end()) throw std::out_of_range("DaemonKeyStore: unknown daemon");
+  return it->second.first;
+}
+
+LinkCrypto::LinkCrypto(const DaemonKeyStore& store, DaemonId self, std::uint64_t seed)
+    : store_(store), self_(self), rnd_(seed, "link-crypto") {
+  if (!store_.has(self)) throw std::logic_error("LinkCrypto: self not provisioned");
+}
+
+LinkCrypto::PeerKeys& LinkCrypto::keys_for(DaemonId peer) {
+  auto it = peers_.find(peer);
+  if (it != peers_.end()) return it->second;
+
+  // Static DH: K = peer_pub ^ self_priv, identical at both ends.
+  crypto::detail::ExpTallySuspender suspend;
+  const crypto::Bignum shared =
+      store_.group().exp(store_.public_key(peer), store_.private_key(self_));
+  const util::Bytes ikm = shared.to_bytes();
+  PeerKeys keys;
+  keys.cipher = std::make_unique<crypto::Blowfish>(crypto::kdf_sha1(ikm, "link/cipher", 16));
+  keys.mac_key = crypto::kdf_sha1(ikm, "link/mac", 20);
+  return peers_.emplace(peer, std::move(keys)).first->second;
+}
+
+util::Bytes LinkCrypto::seal(DaemonId peer, const util::Bytes& frame) {
+  PeerKeys& keys = keys_for(peer);
+  util::Bytes iv(crypto::Blowfish::kBlockSize);
+  rnd_.fill(iv.data(), iv.size());
+  const util::Bytes ct = keys.cipher->encrypt_cbc(iv, frame);
+
+  util::Bytes mac_input = iv;
+  mac_input.insert(mac_input.end(), ct.begin(), ct.end());
+  const util::Bytes tag = crypto::hmac_sha1(keys.mac_key, mac_input);
+
+  util::Bytes out;
+  out.reserve(iv.size() + tag.size() + ct.size());
+  out.insert(out.end(), iv.begin(), iv.end());
+  out.insert(out.end(), tag.begin(), tag.end());
+  out.insert(out.end(), ct.begin(), ct.end());
+  return out;
+}
+
+util::Bytes LinkCrypto::open(DaemonId peer, const util::Bytes& sealed) {
+  PeerKeys& keys = keys_for(peer);
+  constexpr std::size_t kIv = crypto::Blowfish::kBlockSize;
+  constexpr std::size_t kTag = 20;
+  if (sealed.size() < kIv + kTag + crypto::Blowfish::kBlockSize) {
+    throw std::runtime_error("LinkCrypto: frame too short");
+  }
+  const util::Bytes iv(sealed.begin(), sealed.begin() + kIv);
+  const util::Bytes tag(sealed.begin() + kIv, sealed.begin() + kIv + kTag);
+  const util::Bytes ct(sealed.begin() + kIv + kTag, sealed.end());
+
+  util::Bytes mac_input = iv;
+  mac_input.insert(mac_input.end(), ct.begin(), ct.end());
+  if (!util::ct_equal(tag, crypto::hmac_sha1(keys.mac_key, mac_input))) {
+    throw std::runtime_error("LinkCrypto: authentication failure");
+  }
+  return keys.cipher->decrypt_cbc(iv, ct);
+}
+
+}  // namespace ss::gcs

@@ -1,0 +1,56 @@
+#include "gcs/mailbox.h"
+
+namespace ss::gcs {
+
+Mailbox::Mailbox(Daemon& daemon) : daemon_(daemon) {
+  id_ = daemon_.attach_client(this);
+  connected_ = true;
+}
+
+Mailbox::~Mailbox() {
+  if (connected_) disconnect();
+}
+
+void Mailbox::join(const GroupName& group) {
+  if (connected_) daemon_.client_join(id_, group);
+}
+
+void Mailbox::leave(const GroupName& group) {
+  if (connected_) daemon_.client_leave(id_, group);
+}
+
+void Mailbox::multicast(ServiceType service, const GroupName& group, util::Bytes payload,
+                        std::int16_t msg_type) {
+  if (connected_) daemon_.client_multicast(id_, service, group, msg_type, std::move(payload));
+}
+
+void Mailbox::unicast(const MemberId& to, const GroupName& group_context, util::Bytes payload,
+                      std::int16_t msg_type) {
+  if (connected_) daemon_.client_unicast(id_, to, group_context, msg_type, std::move(payload));
+}
+
+void Mailbox::disconnect() {
+  if (!connected_) return;
+  connected_ = false;
+  daemon_.detach_client(id_, /*graceful=*/true);
+}
+
+void Mailbox::kill() {
+  if (!connected_) return;
+  connected_ = false;
+  daemon_.detach_client(id_, /*graceful=*/false);
+}
+
+void Mailbox::deliver_message(const Message& msg) {
+  if (on_message_) on_message_(msg);
+}
+
+void Mailbox::deliver_view(const GroupView& view) {
+  if (on_view_) on_view_(view);
+}
+
+void Mailbox::deliver_transitional(const GroupName& group) {
+  if (on_transitional_) on_transitional_(group);
+}
+
+}  // namespace ss::gcs

@@ -1,0 +1,64 @@
+// Client library: the application-facing connection to a daemon.
+//
+// Mirrors the Spread client API: connect to a daemon, join/leave named
+// groups, multicast with a chosen service level, receive data messages and
+// membership views through callbacks. One Mailbox is one lightweight group
+// member (Spread "private group").
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "gcs/daemon.h"
+
+namespace ss::gcs {
+
+class Mailbox final : private ClientCallbacks {
+ public:
+  using MessageFn = std::function<void(const Message&)>;
+  using ViewFn = std::function<void(const GroupView&)>;
+  using TransitionalFn = std::function<void(const GroupName&)>;
+
+  /// Connects to a daemon immediately (the simulated IPC never fails while
+  /// the daemon runs).
+  explicit Mailbox(Daemon& daemon);
+  ~Mailbox() override;
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  const MemberId& id() const { return id_; }
+  bool connected() const { return connected_; }
+
+  void on_message(MessageFn fn) { on_message_ = std::move(fn); }
+  void on_view(ViewFn fn) { on_view_ = std::move(fn); }
+  void on_transitional(TransitionalFn fn) { on_transitional_ = std::move(fn); }
+
+  void join(const GroupName& group);
+  void leave(const GroupName& group);
+  void multicast(ServiceType service, const GroupName& group, util::Bytes payload,
+                 std::int16_t msg_type = 0);
+  /// Member-to-member private message (Cliques hands partial keys this way).
+  void unicast(const MemberId& to, const GroupName& group_context, util::Bytes payload,
+               std::int16_t msg_type = 0);
+
+  /// Graceful disconnect (leaves all groups).
+  void disconnect();
+  /// Simulated client crash: vanishes without leaving; survivors see a
+  /// Disconnect membership event.
+  void kill();
+
+ private:
+  void deliver_message(const Message& msg) override;
+  void deliver_view(const GroupView& view) override;
+  void deliver_transitional(const GroupName& group) override;
+
+  Daemon& daemon_;
+  MemberId id_;
+  bool connected_ = false;
+  MessageFn on_message_;
+  ViewFn on_view_;
+  TransitionalFn on_transitional_;
+};
+
+}  // namespace ss::gcs

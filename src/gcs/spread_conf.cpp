@@ -1,0 +1,115 @@
+#include "gcs/spread_conf.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ss::gcs {
+
+namespace {
+
+std::string strip(const std::string& line) {
+  const std::size_t comment = line.find('#');
+  std::string s = comment == std::string::npos ? line : line.substr(0, comment);
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("spread_conf line " + std::to_string(line_no) + ": " + what);
+}
+
+std::uint64_t parse_number(std::size_t line_no, const std::string& value) {
+  if (value.empty() || !std::all_of(value.begin(), value.end(),
+                                    [](char c) { return c >= '0' && c <= '9'; })) {
+    fail(line_no, "expected a non-negative integer, got '" + value + "'");
+  }
+  return std::stoull(value);
+}
+
+}  // namespace
+
+SpreadConf SpreadConf::parse(const std::string& text) {
+  SpreadConf conf;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = strip(raw);
+    if (line.empty()) continue;
+
+    std::istringstream fields(line);
+    std::string key, value, extra;
+    fields >> key >> value;
+    if (value.empty()) fail(line_no, "'" + key + "' needs a value");
+    if (fields >> extra) fail(line_no, "trailing tokens after '" + value + "'");
+
+    if (key == "daemon") {
+      const std::uint64_t id = parse_number(line_no, value);
+      if (id >= sim::kInvalidNode) fail(line_no, "daemon id out of range");
+      const DaemonId did = static_cast<DaemonId>(id);
+      if (std::find(conf.daemons.begin(), conf.daemons.end(), did) != conf.daemons.end()) {
+        fail(line_no, "duplicate daemon id " + value);
+      }
+      conf.daemons.push_back(did);
+    } else if (key == "heartbeat_ms") {
+      conf.timing.heartbeat_interval = parse_number(line_no, value) * sim::kMillisecond;
+    } else if (key == "fail_timeout_ms") {
+      conf.timing.fail_timeout = parse_number(line_no, value) * sim::kMillisecond;
+    } else if (key == "fd_check_ms") {
+      conf.timing.fd_check_interval = parse_number(line_no, value) * sim::kMillisecond;
+    } else if (key == "link_rto_ms") {
+      conf.timing.link_rto = parse_number(line_no, value) * sim::kMillisecond;
+    } else if (key == "gather_stable_ms") {
+      conf.timing.gather_stable = parse_number(line_no, value) * sim::kMillisecond;
+    } else if (key == "gather_timeout_ms") {
+      conf.timing.gather_timeout = parse_number(line_no, value) * sim::kMillisecond;
+    } else if (key == "recovery_timeout_ms") {
+      conf.timing.recovery_timeout = parse_number(line_no, value) * sim::kMillisecond;
+    } else if (key == "secure_links") {
+      if (value == "on") {
+        conf.secure_links = true;
+      } else if (value == "off") {
+        conf.secure_links = false;
+      } else {
+        fail(line_no, "secure_links must be 'on' or 'off'");
+      }
+    } else {
+      fail(line_no, "unknown key '" + key + "'");
+    }
+  }
+  if (conf.daemons.empty()) {
+    throw std::invalid_argument("spread_conf: no daemons configured");
+  }
+  std::sort(conf.daemons.begin(), conf.daemons.end());
+  return conf;
+}
+
+SpreadConf SpreadConf::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("spread_conf: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+std::string SpreadConf::to_string() const {
+  std::ostringstream out;
+  out << "# generated spread configuration\n";
+  for (DaemonId d : daemons) out << "daemon " << d << "\n";
+  out << "heartbeat_ms " << timing.heartbeat_interval / sim::kMillisecond << "\n";
+  out << "fail_timeout_ms " << timing.fail_timeout / sim::kMillisecond << "\n";
+  out << "fd_check_ms " << timing.fd_check_interval / sim::kMillisecond << "\n";
+  out << "link_rto_ms " << timing.link_rto / sim::kMillisecond << "\n";
+  out << "gather_stable_ms " << timing.gather_stable / sim::kMillisecond << "\n";
+  out << "gather_timeout_ms " << timing.gather_timeout / sim::kMillisecond << "\n";
+  out << "recovery_timeout_ms " << timing.recovery_timeout / sim::kMillisecond << "\n";
+  out << "secure_links " << (secure_links ? "on" : "off") << "\n";
+  return out.str();
+}
+
+}  // namespace ss::gcs

@@ -1,0 +1,45 @@
+// Daemon configuration file parser — the spread.conf equivalent.
+//
+// The real Spread daemons read a static configuration naming every daemon
+// and the protocol timeouts. This reproduction accepts the same idea in a
+// simple line format, so deployments (and tests) can describe a cluster as
+// data instead of code:
+//
+//     # comments and blank lines are ignored
+//     daemon 0            # one line per configured daemon id
+//     daemon 1
+//     daemon 2
+//     heartbeat_ms    5   # optional timing overrides
+//     fail_timeout_ms 20
+//     link_rto_ms     2
+//     gather_stable_ms 6
+//     secure_links    on  # seal daemon-to-daemon traffic (gcs/link_crypto.h)
+//
+// parse() throws std::invalid_argument with a line number on malformed
+// input; unknown keys are rejected (typos should fail loudly).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gcs/config.h"
+#include "gcs/types.h"
+
+namespace ss::gcs {
+
+struct SpreadConf {
+  std::vector<DaemonId> daemons;
+  TimingConfig timing;
+  bool secure_links = false;
+
+  /// Parses configuration text. Throws std::invalid_argument on errors.
+  static SpreadConf parse(const std::string& text);
+
+  /// Loads from a file; throws std::runtime_error if unreadable.
+  static SpreadConf load(const std::string& path);
+
+  /// Renders back to the file format (round-trips through parse()).
+  std::string to_string() const;
+};
+
+}  // namespace ss::gcs

@@ -1,0 +1,89 @@
+#include "gcs/types.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ss::gcs {
+
+std::string MemberId::to_string() const {
+  std::ostringstream os;
+  os << "#c" << client << "#d" << daemon;
+  return os.str();
+}
+
+void MemberId::encode(util::Writer& w) const {
+  w.u32(daemon);
+  w.u32(client);
+}
+
+MemberId MemberId::decode(util::Reader& r) {
+  MemberId m;
+  m.daemon = r.u32();
+  m.client = r.u32();
+  return m;
+}
+
+std::string ViewId::to_string() const {
+  std::ostringstream os;
+  os << "v" << round << "." << coordinator;
+  return os.str();
+}
+
+void ViewId::encode(util::Writer& w) const {
+  w.u64(round);
+  w.u32(coordinator);
+}
+
+ViewId ViewId::decode(util::Reader& r) {
+  ViewId v;
+  v.round = r.u64();
+  v.coordinator = r.u32();
+  return v;
+}
+
+std::string GroupViewId::to_string() const {
+  std::ostringstream os;
+  os << daemon_view.to_string() << "/" << change_seq;
+  return os.str();
+}
+
+void GroupViewId::encode(util::Writer& w) const {
+  daemon_view.encode(w);
+  w.u64(change_seq);
+}
+
+GroupViewId GroupViewId::decode(util::Reader& r) {
+  GroupViewId g;
+  g.daemon_view = ViewId::decode(r);
+  g.change_seq = r.u64();
+  return g;
+}
+
+std::string to_string(MembershipReason reason) {
+  switch (reason) {
+    case MembershipReason::kJoin: return "join";
+    case MembershipReason::kLeave: return "leave";
+    case MembershipReason::kDisconnect: return "disconnect";
+    case MembershipReason::kNetwork: return "network";
+    case MembershipReason::kSelfLeave: return "self-leave";
+  }
+  return "?";
+}
+
+std::string to_string(ServiceType service) {
+  switch (service) {
+    case ServiceType::kUnreliable: return "unreliable";
+    case ServiceType::kReliable: return "reliable";
+    case ServiceType::kFifo: return "fifo";
+    case ServiceType::kCausal: return "causal";
+    case ServiceType::kAgreed: return "agreed";
+    case ServiceType::kSafe: return "safe";
+  }
+  return "?";
+}
+
+bool GroupView::contains(const MemberId& m) const {
+  return std::find(members.begin(), members.end(), m) != members.end();
+}
+
+}  // namespace ss::gcs

@@ -1,0 +1,206 @@
+// Daemon-to-daemon protocol messages and their wire encodings.
+//
+// Everything except heartbeats travels over the reliable FIFO links
+// (gcs/link.h). Encodings use the bounds-checked serializer; decoding a
+// corrupt buffer throws util::SerialError, which the daemon treats as a
+// dropped packet.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "gcs/types.h"
+#include "util/serial.h"
+
+namespace ss::gcs {
+
+enum class MsgType : std::uint8_t {
+  kHeartbeat = 1,
+  kGatherAnnounce = 2,
+  kProposal = 3,
+  kStateExchange = 4,
+  kInstall = 5,
+  kRetransReq = 6,
+  kRetransData = 7,
+  kData = 8,
+  kOrderStamp = 9,
+  kUnicast = 10,
+  kDaemonKeyDist = 11,  // daemon-model group key distribution (gcs/daemon_key.h)
+};
+
+/// Periodic, unreliable. Carries the sender's installed view (foreign-view
+/// detection => merge trigger) and its contiguously-delivered agreed
+/// sequence number (stability input for SAFE delivery).
+struct HeartbeatMsg {
+  ViewId view;
+  std::uint64_t delivered_gseq = 0;
+
+  util::Bytes encode() const;
+  static HeartbeatMsg decode(util::Reader& r);
+};
+
+/// Membership, phase 1: "I am gathering for round R and can reach C".
+struct GatherAnnounceMsg {
+  std::uint64_t round = 0;
+  std::vector<DaemonId> candidates;
+
+  util::Bytes encode() const;
+  static GatherAnnounceMsg decode(util::Reader& r);
+};
+
+/// Membership, phase 2 (coordinator -> candidates).
+struct ProposalMsg {
+  ViewId view;
+  std::vector<DaemonId> members;
+
+  util::Bytes encode() const;
+  static ProposalMsg decode(util::Reader& r);
+};
+
+/// One member of a lightweight group, with the stamp that fixes its join
+/// order (group views list members oldest-first; key agreement derives the
+/// controller from that order).
+struct GroupMemberEntry {
+  MemberId member;
+  GroupViewId join_stamp;
+
+  friend auto operator<=>(const GroupMemberEntry&, const GroupMemberEntry&) = default;
+
+  void encode(util::Writer& w) const;
+  static GroupMemberEntry decode(util::Reader& r);
+};
+
+/// group name -> members ordered by join stamp.
+struct GroupTable {
+  std::map<GroupName, std::vector<GroupMemberEntry>> groups;
+
+  void encode(util::Writer& w) const;
+  static GroupTable decode(util::Reader& r);
+};
+
+/// An ordered multicast within a daemon view (client data or group-change
+/// control). `seq` is per-sender within the view.
+struct DataMsg {
+  ViewId view;
+  DaemonId sender = sim::kInvalidNode;
+  std::uint64_t seq = 0;
+  ServiceType service = ServiceType::kFifo;
+  bool control = false;  // true: payload is a GroupChange, not client data
+  GroupName group;
+  MemberId origin;
+  std::int16_t msg_type = 0;
+  /// Causal timestamp: per-daemon send counts (only for kCausal service).
+  std::vector<std::pair<DaemonId, std::uint64_t>> vclock;
+  util::Bytes payload;
+
+  util::Bytes encode() const;
+  static DataMsg decode(util::Reader& r);
+};
+
+/// Sequencer stamp assigning global order `gseq` to (sender, seq).
+struct OrderStampMsg {
+  ViewId view;
+  std::uint64_t gseq = 0;
+  DaemonId sender = sim::kInvalidNode;
+  std::uint64_t seq = 0;
+
+  util::Bytes encode() const;
+  void encode_into(util::Writer& w) const;
+  static OrderStampMsg decode(util::Reader& r);
+};
+
+/// The group-change operations carried by control DataMsgs.
+enum class GroupChangeKind : std::uint8_t { kJoin = 0, kLeave = 1, kDisconnect = 2 };
+
+struct GroupChangeMsg {
+  GroupChangeKind kind = GroupChangeKind::kJoin;
+  GroupName group;
+  MemberId member;
+
+  util::Bytes encode() const;
+  static GroupChangeMsg decode(util::Reader& r);
+};
+
+/// Membership, phase 3: each proposed member reports its old-view state.
+struct StateExchangeMsg {
+  ViewId proposed;
+  DaemonId from = sim::kInvalidNode;
+  ViewId old_view;
+  std::vector<DaemonId> old_members;
+  /// Highest (contiguous) per-sender sequence received in the old view.
+  std::vector<std::pair<DaemonId, std::uint64_t>> fifo_received;
+  /// Highest contiguously delivered agreed sequence.
+  std::uint64_t delivered_gseq = 0;
+  /// All order stamps known for the old view.
+  std::vector<OrderStampMsg> stamps;
+  GroupTable groups;
+
+  util::Bytes encode() const;
+  static StateExchangeMsg decode(util::Reader& r);
+};
+
+/// Per-old-view recovery plan inside an Install.
+struct OldViewPlan {
+  ViewId old_view;
+  std::vector<DaemonId> participants;  // reporters of this old view, in new view
+  std::vector<DaemonId> old_members;   // senders whose messages are recovered
+  std::vector<std::pair<DaemonId, std::uint64_t>> fifo_cut;  // per-sender target
+  /// Each participant's reported fifo_received (for holder lookup).
+  std::vector<std::pair<DaemonId, std::vector<std::pair<DaemonId, std::uint64_t>>>> holder_vecs;
+  /// Union of known stamps, sorted by gseq.
+  std::vector<OrderStampMsg> stamps;
+
+  void encode(util::Writer& w) const;
+  static OldViewPlan decode(util::Reader& r);
+};
+
+/// Membership, phase 4 (coordinator -> members): install this view after
+/// completing your plan.
+struct InstallMsg {
+  ViewId view;
+  std::vector<DaemonId> members;
+  std::vector<OldViewPlan> plans;
+  /// Union of all reported group tables (unfiltered; receivers drop members
+  /// whose daemon is not in `members`, deterministically).
+  GroupTable merged_groups;
+
+  util::Bytes encode() const;
+  static InstallMsg decode(util::Reader& r);
+};
+
+struct RetransReqMsg {
+  ViewId old_view;
+  std::vector<std::pair<DaemonId, std::uint64_t>> items;  // (sender, seq)
+
+  util::Bytes encode() const;
+  static RetransReqMsg decode(util::Reader& r);
+};
+
+struct RetransDataMsg {
+  ViewId old_view;
+  std::vector<DataMsg> msgs;
+
+  util::Bytes encode() const;
+  static RetransDataMsg decode(util::Reader& r);
+};
+
+/// Member-to-member private message, routed daemon-to-daemon directly.
+struct UnicastMsg {
+  MemberId from;
+  MemberId to;
+  GroupName group;  // informational context (e.g. key agreement group)
+  std::int16_t msg_type = 0;
+  util::Bytes payload;
+
+  util::Bytes encode() const;
+  static UnicastMsg decode(util::Reader& r);
+};
+
+/// Frames an inner message with its type tag.
+util::Bytes frame(MsgType type, const util::Bytes& body);
+/// Splits a framed message; throws util::SerialError on junk.
+std::pair<MsgType, util::Bytes> unframe(const util::Bytes& data);
+
+}  // namespace ss::gcs

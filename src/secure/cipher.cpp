@@ -1,0 +1,83 @@
+#include "secure/cipher.h"
+
+#include <stdexcept>
+
+#include "crypto/blowfish.h"
+#include "crypto/hmac.h"
+
+namespace ss::secure {
+
+void BlowfishCbcHmacSuite::rekey(const util::Bytes& key_material) {
+  if (key_material.size() < key_material_size()) {
+    throw std::invalid_argument("BlowfishCbcHmacSuite: short key material");
+  }
+  const util::Bytes cipher_key(key_material.begin(), key_material.begin() + kCipherKeyBytes);
+  mac_key_.assign(key_material.begin() + kCipherKeyBytes,
+                  key_material.begin() + kCipherKeyBytes + kMacKeyBytes);
+  bf_ = std::make_unique<crypto::Blowfish>(cipher_key);
+}
+
+util::Bytes BlowfishCbcHmacSuite::protect(const util::Bytes& plaintext, const util::Bytes& aad,
+                                          crypto::RandomSource& rnd) {
+  if (!bf_) throw std::logic_error("BlowfishCbcHmacSuite: no key installed");
+  util::Bytes iv(crypto::Blowfish::kBlockSize);
+  rnd.fill(iv.data(), iv.size());
+  const util::Bytes ct = bf_->encrypt_cbc(iv, plaintext);
+
+  // Encrypt-then-MAC over aad || iv || ciphertext.
+  util::Bytes mac_input = aad;
+  mac_input.insert(mac_input.end(), iv.begin(), iv.end());
+  mac_input.insert(mac_input.end(), ct.begin(), ct.end());
+  const util::Bytes tag = crypto::hmac_sha1(mac_key_, mac_input);
+
+  util::Bytes out;
+  out.reserve(iv.size() + ct.size() + tag.size());
+  out.insert(out.end(), iv.begin(), iv.end());
+  out.insert(out.end(), tag.begin(), tag.end());
+  out.insert(out.end(), ct.begin(), ct.end());
+  return out;
+}
+
+util::Bytes BlowfishCbcHmacSuite::unprotect(const util::Bytes& sealed, const util::Bytes& aad) {
+  if (!bf_) throw std::logic_error("BlowfishCbcHmacSuite: no key installed");
+  constexpr std::size_t kIv = crypto::Blowfish::kBlockSize;
+  if (sealed.size() < kIv + kTagBytes + crypto::Blowfish::kBlockSize) {
+    throw std::runtime_error("BlowfishCbcHmacSuite: sealed message too short");
+  }
+  const util::Bytes iv(sealed.begin(), sealed.begin() + kIv);
+  const util::Bytes tag(sealed.begin() + kIv, sealed.begin() + kIv + kTagBytes);
+  const util::Bytes ct(sealed.begin() + kIv + kTagBytes, sealed.end());
+
+  util::Bytes mac_input = aad;
+  mac_input.insert(mac_input.end(), iv.begin(), iv.end());
+  mac_input.insert(mac_input.end(), ct.begin(), ct.end());
+  const util::Bytes expected = crypto::hmac_sha1(mac_key_, mac_input);
+  if (!util::ct_equal(tag, expected)) {
+    throw std::runtime_error("BlowfishCbcHmacSuite: authentication failure");
+  }
+  return bf_->decrypt_cbc(iv, ct);
+}
+
+CipherRegistry& CipherRegistry::instance() {
+  static CipherRegistry registry = [] {
+    CipherRegistry r;
+    r.register_suite("blowfish-cbc-hmac", [] { return std::make_unique<BlowfishCbcHmacSuite>(); });
+    r.register_suite("null", [] { return std::make_unique<NullCipherSuite>(); });
+    return r;
+  }();
+  return registry;
+}
+
+void CipherRegistry::register_suite(const std::string& name, Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<CipherSuite> CipherRegistry::create(const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw std::out_of_range("CipherRegistry: unknown suite " + name);
+  }
+  return it->second();
+}
+
+}  // namespace ss::secure

@@ -1,0 +1,60 @@
+// Cliques key-agreement module: maps VS membership events onto the CLQ_API
+// operations per the paper's Table 1 and drives the resulting message flows.
+//
+//   Spread VS event          Group key operation
+//   ----------------         -------------------
+//   Join                     Join (controller handoff -> joiner broadcast)
+//   Leave / Disconnect       Leave (controller broadcast)
+//   Partition                Leave
+//   Merge                    Merge (chain -> partial -> factor-out -> bcast)
+//   Partition + Merge        Leave then Merge (handled as one merge whose
+//                            fresh factor locks out departed members)
+//
+// Role selection is fully deterministic from the view and this member's
+// keyed set (the members sharing its current key):
+//   - unkeyed members exist  -> the newest keyed member of the side holding
+//                               the group's oldest member initiates a merge;
+//   - pure leave             -> the newest surviving keyed member issues the
+//                               leave broadcast, falling back to the
+//                               recovery rekey when its partial set is
+//                               stale (cascaded controller loss, §5.4).
+#pragma once
+
+#include "cliques/clq.h"
+#include "secure/ka_module.h"
+
+namespace ss::secure {
+
+class CliquesKaModule final : public KeyAgreementModule {
+ public:
+  explicit CliquesKaModule(const KaModuleEnv& env);
+
+  std::string name() const override { return "cliques"; }
+  KaActions on_view(const gcs::GroupView& view) override;
+  KaActions on_message(const gcs::Message& msg) override;
+  KaActions request_refresh() override;
+  util::Bytes session_key(std::size_t len) const override;
+  bool has_key() const override { return ctx_ && ctx_->has_key() && keyed_current_; }
+  std::optional<crypto::Bignum> member_secret() const override;
+  std::optional<crypto::Bignum> member_commitment() const override;
+
+  /// Members sharing this member's current key (introspection for tests).
+  std::vector<gcs::MemberId> keyed_members() const;
+
+ private:
+  void reset_context();
+  /// Members of `view` that share our current key, in view (join) order.
+  std::vector<gcs::MemberId> keyed_in(const gcs::GroupView& view) const;
+  bool is_merge_initiator(const gcs::GroupView& view,
+                          const std::vector<gcs::MemberId>& keyed) const;
+  KaActions start_operation();
+
+  KaModuleEnv env_;
+  std::unique_ptr<cliques::ClqContext> ctx_;
+  gcs::GroupView view_;
+  bool have_view_ = false;
+  /// True when ctx_'s key corresponds to the current view's membership.
+  bool keyed_current_ = false;
+};
+
+}  // namespace ss::secure

@@ -1,0 +1,115 @@
+// Key-agreement module interface: the pluggable heart of secure Spread
+// (paper Section 5.2). A module turns View Synchrony membership events into
+// key-agreement protocol actions, consumes protocol messages, and announces
+// fresh group keys. Modules are chosen per group at join time; Cliques
+// (distributed) and CKD (centralized) ship built in, and new modules can be
+// registered at run time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cliques/key_directory.h"
+#include "crypto/dh.h"
+#include "gcs/types.h"
+#include "util/bytes.h"
+
+namespace ss::secure {
+
+/// Protocol message types used by key-agreement modules. Values live in the
+/// secure layer's reserved range and are disjoint per module so a module
+/// only sees its own traffic.
+enum class KaMsgType : std::int16_t {
+  kClqHandoff = -31001,
+  kClqBroadcast = -31002,
+  kClqMergeChain = -31003,
+  kClqMergePartial = -31004,
+  kClqFactorOut = -31005,
+  kCkdRound1 = -31011,
+  kCkdRound2 = -31012,
+  kCkdKeyDist = -31013,
+  kRefreshRequest = -31021,
+};
+
+/// What a module wants done after handling an event.
+struct KaActions {
+  struct Unicast {
+    gcs::MemberId to;
+    std::int16_t msg_type;
+    util::Bytes payload;
+  };
+  struct Multicast {
+    std::int16_t msg_type;
+    util::Bytes payload;
+  };
+  std::vector<Unicast> unicasts;
+  std::vector<Multicast> multicasts;
+  /// A new group key is available via session_key().
+  bool key_ready = false;
+
+  void merge(KaActions&& other);
+};
+
+class KeyAgreementModule {
+ public:
+  virtual ~KeyAgreementModule() = default;
+
+  virtual std::string name() const = 0;
+
+  /// A new VS view was installed for the group.
+  virtual KaActions on_view(const gcs::GroupView& view) = 0;
+
+  /// A protocol message addressed to this module (multicast delivered under
+  /// VS, or unicast pre-filtered by view tag).
+  virtual KaActions on_message(const gcs::Message& msg) = 0;
+
+  /// The application asked for a key refresh.
+  virtual KaActions request_refresh() = 0;
+
+  /// Key material for the current epoch (only valid after key_ready).
+  virtual util::Bytes session_key(std::size_t len) const = 0;
+  virtual bool has_key() const = 0;
+
+  /// The member's unique secret contribution to the current group key and
+  /// its public commitment g^{secret} — the basis for per-member
+  /// authentication (paper Section 2: a member authenticates by its secret
+  /// portion of the group secret). Centralized modules (CKD) have no such
+  /// contribution and return nullopt — exactly the limitation the paper
+  /// ascribes to controller-based key management (Section 2.2).
+  virtual std::optional<crypto::Bignum> member_secret() const { return std::nullopt; }
+  virtual std::optional<crypto::Bignum> member_commitment() const { return std::nullopt; }
+
+ protected:
+  KaActions none() { return {}; }
+};
+
+/// Everything a module needs from its host.
+struct KaModuleEnv {
+  const crypto::DhGroup* dh = nullptr;
+  cliques::KeyDirectory* directory = nullptr;
+  crypto::RandomSource* rnd = nullptr;
+  gcs::MemberId self;
+};
+
+/// Module registry: key agreement is selected by name per group.
+class KaRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<KeyAgreementModule>(const KaModuleEnv&)>;
+
+  /// Process-wide registry, preloaded with "cliques" and "ckd".
+  static KaRegistry& instance();
+
+  void register_module(const std::string& name, Factory factory);
+  std::unique_ptr<KeyAgreementModule> create(const std::string& name,
+                                             const KaModuleEnv& env) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace ss::secure

@@ -1,0 +1,426 @@
+#include "secure/secure_client.h"
+
+#include "crypto/hmac.h"
+#include "crypto/schnorr.h"
+#include "util/log.h"
+#include "util/serial.h"
+
+namespace ss::secure {
+
+namespace {
+
+constexpr std::size_t kKeyIdBytes = 8;
+constexpr std::size_t kOldCipherWindow = 4;
+
+/// Unicast protocol messages carry the view they belong to (multicasts get
+/// this from VS delivery for free).
+util::Bytes wrap_unicast(const gcs::GroupViewId& vid, const util::Bytes& payload) {
+  util::Writer w;
+  vid.encode(w);
+  w.bytes(payload);
+  return w.take();
+}
+
+std::pair<gcs::GroupViewId, util::Bytes> unwrap_unicast(const util::Bytes& raw) {
+  util::Reader r(raw);
+  gcs::GroupViewId vid = gcs::GroupViewId::decode(r);
+  return {vid, r.bytes()};
+}
+
+bool is_ka_type(std::int16_t t) { return t <= -31000 && t > -32000; }
+
+/// What a sender signature binds: group, key epoch, sender, type, payload.
+util::Bytes sig_binding(const gcs::GroupName& group, const util::Bytes& key_id,
+                        const gcs::MemberId& sender, std::int16_t app_type,
+                        const util::Bytes& payload) {
+  util::Writer w;
+  w.str(group);
+  w.bytes(key_id);
+  sender.encode(w);
+  w.u16(static_cast<std::uint16_t>(app_type));
+  w.bytes(payload);
+  return w.take();
+}
+
+}  // namespace
+
+SecureGroupClient::SecureGroupClient(gcs::Daemon& daemon, cliques::KeyDirectory& directory,
+                                     std::uint64_t seed, bool charge_crypto_time)
+    : fm_(daemon),
+      directory_(directory),
+      rnd_(seed, "secure-client"),
+      sched_(daemon.scheduler()),
+      charge_crypto_time_(charge_crypto_time) {
+  fm_.on_view([this](const gcs::GroupView& v) { handle_view(v); });
+  fm_.on_message([this](const gcs::Message& m) { handle_message(m); });
+  fm_.on_flush_request([this](const gcs::GroupName& g) {
+    // The secure layer has no old-view traffic to finish: acknowledge
+    // immediately (applications needing to drain can hook the flush layer
+    // directly in a custom build).
+    fm_.flush_ok(g);
+  });
+  // Make sure our long-term key pair exists before anyone needs it.
+  directory_.ensure(fm_.id(), rnd_);
+}
+
+void SecureGroupClient::join(const gcs::GroupName& group, SecureGroupConfig config) {
+  GroupState st;
+  st.config = config;
+  KaModuleEnv env;
+  env.dh = config.dh;
+  env.directory = &directory_;
+  env.rnd = &rnd_;
+  env.self = fm_.id();
+  st.ka = KaRegistry::instance().create(config.ka_module, env);
+  st.cipher = CipherRegistry::instance().create(config.cipher);
+  GroupState& slot = groups_[group] = std::move(st);
+  arm_refresh_timer(group, slot);
+  fm_.join(group);
+}
+
+void SecureGroupClient::leave(const gcs::GroupName& group) {
+  auto it = groups_.find(group);
+  if (it != groups_.end() && it->second.refresh_timer_armed) {
+    sched_.cancel(it->second.refresh_timer);
+    it->second.refresh_timer_armed = false;
+  }
+  fm_.leave(group);
+}
+
+void SecureGroupClient::arm_refresh_timer(const gcs::GroupName& group, GroupState& st) {
+  if (st.config.auto_refresh_interval == 0 || st.refresh_timer_armed) return;
+  st.refresh_timer_armed = true;
+  st.refresh_timer = sched_.after(st.config.auto_refresh_interval, [this, group] {
+    auto it = groups_.find(group);
+    if (it == groups_.end()) return;
+    it->second.refresh_timer_armed = false;
+    if (it->second.key_ready) {
+      ++it->second.stats.auto_refreshes;
+      refresh_key(group);
+    }
+    arm_refresh_timer(group, it->second);
+  });
+}
+
+SecureGroupStats SecureGroupClient::group_stats(const gcs::GroupName& group) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() ? it->second.stats : SecureGroupStats{};
+}
+
+void SecureGroupClient::send(const gcs::GroupName& group, util::Bytes plaintext,
+                             std::int16_t msg_type) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) throw std::logic_error("SecureGroupClient: not in group " + group);
+  if (msg_type <= kShareCommitType) {
+    throw std::invalid_argument("SecureGroupClient: reserved msg_type");
+  }
+  GroupState& st = it->second;
+  st.outbox.emplace_back(msg_type, std::move(plaintext));
+  if (st.key_ready) flush_outbox(group, st);
+}
+
+void SecureGroupClient::refresh_key(const gcs::GroupName& group) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  GroupState& st = it->second;
+  if (!st.in_rekey) {
+    st.in_rekey = true;
+    st.rekey_start = sched_.now();
+    st.cpu_acc = 0;
+    st.exp_acc = crypto::ExpTally{};
+  }
+  dispatch(group, st, run_module(st, [&] { return st.ka->request_refresh(); }));
+}
+
+bool SecureGroupClient::has_key(const gcs::GroupName& group) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() && it->second.key_ready;
+}
+
+std::uint64_t SecureGroupClient::key_epoch(const gcs::GroupName& group) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() ? it->second.epoch : 0;
+}
+
+util::Bytes SecureGroupClient::key_material(const gcs::GroupName& group, std::size_t len) const {
+  auto it = groups_.find(group);
+  if (it == groups_.end() || !it->second.key_ready) {
+    throw std::logic_error("SecureGroupClient: no key for " + group);
+  }
+  return it->second.ka->session_key(len);
+}
+
+const gcs::GroupView* SecureGroupClient::current_view(const gcs::GroupName& group) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() && it->second.have_view ? &it->second.view : nullptr;
+}
+
+const std::optional<RekeyStats>& SecureGroupClient::last_rekey(
+    const gcs::GroupName& group) const {
+  static const std::optional<RekeyStats> kNone;
+  auto it = groups_.find(group);
+  return it != groups_.end() ? it->second.last_rekey : kNone;
+}
+
+KaActions SecureGroupClient::run_module(GroupState& st, const std::function<KaActions()>& call) {
+  const crypto::ExpTally before = crypto::exp_tally();
+  KaActions actions;
+  {
+    sim::ComputeTimer timer(sched_, charge_crypto_time_);
+    try {
+      actions = call();
+    } catch (const std::exception& e) {
+      // A failed protocol step (e.g. a member without credentials) must not
+      // take the client down; the next membership event restarts agreement.
+      SS_LOG_WARN("secure", "key agreement step failed: ", e.what());
+      actions = KaActions{};
+    }
+    st.cpu_acc += static_cast<double>(timer.elapsed_us()) * 1e-6;
+  }
+  st.exp_acc += crypto::exp_tally() - before;
+  return actions;
+}
+
+void SecureGroupClient::handle_view(const gcs::GroupView& view) {
+  auto it = groups_.find(view.group);
+  if (it == groups_.end()) return;
+
+  if (view.reason == gcs::MembershipReason::kSelfLeave) {
+    groups_.erase(it);
+    if (on_view_) on_view_(view);
+    return;
+  }
+
+  GroupState& st = it->second;
+  st.view = view;
+  st.have_view = true;
+  st.key_ready = false;
+  // Old-view keys can never validate new-view traffic: retire them all.
+  st.old_ciphers.clear();
+  st.inbox_pending.clear();
+
+  // A view change (re)starts the agreement — this is the cascading-events
+  // rule: whatever was in flight is abandoned for the newest membership.
+  st.in_rekey = true;
+  st.rekey_start = sched_.now();
+  st.cpu_acc = 0;
+  st.exp_acc = crypto::ExpTally{};
+
+  if (on_view_) on_view_(view);
+  dispatch(view.group, st, run_module(st, [&] { return st.ka->on_view(view); }));
+}
+
+void SecureGroupClient::handle_message(const gcs::Message& msg) {
+  auto it = groups_.find(msg.group);
+  if (it == groups_.end()) return;
+  GroupState& st = it->second;
+
+  if (msg.msg_type == kSecureDataType) {
+    deliver_ciphertext(st, msg, /*buffer_unknown=*/true);
+    return;
+  }
+
+  if (is_ka_type(msg.msg_type)) {
+    gcs::Message inner = msg;
+    if (!st.have_view) return;
+    // Unicasts carry an explicit view tag; multicasts are VS-delivered with
+    // the view they were sent in. Either way: drop anything stale. A
+    // unicast is recognized by its default-constructed view id (the GCS
+    // only stamps multicast deliveries).
+    if (msg.view_id == gcs::GroupViewId{}) {
+      try {
+        auto [vid, payload] = unwrap_unicast(msg.payload);
+        if (vid != st.view.view_id) return;
+        inner.payload = std::move(payload);
+      } catch (const util::SerialError&) {
+        return;
+      }
+    } else if (msg.view_id != st.view.view_id) {
+      return;
+    }
+    dispatch(msg.group, st, run_module(st, [&] { return st.ka->on_message(inner); }));
+  }
+}
+
+void SecureGroupClient::dispatch(const gcs::GroupName& group, GroupState& st,
+                                 KaActions actions) {
+  for (const auto& u : actions.unicasts) {
+    fm_.unicast(u.to, group, wrap_unicast(st.view.view_id, u.payload), u.msg_type);
+  }
+  for (const auto& m : actions.multicasts) {
+    // FIFO suffices for key agreement traffic (paper Section 5.3).
+    if (!fm_.send(gcs::ServiceType::kFifo, group, m.payload, m.msg_type)) {
+      SS_LOG_DEBUG("secure", "KA multicast blocked by flush in ", group,
+                   " (cascade); agreement will restart");
+    }
+  }
+  if (actions.key_ready) apply_new_key(group, st);
+}
+
+util::Bytes SecureGroupClient::make_aad(const gcs::GroupName& group, const util::Bytes& key_id) {
+  util::Writer w;
+  w.str(group);
+  w.bytes(key_id);
+  return w.take();
+}
+
+void SecureGroupClient::apply_new_key(const gcs::GroupName& group, GroupState& st) {
+  const util::Bytes material = st.ka->session_key(st.cipher->key_material_size());
+  // Key id derived from the key itself: consistent at every member with no
+  // counter agreement needed.
+  const util::Bytes new_key_id = crypto::kdf_sha1(material, "key-id", kKeyIdBytes);
+
+  // Retire the current cipher (under its OLD id) into the decrypt window
+  // and install the new key in a fresh suite instance.
+  if (st.key_ready) {
+    st.old_ciphers.emplace_front(st.key_id, std::move(st.cipher));
+    st.cipher = CipherRegistry::instance().create(st.config.cipher);
+    while (st.old_ciphers.size() > kOldCipherWindow) st.old_ciphers.pop_back();
+  }
+  st.cipher->rekey(material);
+  st.key_id = new_key_id;
+  st.key_ready = true;
+  ++st.epoch;
+  ++st.stats.rekeys;
+
+  if (st.in_rekey) {
+    RekeyStats stats;
+    stats.epoch = st.epoch;
+    stats.reason = st.view.reason;
+    stats.group_size = st.view.members.size();
+    stats.started_at = st.rekey_start;
+    stats.completed_at = sched_.now();
+    stats.cpu_seconds = st.cpu_acc;
+    stats.exps = st.exp_acc;
+    st.last_rekey = stats;
+    st.in_rekey = false;
+    if (on_rekey_) on_rekey_(group, stats);
+  }
+
+  // Sender authentication: refresh our share secret/commitment for the new
+  // epoch and announce the commitment under the group key. Per-sender FIFO
+  // guarantees receivers see the commitment before any message we sign.
+  if (st.config.authenticate_senders) {
+    st.my_secret = st.ka->member_secret();
+    st.my_commitment = st.ka->member_commitment();
+    if (st.my_commitment) {
+      st.outbox.emplace_front(kShareCommitType, st.my_commitment->to_bytes());
+    } else {
+      SS_LOG_WARN("secure", "module '", st.config.ka_module,
+                  "' has no member contribution; sending unsigned in ", group);
+    }
+  }
+
+  // Traffic that raced ahead of our key: retry now.
+  std::deque<gcs::Message> pending = std::move(st.inbox_pending);
+  st.inbox_pending.clear();
+  for (const auto& msg : pending) deliver_ciphertext(st, msg, /*buffer_unknown=*/false);
+
+  flush_outbox(group, st);
+}
+
+void SecureGroupClient::flush_outbox(const gcs::GroupName& group, GroupState& st) {
+  while (!st.outbox.empty()) {
+    auto& [msg_type, plaintext] = st.outbox.front();
+
+    // Inner wrapper: [flags][signature?][payload]. Commitment announcements
+    // are never themselves signed (they bootstrap the signatures).
+    util::Writer inner;
+    const bool sign = st.config.authenticate_senders && st.my_secret && st.my_commitment &&
+                      msg_type != kShareCommitType;
+    inner.u8(sign ? 1 : 0);
+    if (sign) {
+      const crypto::SchnorrSignature sig =
+          crypto::schnorr_sign(*st.config.dh, *st.my_secret, *st.my_commitment,
+                               sig_binding(group, st.key_id, fm_.id(), msg_type, plaintext),
+                               rnd_);
+      inner.bytes(sig.encode());
+    }
+    inner.bytes(plaintext);
+
+    util::Writer w;
+    w.bytes(st.key_id);
+    w.u16(static_cast<std::uint16_t>(msg_type));
+    w.bytes(st.cipher->protect(inner.take(), make_aad(group, st.key_id), rnd_));
+    if (!fm_.send(st.config.data_service, group, w.take(), kSecureDataType)) {
+      return;  // flushing: keep queued; the next key event retries
+    }
+    ++st.stats.sealed;
+    st.outbox.pop_front();
+  }
+}
+
+void SecureGroupClient::deliver_ciphertext(GroupState& st, const gcs::Message& msg,
+                                           bool buffer_unknown) {
+  util::Bytes key_id;
+  std::int16_t app_type = 0;
+  util::Bytes sealed;
+  try {
+    util::Reader r(msg.payload);
+    key_id = r.bytes();
+    app_type = static_cast<std::int16_t>(r.u16());
+    sealed = r.bytes();
+  } catch (const util::SerialError&) {
+    ++st.stats.dropped_undecodable;
+    return;
+  }
+
+  CipherSuite* suite = nullptr;
+  if (st.key_ready && key_id == st.key_id) {
+    suite = st.cipher.get();
+  } else {
+    for (auto& [id, cipher] : st.old_ciphers) {
+      if (id == key_id) {
+        suite = cipher.get();
+        break;
+      }
+    }
+  }
+  if (suite == nullptr) {
+    if (buffer_unknown) st.inbox_pending.push_back(msg);
+    return;
+  }
+
+  try {
+    const util::Bytes inner = suite->unprotect(sealed, make_aad(msg.group, key_id));
+    util::Reader r(inner);
+    const bool signed_msg = r.u8() != 0;
+    std::optional<crypto::SchnorrSignature> sig;
+    if (signed_msg) sig = crypto::SchnorrSignature::decode(r.bytes());
+    util::Bytes payload = r.bytes();
+
+    if (app_type == kShareCommitType) {
+      // Commitment announcement: record g^{N_sender} for this key epoch.
+      st.commitments[msg.sender] = {key_id, crypto::Bignum::from_bytes(payload)};
+      return;
+    }
+
+    SecureMessage out;
+    out.group = msg.group;
+    out.sender = msg.sender;
+    out.msg_type = app_type;
+    out.plaintext = std::move(payload);
+    out.epoch = st.epoch;
+    if (sig) {
+      const auto cit = st.commitments.find(msg.sender);
+      if (cit == st.commitments.end() || cit->second.first != key_id ||
+          !crypto::schnorr_verify(*st.config.dh, cit->second.second,
+                                  sig_binding(msg.group, key_id, msg.sender, app_type,
+                                              out.plaintext),
+                                  *sig)) {
+        ++st.stats.dropped_unauthentic;
+        SS_LOG_WARN("secure", "bad sender signature in ", msg.group, " from ",
+                    msg.sender.to_string());
+        return;
+      }
+      out.authenticated = true;
+    }
+    ++st.stats.opened;
+    if (on_message_) on_message_(out);
+  } catch (const std::exception& e) {
+    ++st.stats.dropped_unauthentic;
+    SS_LOG_WARN("secure", "dropping unauthentic message in ", msg.group, ": ", e.what());
+  }
+}
+
+}  // namespace ss::secure

@@ -1,0 +1,198 @@
+// Secure Spread: the client-side secure group communication layer
+// (paper Section 5).
+//
+// Architecture (Figure 2): the application talks to this layer; it runs on
+// the Flush layer's View Synchrony over the GCS client. Each group chooses
+// its key-agreement module and cipher suite at join time (Section 5.2) —
+// different groups may simultaneously use Cliques and CKD. The core is an
+// event loop: VS views and protocol messages go to the group's module,
+// whose actions (unicasts, multicasts, fresh keys) this layer executes.
+//
+// Data privacy/integrity: payloads are sealed by the group's cipher suite
+// (encrypt-then-MAC) under the current epoch key. Keys are identified on
+// the wire by a key id derived from the key material itself, so members
+// never need to agree on a counter; a short window of recent keys absorbs
+// messages that raced a refresh. Messages are only ever delivered under the
+// view they were sent in (VS), so a view change cleanly retires old keys.
+//
+// Cascading membership events (Section 5.4): every new view aborts any
+// agreement in progress and restarts the module against the latest
+// membership; stale protocol messages are discarded by view tags.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cliques/key_directory.h"
+#include "crypto/drbg.h"
+#include "crypto/exp_counter.h"
+#include "flush/flush.h"
+#include "secure/cipher.h"
+#include "secure/ka_module.h"
+#include "sim/compute_timer.h"
+
+namespace ss::secure {
+
+/// Application data messages travel under this flush-level type.
+constexpr std::int16_t kSecureDataType = -30001;
+/// Internal (sealed) share-commitment announcements for sender
+/// authentication; never surfaced to the application.
+constexpr std::int16_t kShareCommitType = -30002;
+
+struct SecureGroupConfig {
+  std::string ka_module = "cliques";
+  std::string cipher = "blowfish-cbc-hmac";
+  /// DH group for the key agreement (ss512 = the paper's modulus size).
+  const crypto::DhGroup* dh = &crypto::DhGroup::ss512();
+  /// Service level for application data.
+  gcs::ServiceType data_service = gcs::ServiceType::kFifo;
+  /// If nonzero, this member periodically triggers a key refresh (the
+  /// paper's "refresh their key occasionally", Section 5). Typically
+  /// enabled on one member per group.
+  sim::Time auto_refresh_interval = 0;
+  /// Per-member sender authentication (paper Section 2, third goal): each
+  /// message carries a Schnorr signature under the sender's secret
+  /// contribution to the group key; the public commitments g^{N_i} are
+  /// announced under the group key at every epoch. Requires a contributory
+  /// module — with CKD, messages go out unsigned (the paper's stated
+  /// limitation of centralized key management, Section 2.2).
+  bool authenticate_senders = false;
+};
+
+/// Per-group data-path counters.
+struct SecureGroupStats {
+  std::uint64_t sealed = 0;            // messages encrypted and sent
+  std::uint64_t opened = 0;            // messages authenticated and delivered
+  std::uint64_t dropped_unauthentic = 0;
+  std::uint64_t dropped_undecodable = 0;
+  std::uint64_t rekeys = 0;
+  std::uint64_t auto_refreshes = 0;
+};
+
+/// Measurements for one completed key agreement (drives Figures 3-4).
+struct RekeyStats {
+  std::uint64_t epoch = 0;
+  gcs::MembershipReason reason = gcs::MembershipReason::kNetwork;
+  std::size_t group_size = 0;
+  sim::Time started_at = 0;
+  sim::Time completed_at = 0;
+  /// This member's crypto CPU seconds during the agreement.
+  double cpu_seconds = 0;
+  /// This member's exponentiations during the agreement.
+  crypto::ExpTally exps;
+};
+
+/// A decrypted application message.
+struct SecureMessage {
+  gcs::GroupName group;
+  gcs::MemberId sender;
+  std::int16_t msg_type = 0;
+  util::Bytes plaintext;
+  std::uint64_t epoch = 0;
+  /// True iff the message carried a valid Schnorr signature under the
+  /// sender's announced share commitment (authenticate_senders mode).
+  bool authenticated = false;
+};
+
+class SecureGroupClient {
+ public:
+  using MessageFn = std::function<void(const SecureMessage&)>;
+  using ViewFn = std::function<void(const gcs::GroupView&)>;
+  using RekeyFn = std::function<void(const gcs::GroupName&, const RekeyStats&)>;
+
+  /// `charge_crypto_time=true` advances the simulation clock by the real
+  /// CPU time of cryptographic work, so end-to-end virtual latencies include
+  /// exponentiation cost (used by the Figure 3 harness).
+  SecureGroupClient(gcs::Daemon& daemon, cliques::KeyDirectory& directory, std::uint64_t seed,
+                    bool charge_crypto_time = false);
+
+  const gcs::MemberId& id() const { return fm_.id(); }
+
+  void on_message(MessageFn fn) { on_message_ = std::move(fn); }
+  void on_view(ViewFn fn) { on_view_ = std::move(fn); }
+  void on_rekey(RekeyFn fn) { on_rekey_ = std::move(fn); }
+
+  /// Joins a secure group with the given module/cipher configuration.
+  void join(const gcs::GroupName& group, SecureGroupConfig config = {});
+  void leave(const gcs::GroupName& group);
+  void disconnect() { fm_.disconnect(); }
+
+  /// Sends private data to the group. Queued until the group key is ready.
+  void send(const gcs::GroupName& group, util::Bytes plaintext, std::int16_t msg_type = 0);
+
+  /// Triggers a group key refresh (forwarded to the controller if needed).
+  void refresh_key(const gcs::GroupName& group);
+
+  bool has_key(const gcs::GroupName& group) const;
+  std::uint64_t key_epoch(const gcs::GroupName& group) const;
+  /// Raw key material (tests verify all members agree).
+  util::Bytes key_material(const gcs::GroupName& group, std::size_t len) const;
+  const gcs::GroupView* current_view(const gcs::GroupName& group) const;
+  /// Stats of the most recent completed rekey.
+  const std::optional<RekeyStats>& last_rekey(const gcs::GroupName& group) const;
+  /// Data-path counters for a group (zeros for unknown groups).
+  SecureGroupStats group_stats(const gcs::GroupName& group) const;
+
+ private:
+  struct GroupState {
+    SecureGroupConfig config;
+    std::unique_ptr<KeyAgreementModule> ka;
+    std::unique_ptr<CipherSuite> cipher;
+    util::Bytes key_id;  // current key identifier (8 bytes)
+    /// Recent retired ciphers, newest first (absorbs refresh races).
+    std::deque<std::pair<util::Bytes, std::unique_ptr<CipherSuite>>> old_ciphers;
+    bool key_ready = false;
+    std::uint64_t epoch = 0;
+    gcs::GroupView view;
+    bool have_view = false;
+
+    /// Plaintext queued while no key is available / sends are blocked.
+    std::deque<std::pair<std::int16_t, util::Bytes>> outbox;
+    /// Ciphertext that arrived before our key (sender keyed first).
+    std::deque<gcs::Message> inbox_pending;
+
+    // Rekey instrumentation.
+    bool in_rekey = false;
+    sim::Time rekey_start = 0;
+    double cpu_acc = 0;
+    crypto::ExpTally exp_acc;
+    std::optional<RekeyStats> last_rekey;
+
+    SecureGroupStats stats;
+    sim::EventId refresh_timer = 0;
+    bool refresh_timer_armed = false;
+
+    /// Sender-authentication state (authenticate_senders mode): announced
+    /// commitments g^{N_sender}, keyed by the key id they were sealed under.
+    std::map<gcs::MemberId, std::pair<util::Bytes, crypto::Bignum>> commitments;
+    std::optional<crypto::Bignum> my_secret;
+    std::optional<crypto::Bignum> my_commitment;
+  };
+
+  void handle_view(const gcs::GroupView& view);
+  void handle_message(const gcs::Message& msg);
+  /// Runs a module call with CPU/exponentiation instrumentation.
+  KaActions run_module(GroupState& st, const std::function<KaActions()>& call);
+  void dispatch(const gcs::GroupName& group, GroupState& st, KaActions actions);
+  void apply_new_key(const gcs::GroupName& group, GroupState& st);
+  void flush_outbox(const gcs::GroupName& group, GroupState& st);
+  void deliver_ciphertext(GroupState& st, const gcs::Message& msg, bool buffer_unknown);
+  void arm_refresh_timer(const gcs::GroupName& group, GroupState& st);
+  static util::Bytes make_aad(const gcs::GroupName& group, const util::Bytes& key_id);
+
+  flush::FlushMailbox fm_;
+  cliques::KeyDirectory& directory_;
+  crypto::HmacDrbg rnd_;
+  sim::Scheduler& sched_;
+  bool charge_crypto_time_;
+  std::map<gcs::GroupName, GroupState> groups_;
+  MessageFn on_message_;
+  ViewFn on_view_;
+  RekeyFn on_rekey_;
+};
+
+}  // namespace ss::secure

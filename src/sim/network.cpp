@@ -1,0 +1,110 @@
+#include "sim/network.h"
+
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace ss::sim {
+
+SimNetwork::SimNetwork(Scheduler& sched, std::uint64_t seed, LinkModel default_model)
+    : sched_(sched), rng_(seed), default_model_(default_model) {}
+
+NodeId SimNetwork::add_node(NetNode* node) {
+  nodes_.push_back(node);
+  up_.push_back(true);
+  component_.push_back(0);
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void SimNetwork::rebind(NodeId id, NetNode* node) {
+  if (id >= nodes_.size()) throw std::out_of_range("SimNetwork::rebind: bad node");
+  nodes_[id] = node;
+}
+
+const LinkModel& SimNetwork::model_for(NodeId a, NodeId b) const {
+  auto it = link_overrides_.find({a, b});
+  return it != link_overrides_.end() ? it->second : default_model_;
+}
+
+void SimNetwork::send(NodeId from, NodeId to, util::Bytes payload) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    throw std::out_of_range("SimNetwork::send: bad node id");
+  }
+  ++stats_.packets_sent;
+  stats_.bytes_sent += payload.size();
+  if (tap_) tap_(from, to, payload);
+
+  if (!up_[from] || !up_[to]) {
+    ++stats_.packets_dropped_down;
+    return;
+  }
+  if (!connected(from, to)) {
+    ++stats_.packets_dropped_partition;
+    return;
+  }
+  const LinkModel& model = model_for(from, to);
+  if (model.loss > 0.0 && rng_.chance(model.loss)) {
+    ++stats_.packets_dropped_loss;
+    return;
+  }
+
+  Time latency = model.base_latency;
+  if (model.jitter > 0) latency += rng_.below(model.jitter + 1);
+  Time deliver_at = sched_.now() + latency;
+
+  // Clamp per-direction delivery times monotonic: switched-LAN FIFO.
+  Time& last = last_delivery_[{from, to}];
+  if (deliver_at < last) deliver_at = last;
+  last = deliver_at;
+
+  sched_.at(deliver_at, [this, from, to, payload = std::move(payload)]() {
+    // Re-check at delivery: the destination may have crashed or been
+    // partitioned away while the packet was in flight.
+    if (!up_[to] || !connected(from, to)) {
+      ++stats_.packets_dropped_partition;
+      return;
+    }
+    ++stats_.packets_delivered;
+    nodes_[to]->on_packet(from, payload);
+  });
+}
+
+void SimNetwork::crash(NodeId id) {
+  if (id >= up_.size()) throw std::out_of_range("SimNetwork::crash: bad node");
+  up_[id] = false;
+}
+
+void SimNetwork::recover(NodeId id) {
+  if (id >= up_.size()) throw std::out_of_range("SimNetwork::recover: bad node");
+  up_[id] = true;
+}
+
+bool SimNetwork::is_up(NodeId id) const { return id < up_.size() && up_[id]; }
+
+void SimNetwork::partition(const std::vector<std::vector<NodeId>>& components) {
+  // Component 0 is the implicit "everyone else" bucket.
+  for (auto& c : component_) c = 0;
+  std::uint32_t tag = 1;
+  for (const auto& comp : components) {
+    for (NodeId n : comp) {
+      if (n >= component_.size()) throw std::out_of_range("SimNetwork::partition: bad node");
+      component_[n] = tag;
+    }
+    ++tag;
+  }
+}
+
+void SimNetwork::heal() {
+  for (auto& c : component_) c = 0;
+}
+
+bool SimNetwork::connected(NodeId a, NodeId b) const {
+  if (a >= component_.size() || b >= component_.size()) return false;
+  return component_[a] == component_[b];
+}
+
+void SimNetwork::set_link(NodeId a, NodeId b, LinkModel model) {
+  link_overrides_[{a, b}] = model;
+}
+
+}  // namespace ss::sim

@@ -1,0 +1,106 @@
+// Simulated asynchronous network with failures.
+//
+// The paper ran on a LAN of three machines; its failure model is fail-stop /
+// crash-and-recover processors plus network partitions and merges (Section
+// 1, Section 5.4). This module provides exactly that substrate: unreliable
+// unicast datagrams between nodes with configurable latency, jitter and
+// loss, plus crash/recover of nodes and arbitrary partition layouts that can
+// change at any instant. Reliability is built above this (gcs/link.h), as in
+// the real system.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace ss::sim {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Receiver interface for raw datagrams.
+class NetNode {
+ public:
+  virtual ~NetNode() = default;
+  virtual void on_packet(NodeId from, const util::Bytes& payload) = 0;
+};
+
+/// Per-link timing/loss model.
+struct LinkModel {
+  Time base_latency = 150;  // microseconds (LAN-ish)
+  Time jitter = 50;         // uniform extra [0, jitter]
+  double loss = 0.0;        // drop probability per packet
+};
+
+struct NetworkStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dropped_loss = 0;
+  std::uint64_t packets_dropped_partition = 0;
+  std::uint64_t packets_dropped_down = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+/// Datagram network over the scheduler. Per-pair delivery is FIFO (latency
+/// is clamped monotonic per direction), matching a switched LAN; the
+/// reliable-link layer above copes with losses.
+class SimNetwork {
+ public:
+  SimNetwork(Scheduler& sched, std::uint64_t seed, LinkModel default_model = {});
+
+  /// Registers a receiver; the network does not own it. Returns its address.
+  NodeId add_node(NetNode* node);
+
+  /// Replaces the receiver for an id (daemon restart after crash).
+  void rebind(NodeId id, NetNode* node);
+
+  /// Sends a datagram. May be lost, never duplicated or corrupted.
+  void send(NodeId from, NodeId to, util::Bytes payload);
+
+  // --- fault injection ---
+  void crash(NodeId id);
+  void recover(NodeId id);
+  bool is_up(NodeId id) const;
+
+  /// Installs a partition: nodes can communicate iff they share a component.
+  /// Nodes not mentioned form one implicit extra component together.
+  void partition(const std::vector<std::vector<NodeId>>& components);
+  /// Removes all partitions.
+  void heal();
+  bool connected(NodeId a, NodeId b) const;
+
+  /// Overrides the model for one directed link.
+  void set_link(NodeId a, NodeId b, LinkModel model);
+  void set_default_model(LinkModel model) { default_model_ = model; }
+
+  const NetworkStats& stats() const { return stats_; }
+  Scheduler& scheduler() { return sched_; }
+
+  /// Wiretap: observes every datagram as it is sent (tests use this to
+  /// verify confidentiality of encrypted links, or to inject adversarial
+  /// behaviour). Pass nullptr to remove.
+  using TapFn = std::function<void(NodeId from, NodeId to, const util::Bytes& payload)>;
+  void set_tap(TapFn tap) { tap_ = std::move(tap); }
+
+ private:
+  const LinkModel& model_for(NodeId a, NodeId b) const;
+
+  Scheduler& sched_;
+  util::Rng rng_;
+  LinkModel default_model_;
+  std::vector<NetNode*> nodes_;
+  std::vector<bool> up_;
+  std::vector<std::uint32_t> component_;  // partition component per node
+  std::map<std::pair<NodeId, NodeId>, LinkModel> link_overrides_;
+  std::map<std::pair<NodeId, NodeId>, Time> last_delivery_;  // FIFO clamp
+  NetworkStats stats_;
+  TapFn tap_;
+};
+
+}  // namespace ss::sim

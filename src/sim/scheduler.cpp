@@ -1,0 +1,67 @@
+#include "sim/scheduler.h"
+
+namespace ss::sim {
+
+EventId Scheduler::at(Time t, EventFn fn) {
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  events_.emplace(std::make_pair(t, id), Event{t, id, std::move(fn), false});
+  return id;
+}
+
+void Scheduler::cancel(EventId id) {
+  // Linear in queue size only for the rare cancel of an unknown key; events
+  // are keyed by (time, id) so we must scan. Callers that cancel frequently
+  // (timers) hold their id and we find it by value scan — acceptable at
+  // simulation scales (queues of hundreds).
+  for (auto& [key, ev] : events_) {
+    if (key.second == id) {
+      if (!ev.cancelled) {
+        ev.cancelled = true;
+        ++cancelled_;
+      }
+      return;
+    }
+  }
+}
+
+bool Scheduler::step() {
+  while (!events_.empty()) {
+    auto it = events_.begin();
+    Event ev = std::move(it->second);
+    events_.erase(it);
+    if (ev.cancelled) {
+      --cancelled_;
+      continue;
+    }
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(Time t) {
+  while (!events_.empty() && events_.begin()->first.first <= t) {
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+bool Scheduler::run_until_condition(const std::function<bool()>& pred, Time deadline) {
+  while (!pred()) {
+    if (events_.empty() || events_.begin()->first.first > deadline) {
+      if (now_ < deadline && events_.empty()) now_ = deadline;
+      return pred();
+    }
+    step();
+  }
+  return true;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace ss::sim

@@ -1,0 +1,76 @@
+// Discrete-event scheduler: the virtual clock the whole stack runs on.
+//
+// Everything above the simulated network (daemons, clients, key agreement)
+// is event-driven: actors schedule callbacks, the scheduler executes them in
+// timestamp order. Time is virtual microseconds, so tests and benches are
+// deterministic and partitions/failures can be injected at exact instants.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+
+namespace ss::sim {
+
+/// Virtual time in microseconds since simulation start.
+using Time = std::uint64_t;
+
+constexpr Time kMicrosecond = 1;
+constexpr Time kMillisecond = 1000;
+constexpr Time kSecond = 1000 * 1000;
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class Scheduler {
+ public:
+  Time now() const { return now_; }
+
+  /// Schedules fn at absolute virtual time t (clamped to now).
+  EventId at(Time t, EventFn fn);
+  /// Schedules fn `delay` after now.
+  EventId after(Time delay, EventFn fn) { return at(now_ + delay, std::move(fn)); }
+
+  /// Cancels a pending event; no-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  /// Runs one event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs all events with time <= t, then advances the clock to t.
+  void run_until(Time t);
+
+  /// Runs for `d` of virtual time from now.
+  void run_for(Time d) { run_until(now_ + d); }
+
+  /// Runs events until pred() holds or the deadline passes or the queue
+  /// drains. Returns pred()'s final value. pred is checked between events.
+  bool run_until_condition(const std::function<bool()>& pred, Time deadline);
+
+  /// Drains the queue completely (use with care: periodic timers never end).
+  void run();
+
+  std::size_t pending() const { return events_.size() - cancelled_; }
+
+  /// Advances the clock without running events (used to charge measured
+  /// CPU time of cryptographic work into virtual time; see ComputeTimer).
+  void charge_time(Time d) { now_ += d; }
+
+ private:
+  struct Event {
+    Time time;
+    EventId id;
+    EventFn fn;
+    bool cancelled = false;
+  };
+
+  // Keyed by (time, id): id is monotonic, giving deterministic FIFO order
+  // among events scheduled for the same instant.
+  std::map<std::pair<Time, EventId>, Event> events_;
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::size_t cancelled_ = 0;
+};
+
+}  // namespace ss::sim

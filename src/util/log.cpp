@@ -1,0 +1,43 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace ss::util {
+
+namespace {
+LogLevel initial_level() {
+  const char* env = std::getenv("SS_LOG");
+  if (env == nullptr) return LogLevel::kOff;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+void log_write(LogLevel level, const std::string& component, const std::string& message) {
+  std::cerr << "[" << level_name(level) << "] " << component << ": " << message << "\n";
+}
+
+}  // namespace ss::util

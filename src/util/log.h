@@ -1,0 +1,43 @@
+// Minimal leveled logger. Off by default so tests and benches stay quiet;
+// set SS_LOG=debug|info|warn|error (env) or call set_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ss::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_write(LogLevel level, const std::string& component, const std::string& message);
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const std::string& component, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log_write(level, component, os.str());
+}
+
+#define SS_LOG_DEBUG(component, ...) \
+  ::ss::util::log(::ss::util::LogLevel::kDebug, (component), __VA_ARGS__)
+#define SS_LOG_INFO(component, ...) \
+  ::ss::util::log(::ss::util::LogLevel::kInfo, (component), __VA_ARGS__)
+#define SS_LOG_WARN(component, ...) \
+  ::ss::util::log(::ss::util::LogLevel::kWarn, (component), __VA_ARGS__)
+#define SS_LOG_ERROR(component, ...) \
+  ::ss::util::log(::ss::util::LogLevel::kError, (component), __VA_ARGS__)
+
+}  // namespace ss::util

@@ -1,0 +1,38 @@
+// Deterministic, fast PRNG for the simulator and workload generators.
+//
+// NOT for key material — crypto randomness lives in crypto/drbg.h. Keeping
+// the two separated means a test can fix the simulation seed without making
+// keys predictable in production configurations.
+#pragma once
+
+#include <cstdint>
+
+namespace ss::util {
+
+/// xoshiro256** seeded via SplitMix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Forks an independent stream (stable derivation from current state).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ss::util

@@ -1,0 +1,94 @@
+#include "util/serial.h"
+
+namespace ss::util {
+
+void Writer::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Writer::bytes(const Bytes& b) {
+  if (b.size() > UINT32_MAX) throw SerialError("Writer::bytes: too large");
+  u32(static_cast<std::uint32_t>(b.size()));
+  raw(b);
+}
+
+void Writer::str(std::string_view s) {
+  if (s.size() > UINT32_MAX) throw SerialError("Writer::str: too large");
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Reader::need(std::size_t n) const {
+  if (buf_.size() - pos_ < n) throw SerialError("Reader: out of data");
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return buf_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(buf_[pos_] << 8 | buf_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = v << 8 | buf_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = v << 8 | buf_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+Bytes Reader::bytes() {
+  std::uint32_t n = u32();
+  need(n);
+  Bytes out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string Reader::str() {
+  std::uint32_t n = u32();
+  need(n);
+  std::string out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Bytes Reader::rest() {
+  Bytes out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_), buf_.end());
+  pos_ = buf_.size();
+  return out;
+}
+
+void Reader::expect_done() const {
+  if (!done()) throw SerialError("Reader: trailing bytes");
+}
+
+}  // namespace ss::util

@@ -1,0 +1,68 @@
+// Bounds-checked binary serialization used for all wire messages.
+//
+// Encoding: fixed-width integers are big-endian; byte strings and standard
+// strings are length-prefixed with u32. Readers throw SerialError instead of
+// reading out of bounds, so a corrupted or truncated message can never walk
+// off the end of a buffer.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace ss::util {
+
+class SerialError : public std::runtime_error {
+ public:
+  explicit SerialError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void raw(const Bytes& b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+  void raw(const std::uint8_t* p, std::size_t n) { buf_.insert(buf_.end(), p, p + n); }
+  /// Length-prefixed byte string.
+  void bytes(const Bytes& b);
+  /// Length-prefixed UTF-8 string.
+  void str(std::string_view s);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& buf) : buf_(buf) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  Bytes bytes();
+  std::string str();
+  Bytes rest();
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool done() const { return pos_ == buf_.size(); }
+  /// Throws unless the whole buffer was consumed — catches trailing garbage.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  const Bytes& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ss::util

@@ -1,0 +1,112 @@
+// Unit tests for the pluggable cipher suites and their registry.
+#include "secure/cipher.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+#include "util/bytes.h"
+
+namespace ss::secure {
+namespace {
+
+using util::Bytes;
+using util::bytes_of;
+
+TEST(CipherRegistryTest, BuiltinsPresent) {
+  EXPECT_NE(CipherRegistry::instance().create("blowfish-cbc-hmac"), nullptr);
+  EXPECT_NE(CipherRegistry::instance().create("null"), nullptr);
+  EXPECT_THROW(CipherRegistry::instance().create("rot13"), std::out_of_range);
+}
+
+TEST(CipherRegistryTest, CustomSuiteRegistrable) {
+  CipherRegistry::instance().register_suite("null-test-alias",
+                                            [] { return std::make_unique<NullCipherSuite>(); });
+  auto suite = CipherRegistry::instance().create("null-test-alias");
+  EXPECT_EQ(suite->name(), "null");
+}
+
+class BlowfishSuiteTest : public ::testing::Test {
+ protected:
+  BlowfishSuiteTest() : rnd(1, "cipher-test") {
+    key = rnd.generate(suite.key_material_size());
+    suite.rekey(key);
+  }
+  BlowfishCbcHmacSuite suite;
+  crypto::HmacDrbg rnd;
+  Bytes key;
+};
+
+TEST_F(BlowfishSuiteTest, RoundTrip) {
+  const Bytes aad = bytes_of("group|keyid");
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 100u, 4096u}) {
+    Bytes pt(n, 0x3C);
+    Bytes sealed = suite.protect(pt, aad, rnd);
+    EXPECT_EQ(suite.unprotect(sealed, aad), pt) << "size " << n;
+  }
+}
+
+TEST_F(BlowfishSuiteTest, RandomizedIvMakesDistinctCiphertexts) {
+  const Bytes aad = bytes_of("aad");
+  const Bytes pt = bytes_of("same plaintext");
+  EXPECT_NE(suite.protect(pt, aad, rnd), suite.protect(pt, aad, rnd));
+}
+
+TEST_F(BlowfishSuiteTest, TamperedCiphertextRejected) {
+  const Bytes aad = bytes_of("aad");
+  Bytes sealed = suite.protect(bytes_of("attack at dawn"), aad, rnd);
+  for (std::size_t pos : {std::size_t{0}, std::size_t{10}, sealed.size() - 1}) {
+    Bytes bad = sealed;
+    bad[pos] ^= 0x01;
+    EXPECT_THROW(suite.unprotect(bad, aad), std::runtime_error) << "pos " << pos;
+  }
+}
+
+TEST_F(BlowfishSuiteTest, AadIsBound) {
+  Bytes sealed = suite.protect(bytes_of("msg"), bytes_of("aad-1"), rnd);
+  EXPECT_THROW(suite.unprotect(sealed, bytes_of("aad-2")), std::runtime_error);
+}
+
+TEST_F(BlowfishSuiteTest, WrongKeyRejected) {
+  Bytes sealed = suite.protect(bytes_of("msg"), bytes_of("aad"), rnd);
+  BlowfishCbcHmacSuite other;
+  other.rekey(rnd.generate(other.key_material_size()));
+  EXPECT_THROW(other.unprotect(sealed, bytes_of("aad")), std::runtime_error);
+}
+
+TEST_F(BlowfishSuiteTest, TruncatedInputRejected) {
+  Bytes sealed = suite.protect(bytes_of("msg"), bytes_of("aad"), rnd);
+  for (std::size_t len : {std::size_t{0}, std::size_t{7}, std::size_t{27}, sealed.size() - 1}) {
+    Bytes cut(sealed.begin(), sealed.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(suite.unprotect(cut, bytes_of("aad")), std::runtime_error) << "len " << len;
+  }
+}
+
+TEST_F(BlowfishSuiteTest, UseBeforeRekeyRejected) {
+  BlowfishCbcHmacSuite fresh;
+  crypto::HmacDrbg r(2, "x");
+  EXPECT_THROW(fresh.protect(bytes_of("m"), {}, r), std::logic_error);
+  EXPECT_THROW(fresh.unprotect(Bytes(64, 0), {}), std::logic_error);
+}
+
+TEST_F(BlowfishSuiteTest, ShortKeyMaterialRejected) {
+  BlowfishCbcHmacSuite fresh;
+  EXPECT_THROW(fresh.rekey(Bytes(8, 0)), std::invalid_argument);
+}
+
+TEST_F(BlowfishSuiteTest, RekeyChangesCiphertextDomain) {
+  const Bytes aad = bytes_of("aad");
+  Bytes sealed_old = suite.protect(bytes_of("msg"), aad, rnd);
+  suite.rekey(rnd.generate(suite.key_material_size()));
+  EXPECT_THROW(suite.unprotect(sealed_old, aad), std::runtime_error);
+}
+
+TEST(NullSuiteTest, PassThrough) {
+  NullCipherSuite null;
+  crypto::HmacDrbg rnd(3, "null");
+  const Bytes pt = bytes_of("clear");
+  EXPECT_EQ(null.protect(pt, {}, rnd), pt);
+  EXPECT_EQ(null.unprotect(pt, {}), pt);
+}
+
+}  // namespace
+}  // namespace ss::secure

@@ -1,0 +1,102 @@
+// Robustness: decoding hostile bytes must throw util::SerialError (or
+// produce a value), never crash or read out of bounds. Random buffers and
+// mutated valid messages are thrown at every wire codec in the system.
+#include <gtest/gtest.h>
+
+#include "ckd/ckd.h"
+#include "cliques/clq.h"
+#include "gcs/wire.h"
+#include "util/rng.h"
+#include "util/serial.h"
+
+namespace ss {
+namespace {
+
+using util::Bytes;
+using util::Reader;
+
+Bytes random_bytes(util::Rng& rng, std::size_t max_len) {
+  Bytes out(rng.below(max_len + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+/// Each decoder must either succeed or throw SerialError; anything else
+/// (crash, UB) fails the test harness itself.
+template <typename Fn>
+void expect_contained(Fn&& decode, const Bytes& data) {
+  try {
+    decode(data);
+  } catch (const util::SerialError&) {
+    // expected containment
+  } catch (const std::invalid_argument&) {
+    // bignum/hex level rejection: also contained
+  }
+}
+
+class FuzzDecode : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzDecode, GcsWireMessages) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  for (int i = 0; i < 300; ++i) {
+    const Bytes data = random_bytes(rng, 200);
+    expect_contained([](const Bytes& d) { Reader r(d); gcs::HeartbeatMsg::decode(r); }, data);
+    expect_contained([](const Bytes& d) { Reader r(d); gcs::GatherAnnounceMsg::decode(r); }, data);
+    expect_contained([](const Bytes& d) { Reader r(d); gcs::ProposalMsg::decode(r); }, data);
+    expect_contained([](const Bytes& d) { Reader r(d); gcs::StateExchangeMsg::decode(r); }, data);
+    expect_contained([](const Bytes& d) { Reader r(d); gcs::InstallMsg::decode(r); }, data);
+    expect_contained([](const Bytes& d) { Reader r(d); gcs::DataMsg::decode(r); }, data);
+    expect_contained([](const Bytes& d) { Reader r(d); gcs::OrderStampMsg::decode(r); }, data);
+    expect_contained([](const Bytes& d) { Reader r(d); gcs::RetransReqMsg::decode(r); }, data);
+    expect_contained([](const Bytes& d) { Reader r(d); gcs::RetransDataMsg::decode(r); }, data);
+    expect_contained([](const Bytes& d) { Reader r(d); gcs::UnicastMsg::decode(r); }, data);
+    expect_contained([](const Bytes& d) { Reader r(d); gcs::GroupChangeMsg::decode(r); }, data);
+    expect_contained([](const Bytes& d) { gcs::unframe(d); }, data);
+  }
+}
+
+TEST_P(FuzzDecode, KeyAgreementMessages) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  for (int i = 0; i < 300; ++i) {
+    const Bytes data = random_bytes(rng, 200);
+    expect_contained([](const Bytes& d) { cliques::ClqHandoffMsg::decode(d); }, data);
+    expect_contained([](const Bytes& d) { cliques::ClqBroadcastMsg::decode(d); }, data);
+    expect_contained([](const Bytes& d) { cliques::ClqMergeChainMsg::decode(d); }, data);
+    expect_contained([](const Bytes& d) { cliques::ClqMergePartialMsg::decode(d); }, data);
+    expect_contained([](const Bytes& d) { cliques::ClqFactorOutMsg::decode(d); }, data);
+    expect_contained([](const Bytes& d) { ckd::CkdRound1Msg::decode(d); }, data);
+    expect_contained([](const Bytes& d) { ckd::CkdRound2Msg::decode(d); }, data);
+    expect_contained([](const Bytes& d) { ckd::CkdKeyDistMsg::decode(d); }, data);
+  }
+}
+
+TEST_P(FuzzDecode, MutatedValidMessagesContained) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 3);
+  // Start from a valid encoded message and flip bytes.
+  gcs::DataMsg m;
+  m.view = gcs::ViewId{7, 1};
+  m.sender = 2;
+  m.seq = 9;
+  m.service = gcs::ServiceType::kAgreed;
+  m.group = "some-group";
+  m.origin = gcs::MemberId{2, 4};
+  m.msg_type = -42;
+  m.payload = util::bytes_of("payload bytes");
+  const Bytes valid = m.encode();
+
+  for (int i = 0; i < 300; ++i) {
+    Bytes mutated = valid;
+    const std::size_t flips = 1 + rng.below(5);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    // Truncations too.
+    if (rng.chance(0.3)) mutated.resize(rng.below(mutated.size() + 1));
+    expect_contained([](const Bytes& d) { Reader r(d); gcs::DataMsg::decode(r); }, mutated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDecode, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace ss

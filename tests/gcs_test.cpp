@@ -1,0 +1,415 @@
+// Integration tests for the group communication substrate: daemon
+// membership (EVS configurations), lightweight groups, ordered delivery,
+// partitions, merges, crashes and message loss.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/cluster_fixture.h"
+
+namespace ss::gcs {
+namespace {
+
+using testing::Cluster;
+using testing::RecordingClient;
+using util::bytes_of;
+using util::string_of;
+
+TEST(Scheduler, OrdersEventsByTime) {
+  sim::Scheduler s;
+  std::vector<int> order;
+  s.after(30, [&] { order.push_back(3); });
+  s.after(10, [&] { order.push_back(1); });
+  s.after(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(Scheduler, SameInstantIsFifo) {
+  sim::Scheduler s;
+  std::vector<int> order;
+  s.after(5, [&] { order.push_back(1); });
+  s.after(5, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  sim::Scheduler s;
+  bool fired = false;
+  auto id = s.after(5, [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, RunUntilAdvancesClock) {
+  sim::Scheduler s;
+  s.run_until(1000);
+  EXPECT_EQ(s.now(), 1000u);
+}
+
+TEST(SimNetworkTest, DeliversWithLatency) {
+  sim::Scheduler sched;
+  sim::SimNetwork net(sched, 1);
+  struct Sink : sim::NetNode {
+    std::vector<std::string> got;
+    void on_packet(sim::NodeId, const util::Bytes& p) override {
+      got.push_back(string_of(p));
+    }
+  } a, b;
+  net.add_node(&a);
+  net.add_node(&b);
+  net.send(0, 1, bytes_of("hello"));
+  sched.run();
+  ASSERT_EQ(b.got.size(), 1u);
+  EXPECT_EQ(b.got[0], "hello");
+  EXPECT_GE(sched.now(), 150u);  // base latency
+}
+
+TEST(SimNetworkTest, PartitionBlocksAndHealRestores) {
+  sim::Scheduler sched;
+  sim::SimNetwork net(sched, 1);
+  struct Sink : sim::NetNode {
+    int count = 0;
+    void on_packet(sim::NodeId, const util::Bytes&) override { ++count; }
+  } a, b;
+  net.add_node(&a);
+  net.add_node(&b);
+  net.partition({{0}, {1}});
+  EXPECT_FALSE(net.connected(0, 1));
+  net.send(0, 1, bytes_of("x"));
+  sched.run();
+  EXPECT_EQ(b.count, 0);
+  net.heal();
+  EXPECT_TRUE(net.connected(0, 1));
+  net.send(0, 1, bytes_of("x"));
+  sched.run();
+  EXPECT_EQ(b.count, 1);
+}
+
+TEST(SimNetworkTest, CrashedNodeReceivesNothing) {
+  sim::Scheduler sched;
+  sim::SimNetwork net(sched, 1);
+  struct Sink : sim::NetNode {
+    int count = 0;
+    void on_packet(sim::NodeId, const util::Bytes&) override { ++count; }
+  } a, b;
+  net.add_node(&a);
+  net.add_node(&b);
+  net.crash(1);
+  net.send(0, 1, bytes_of("x"));
+  sched.run();
+  EXPECT_EQ(b.count, 0);
+  EXPECT_EQ(net.stats().packets_dropped_down, 1u);
+}
+
+// --- daemon membership -------------------------------------------------------
+
+TEST(DaemonMembership, ThreeDaemonsConverge) {
+  Cluster c(3);
+  ASSERT_TRUE(c.converge(3));
+  EXPECT_EQ(c.daemons[0]->view(), c.daemons[1]->view());
+  EXPECT_EQ(c.daemons[1]->view(), c.daemons[2]->view());
+  EXPECT_EQ(c.daemons[0]->view_members(), (std::vector<DaemonId>{0, 1, 2}));
+}
+
+TEST(DaemonMembership, PartitionSplitsViews) {
+  Cluster c(3);
+  ASSERT_TRUE(c.converge(3));
+  c.net.partition({{0}, {1, 2}});
+  ASSERT_TRUE(c.run_until([&] {
+    return c.daemons[0]->is_operational() && c.daemons[0]->view_members().size() == 1 &&
+           c.daemons[1]->is_operational() && c.daemons[1]->view_members().size() == 2 &&
+           c.daemons[2]->is_operational() && c.daemons[1]->view() == c.daemons[2]->view();
+  }));
+}
+
+TEST(DaemonMembership, HealMergesViews) {
+  Cluster c(3);
+  ASSERT_TRUE(c.converge(3));
+  c.net.partition({{0}, {1, 2}});
+  ASSERT_TRUE(c.run_until([&] { return c.daemons[0]->view_members().size() == 1; }));
+  c.net.heal();
+  ASSERT_TRUE(c.converge(3));
+}
+
+TEST(DaemonMembership, CrashShrinksView) {
+  Cluster c(3);
+  ASSERT_TRUE(c.converge(3));
+  c.daemons[2]->crash();
+  ASSERT_TRUE(c.run_until([&] {
+    return c.daemons[0]->is_operational() && c.daemons[0]->view_members().size() == 2 &&
+           c.daemons[0]->view() == c.daemons[1]->view();
+  }));
+}
+
+TEST(DaemonMembership, CrashedDaemonRejoinsAfterRecover) {
+  Cluster c(3);
+  ASSERT_TRUE(c.converge(3));
+  c.daemons[2]->crash();
+  ASSERT_TRUE(c.run_until([&] { return c.daemons[0]->view_members().size() == 2; }));
+  c.net.recover(2);
+  c.daemons[2]->start();
+  ASSERT_TRUE(c.converge(3));
+}
+
+TEST(DaemonMembership, ConvergesUnderPacketLoss) {
+  sim::LinkModel lossy;
+  lossy.loss = 0.05;
+  Cluster c(3, /*seed=*/7, {}, lossy);
+  ASSERT_TRUE(c.converge(3, 5 * sim::kSecond));
+}
+
+// --- lightweight groups ------------------------------------------------------
+
+class GroupFixture : public ::testing::Test {
+ protected:
+  GroupFixture() : c(3) {
+    EXPECT_TRUE(c.converge(3));
+    for (int i = 0; i < 3; ++i) {
+      clients.push_back(std::make_unique<RecordingClient>(*c.daemons[static_cast<size_t>(i)]));
+    }
+  }
+
+  bool wait_members(const GroupName& g, std::size_t n, std::size_t n_clients) {
+    return c.run_until([&] {
+      for (std::size_t i = 0; i < n_clients; ++i) {
+        const auto* v = clients[i]->last_view(g);
+        if (v == nullptr || v->members.size() != n) return false;
+      }
+      return true;
+    });
+  }
+
+  Cluster c;
+  std::vector<std::unique_ptr<RecordingClient>> clients;
+};
+
+TEST_F(GroupFixture, JoinDeliversViewsToAllMembers) {
+  clients[0]->mbox().join("room");
+  ASSERT_TRUE(wait_members("room", 1, 1));
+  clients[1]->mbox().join("room");
+  ASSERT_TRUE(wait_members("room", 2, 2));
+
+  const auto* v0 = clients[0]->last_view("room");
+  const auto* v1 = clients[1]->last_view("room");
+  ASSERT_NE(v0, nullptr);
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v0->members, v1->members);
+  EXPECT_EQ(v0->reason, MembershipReason::kJoin);
+  // Join order: client 0 joined first (oldest first).
+  EXPECT_EQ(v0->members[0], clients[0]->id());
+  EXPECT_EQ(v0->members[1], clients[1]->id());
+  EXPECT_EQ(v1->joined, std::vector<MemberId>{clients[1]->id()});
+}
+
+TEST_F(GroupFixture, LeaveDeliversSelfLeaveAndPeerView) {
+  clients[0]->mbox().join("room");
+  clients[1]->mbox().join("room");
+  ASSERT_TRUE(wait_members("room", 2, 2));
+  clients[0]->mbox().leave("room");
+  ASSERT_TRUE(c.run_until([&] {
+    const auto* v1 = clients[1]->last_view("room");
+    const auto* v0 = clients[0]->last_view("room");
+    return v1 != nullptr && v1->members.size() == 1 && v0 != nullptr &&
+           v0->reason == MembershipReason::kSelfLeave;
+  }));
+  const auto* v1 = clients[1]->last_view("room");
+  EXPECT_EQ(v1->reason, MembershipReason::kLeave);
+  EXPECT_EQ(v1->left, std::vector<MemberId>{clients[0]->id()});
+}
+
+TEST_F(GroupFixture, KilledClientShowsAsDisconnect) {
+  clients[0]->mbox().join("room");
+  clients[1]->mbox().join("room");
+  ASSERT_TRUE(wait_members("room", 2, 2));
+  clients[1]->mbox().kill();
+  ASSERT_TRUE(c.run_until([&] {
+    const auto* v = clients[0]->last_view("room");
+    return v != nullptr && v->members.size() == 1;
+  }));
+  EXPECT_EQ(clients[0]->last_view("room")->reason, MembershipReason::kDisconnect);
+}
+
+TEST_F(GroupFixture, FifoMulticastReachesAllMembersInOrder) {
+  for (auto& cl : clients) cl->mbox().join("room");
+  ASSERT_TRUE(wait_members("room", 3, 3));
+  for (int i = 0; i < 5; ++i) {
+    clients[0]->mbox().multicast(ServiceType::kFifo, "room", bytes_of("m" + std::to_string(i)));
+  }
+  ASSERT_TRUE(c.run_until([&] {
+    return clients[1]->payloads("room").size() == 5 && clients[2]->payloads("room").size() == 5 &&
+           clients[0]->payloads("room").size() == 5;  // self delivery
+  }));
+  const std::vector<std::string> expect = {"m0", "m1", "m2", "m3", "m4"};
+  EXPECT_EQ(clients[0]->payloads("room"), expect);
+  EXPECT_EQ(clients[1]->payloads("room"), expect);
+  EXPECT_EQ(clients[2]->payloads("room"), expect);
+}
+
+TEST_F(GroupFixture, AgreedMulticastIsTotallyOrdered) {
+  for (auto& cl : clients) cl->mbox().join("room");
+  ASSERT_TRUE(wait_members("room", 3, 3));
+  // Concurrent senders: all members must deliver the identical sequence.
+  for (int i = 0; i < 4; ++i) {
+    for (auto& cl : clients) {
+      cl->mbox().multicast(ServiceType::kAgreed, "room",
+                           bytes_of(cl->id().to_string() + ":" + std::to_string(i)));
+    }
+  }
+  ASSERT_TRUE(c.run_until([&] {
+    return clients[0]->payloads("room").size() == 12 &&
+           clients[1]->payloads("room").size() == 12 && clients[2]->payloads("room").size() == 12;
+  }));
+  EXPECT_EQ(clients[0]->payloads("room"), clients[1]->payloads("room"));
+  EXPECT_EQ(clients[1]->payloads("room"), clients[2]->payloads("room"));
+}
+
+TEST_F(GroupFixture, SafeMulticastDelivered) {
+  for (auto& cl : clients) cl->mbox().join("room");
+  ASSERT_TRUE(wait_members("room", 3, 3));
+  clients[0]->mbox().multicast(ServiceType::kSafe, "room", bytes_of("stable"));
+  ASSERT_TRUE(c.run_until([&] {
+    return clients[1]->payloads("room").size() == 1 && clients[2]->payloads("room").size() == 1;
+  }));
+  EXPECT_EQ(clients[1]->payloads("room")[0], "stable");
+}
+
+TEST_F(GroupFixture, CausalRespectsHappensBefore) {
+  for (auto& cl : clients) cl->mbox().join("room");
+  ASSERT_TRUE(wait_members("room", 3, 3));
+  clients[0]->mbox().multicast(ServiceType::kCausal, "room", bytes_of("cause"));
+  ASSERT_TRUE(c.run_until([&] { return clients[1]->payloads("room").size() == 1; }));
+  clients[1]->mbox().multicast(ServiceType::kCausal, "room", bytes_of("effect"));
+  ASSERT_TRUE(c.run_until([&] { return clients[2]->payloads("room").size() == 2; }));
+  EXPECT_EQ(clients[2]->payloads("room"), (std::vector<std::string>{"cause", "effect"}));
+}
+
+TEST_F(GroupFixture, UnicastBetweenMembers) {
+  clients[0]->mbox().join("room");
+  clients[2]->mbox().join("room");
+  ASSERT_TRUE(wait_members("room", 2, 1));
+  clients[0]->mbox().unicast(clients[2]->id(), "room", bytes_of("psst"), 42);
+  ASSERT_TRUE(c.run_until([&] { return !clients[2]->messages.empty(); }));
+  const Message& m = clients[2]->messages.back();
+  EXPECT_EQ(string_of(m.payload), "psst");
+  EXPECT_EQ(m.msg_type, 42);
+  EXPECT_EQ(m.sender, clients[0]->id());
+}
+
+TEST_F(GroupFixture, NonMembersDoNotReceive) {
+  clients[0]->mbox().join("room");
+  clients[1]->mbox().join("room");
+  ASSERT_TRUE(wait_members("room", 2, 2));
+  clients[0]->mbox().multicast(ServiceType::kFifo, "room", bytes_of("private"));
+  ASSERT_TRUE(c.run_until([&] { return clients[1]->payloads("room").size() == 1; }));
+  EXPECT_TRUE(clients[2]->payloads("room").empty());
+}
+
+TEST_F(GroupFixture, PartitionDeliversNetworkViews) {
+  for (auto& cl : clients) cl->mbox().join("room");
+  ASSERT_TRUE(wait_members("room", 3, 3));
+  c.net.partition({{0}, {1, 2}});
+  ASSERT_TRUE(c.run_until([&] {
+    const auto* v0 = clients[0]->last_view("room");
+    const auto* v1 = clients[1]->last_view("room");
+    return v0 != nullptr && v0->members.size() == 1 && v1 != nullptr && v1->members.size() == 2;
+  }));
+  EXPECT_EQ(clients[0]->last_view("room")->reason, MembershipReason::kNetwork);
+  EXPECT_EQ(clients[1]->last_view("room")->reason, MembershipReason::kNetwork);
+  // Transitional signal preceded the network view.
+  EXPECT_FALSE(clients[1]->transitionals.empty());
+}
+
+TEST_F(GroupFixture, MergeRestoresFullGroupAndJoinOrder) {
+  for (auto& cl : clients) cl->mbox().join("room");
+  ASSERT_TRUE(wait_members("room", 3, 3));
+  const auto order_before = clients[0]->last_view("room")->members;
+  c.net.partition({{0}, {1, 2}});
+  ASSERT_TRUE(c.run_until([&] {
+    const auto* v0 = clients[0]->last_view("room");
+    return v0 != nullptr && v0->members.size() == 1;
+  }));
+  c.net.heal();
+  ASSERT_TRUE(wait_members("room", 3, 3));
+  // Join order must be restored identically (shared history).
+  EXPECT_EQ(clients[0]->last_view("room")->members, order_before);
+  EXPECT_EQ(clients[1]->last_view("room")->members, order_before);
+}
+
+TEST_F(GroupFixture, VirtualSynchronyUnderPartition) {
+  // Members that travel together between views deliver the same set of
+  // messages — the property the security layer keys on.
+  for (auto& cl : clients) cl->mbox().join("room");
+  ASSERT_TRUE(wait_members("room", 3, 3));
+  // A burst in flight while the network splits.
+  for (int i = 0; i < 10; ++i) {
+    clients[1]->mbox().multicast(ServiceType::kAgreed, "room", bytes_of("b" + std::to_string(i)));
+  }
+  c.net.partition({{0}, {1, 2}});
+  ASSERT_TRUE(c.run_until([&] {
+    const auto* v1 = clients[1]->last_view("room");
+    const auto* v2 = clients[2]->last_view("room");
+    return v1 != nullptr && v1->members.size() == 2 && v2 != nullptr && v2->members.size() == 2;
+  }, 5 * sim::kSecond));
+  c.run_for(100 * sim::kMillisecond);
+  // Daemons 1 and 2 went through the change together: identical delivery.
+  EXPECT_EQ(clients[1]->payloads("room"), clients[2]->payloads("room"));
+}
+
+TEST_F(GroupFixture, MessagesDeliveredUnderLoss) {
+  // Recreate with loss on the wire (separate cluster for isolation).
+  sim::LinkModel lossy;
+  lossy.loss = 0.08;
+  Cluster lc(3, 99, {}, lossy);
+  ASSERT_TRUE(lc.converge(3, 5 * sim::kSecond));
+  RecordingClient a(*lc.daemons[0]);
+  RecordingClient b(*lc.daemons[2]);
+  a.mbox().join("g");
+  b.mbox().join("g");
+  ASSERT_TRUE(lc.run_until([&] {
+    const auto* v = b.last_view("g");
+    return v != nullptr && v->members.size() == 2;
+  }, 5 * sim::kSecond));
+  for (int i = 0; i < 20; ++i) {
+    a.mbox().multicast(ServiceType::kFifo, "g", bytes_of("p" + std::to_string(i)));
+  }
+  ASSERT_TRUE(lc.run_until([&] { return b.payloads("g").size() == 20; }, 10 * sim::kSecond));
+  std::vector<std::string> expect;
+  for (int i = 0; i < 20; ++i) expect.push_back("p" + std::to_string(i));
+  EXPECT_EQ(b.payloads("g"), expect);
+}
+
+TEST_F(GroupFixture, GroupStateSurvivesDaemonCrashOfOtherMembers) {
+  for (auto& cl : clients) cl->mbox().join("room");
+  ASSERT_TRUE(wait_members("room", 3, 3));
+  c.daemons[0]->crash();
+  ASSERT_TRUE(c.run_until([&] {
+    const auto* v = clients[1]->last_view("room");
+    return v != nullptr && v->members.size() == 2;
+  }, 5 * sim::kSecond));
+  EXPECT_EQ(clients[1]->last_view("room")->reason, MembershipReason::kNetwork);
+  // Survivors can still communicate.
+  clients[1]->mbox().multicast(ServiceType::kAgreed, "room", bytes_of("still here"));
+  ASSERT_TRUE(c.run_until([&] { return !clients[2]->payloads("room").empty(); }));
+}
+
+TEST_F(GroupFixture, MultipleGroupsAreIndependent) {
+  clients[0]->mbox().join("alpha");
+  clients[1]->mbox().join("beta");
+  ASSERT_TRUE(c.run_until([&] {
+    return clients[0]->last_view("alpha") != nullptr && clients[1]->last_view("beta") != nullptr;
+  }));
+  clients[0]->mbox().multicast(ServiceType::kFifo, "alpha", bytes_of("a"));
+  clients[1]->mbox().multicast(ServiceType::kFifo, "beta", bytes_of("b"));
+  ASSERT_TRUE(c.run_until([&] {
+    return clients[0]->payloads("alpha").size() == 1 && clients[1]->payloads("beta").size() == 1;
+  }));
+  EXPECT_TRUE(clients[0]->payloads("beta").empty());
+  EXPECT_TRUE(clients[1]->payloads("alpha").empty());
+}
+
+}  // namespace
+}  // namespace ss::gcs

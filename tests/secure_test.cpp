@@ -1,0 +1,387 @@
+// End-to-end tests for the secure Spread layer: key agreement driven by
+// live membership events over the simulated cluster, private messaging,
+// module plurality (Cliques and CKD side by side), refresh, partitions,
+// merges and cascading events.
+#include "secure/secure_client.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/cluster_fixture.h"
+
+namespace ss::secure {
+namespace {
+
+using crypto::DhGroup;
+using gcs::GroupName;
+using gcs::MemberId;
+using testing::Cluster;
+using util::bytes_of;
+using util::string_of;
+
+/// A secure client that records everything.
+class App {
+ public:
+  App(gcs::Daemon& d, cliques::KeyDirectory& dir, std::uint64_t seed)
+      : client(d, dir, seed) {
+    client.on_message([this](const SecureMessage& m) { messages.push_back(m); });
+    client.on_view([this](const gcs::GroupView& v) { views.push_back(v); });
+    client.on_rekey([this](const GroupName& g, const RekeyStats& s) {
+      rekeys.emplace_back(g, s);
+    });
+  }
+
+  std::vector<std::string> texts(const GroupName& g) const {
+    std::vector<std::string> out;
+    for (const auto& m : messages) {
+      if (m.group == g) out.push_back(string_of(m.plaintext));
+    }
+    return out;
+  }
+
+  SecureGroupClient client;
+  std::vector<SecureMessage> messages;
+  std::vector<gcs::GroupView> views;
+  std::vector<std::pair<GroupName, RekeyStats>> rekeys;
+};
+
+SecureGroupConfig test_config(const std::string& ka = "cliques") {
+  SecureGroupConfig cfg;
+  cfg.ka_module = ka;
+  cfg.dh = &DhGroup::tiny64();  // fast; crypto strength is tested elsewhere
+  return cfg;
+}
+
+class SecureFixture : public ::testing::Test {
+ protected:
+  SecureFixture() : c(3), dir(DhGroup::tiny64()) { EXPECT_TRUE(c.converge(3)); }
+
+  std::unique_ptr<App> make_app(std::size_t daemon, std::uint64_t seed) {
+    return std::make_unique<App>(*c.daemons[daemon], dir, seed);
+  }
+
+  bool wait_keys(std::vector<App*> apps, const GroupName& g, std::size_t members,
+                 sim::Time timeout = 5 * sim::kSecond) {
+    return c.run_until(
+        [&] {
+          for (App* a : apps) {
+            const auto* v = a->client.current_view(g);
+            if (v == nullptr || v->members.size() != members) return false;
+            if (!a->client.has_key(g)) return false;
+          }
+          return true;
+        },
+        timeout);
+  }
+
+  void assert_same_key(std::vector<App*> apps, const GroupName& g) {
+    ASSERT_FALSE(apps.empty());
+    const util::Bytes ref = apps.front()->client.key_material(g, 16);
+    for (App* a : apps) ASSERT_EQ(a->client.key_material(g, 16), ref);
+  }
+
+  Cluster c;
+  cliques::KeyDirectory dir;
+};
+
+TEST_F(SecureFixture, SingletonGetsKeyImmediately) {
+  auto a = make_app(0, 1);
+  a->client.join("g", test_config());
+  ASSERT_TRUE(wait_keys({a.get()}, "g", 1));
+}
+
+TEST_F(SecureFixture, TwoMembersAgreeOnKey) {
+  auto a = make_app(0, 1);
+  auto b = make_app(1, 2);
+  a->client.join("g", test_config());
+  ASSERT_TRUE(wait_keys({a.get()}, "g", 1));
+  b->client.join("g", test_config());
+  ASSERT_TRUE(wait_keys({a.get(), b.get()}, "g", 2));
+  assert_same_key({a.get(), b.get()}, "g");
+}
+
+TEST_F(SecureFixture, SequentialJoinsAgree) {
+  std::vector<std::unique_ptr<App>> apps;
+  std::vector<App*> raw;
+  for (std::size_t i = 0; i < 5; ++i) {
+    apps.push_back(make_app(i % 3, 10 + i));
+    raw.push_back(apps.back().get());
+    raw.back()->client.join("g", test_config());
+    ASSERT_TRUE(wait_keys(raw, "g", i + 1)) << "at size " << i + 1;
+    assert_same_key(raw, "g");
+  }
+}
+
+TEST_F(SecureFixture, PrivateMessagingRoundTrip) {
+  auto a = make_app(0, 1);
+  auto b = make_app(1, 2);
+  a->client.join("g", test_config());
+  b->client.join("g", test_config());
+  ASSERT_TRUE(wait_keys({a.get(), b.get()}, "g", 2));
+  a->client.send("g", bytes_of("secret hello"), 7);
+  ASSERT_TRUE(c.run_until([&] { return !b->texts("g").empty(); }));
+  EXPECT_EQ(b->texts("g")[0], "secret hello");
+  EXPECT_EQ(b->messages.back().msg_type, 7);
+  EXPECT_EQ(b->messages.back().sender, a->client.id());
+  // Self delivery decrypts too.
+  ASSERT_TRUE(c.run_until([&] { return !a->texts("g").empty(); }));
+  EXPECT_EQ(a->texts("g")[0], "secret hello");
+}
+
+TEST_F(SecureFixture, SendDuringRekeyIsQueued) {
+  auto a = make_app(0, 1);
+  auto b = make_app(1, 2);
+  a->client.join("g", test_config());
+  ASSERT_TRUE(wait_keys({a.get()}, "g", 1));
+  b->client.join("g", test_config());
+  // Wait for the moment a has seen the 2-member view but the join key
+  // agreement is still in flight (several network hops remain).
+  ASSERT_TRUE(c.run_until(
+      [&] {
+        const auto* v = a->client.current_view("g");
+        return v != nullptr && v->members.size() == 2 && !a->client.has_key("g");
+      },
+      5 * sim::kSecond));
+  a->client.send("g", bytes_of("early"));  // no key yet: must queue
+  ASSERT_TRUE(wait_keys({a.get(), b.get()}, "g", 2));
+  ASSERT_TRUE(c.run_until([&] { return !b->texts("g").empty(); }, 5 * sim::kSecond));
+  EXPECT_EQ(b->texts("g")[0], "early");
+}
+
+TEST_F(SecureFixture, LeaveRekeysSurvivors) {
+  auto a = make_app(0, 1);
+  auto b = make_app(1, 2);
+  auto d = make_app(2, 3);
+  for (App* x : {a.get(), b.get(), d.get()}) x->client.join("g", test_config());
+  ASSERT_TRUE(wait_keys({a.get(), b.get(), d.get()}, "g", 3));
+  const util::Bytes old_key = a->client.key_material("g", 16);
+  b->client.leave("g");
+  ASSERT_TRUE(wait_keys({a.get(), d.get()}, "g", 2));
+  assert_same_key({a.get(), d.get()}, "g");
+  EXPECT_NE(a->client.key_material("g", 16), old_key);
+}
+
+TEST_F(SecureFixture, PartitionRekeysBothSides) {
+  auto a = make_app(0, 1);
+  auto b = make_app(1, 2);
+  auto d = make_app(2, 3);
+  for (App* x : {a.get(), b.get(), d.get()}) x->client.join("g", test_config());
+  ASSERT_TRUE(wait_keys({a.get(), b.get(), d.get()}, "g", 3));
+  const util::Bytes old_key = a->client.key_material("g", 16);
+
+  c.net.partition({{0}, {1, 2}});
+  ASSERT_TRUE(wait_keys({a.get()}, "g", 1));
+  ASSERT_TRUE(wait_keys({b.get(), d.get()}, "g", 2));
+  assert_same_key({b.get(), d.get()}, "g");
+  EXPECT_NE(b->client.key_material("g", 16), old_key);
+  EXPECT_NE(a->client.key_material("g", 16), b->client.key_material("g", 16));
+
+  // Private traffic still flows on the majority side.
+  b->client.send("g", bytes_of("side message"));
+  ASSERT_TRUE(c.run_until([&] { return !d->texts("g").empty(); }, 5 * sim::kSecond));
+}
+
+TEST_F(SecureFixture, MergeAfterHealAgreesOnOneKey) {
+  auto a = make_app(0, 1);
+  auto b = make_app(1, 2);
+  auto d = make_app(2, 3);
+  for (App* x : {a.get(), b.get(), d.get()}) x->client.join("g", test_config());
+  ASSERT_TRUE(wait_keys({a.get(), b.get(), d.get()}, "g", 3));
+  c.net.partition({{0}, {1, 2}});
+  ASSERT_TRUE(wait_keys({a.get()}, "g", 1));
+  ASSERT_TRUE(wait_keys({b.get(), d.get()}, "g", 2));
+  c.net.heal();
+  ASSERT_TRUE(wait_keys({a.get(), b.get(), d.get()}, "g", 3, 10 * sim::kSecond));
+  assert_same_key({a.get(), b.get(), d.get()}, "g");
+  // End-to-end: messaging works across the merged group.
+  d->client.send("g", bytes_of("after merge"));
+  ASSERT_TRUE(c.run_until([&] { return !a->texts("g").empty() && !b->texts("g").empty(); },
+                          5 * sim::kSecond));
+  EXPECT_EQ(a->texts("g").back(), "after merge");
+}
+
+TEST_F(SecureFixture, ControllerCrashRecovered) {
+  // The Cliques controller (newest member) vanishes ungracefully.
+  auto a = make_app(0, 1);
+  auto b = make_app(1, 2);
+  auto d = make_app(2, 3);
+  a->client.join("g", test_config());
+  b->client.join("g", test_config());
+  d->client.join("g", test_config());  // d is the controller
+  ASSERT_TRUE(wait_keys({a.get(), b.get(), d.get()}, "g", 3));
+  const util::Bytes old_key = a->client.key_material("g", 16);
+  c.daemons[2]->crash();  // takes d with it
+  ASSERT_TRUE(wait_keys({a.get(), b.get()}, "g", 2, 10 * sim::kSecond));
+  assert_same_key({a.get(), b.get()}, "g");
+  EXPECT_NE(a->client.key_material("g", 16), old_key);
+}
+
+TEST_F(SecureFixture, KeyRefreshChangesEpoch) {
+  auto a = make_app(0, 1);
+  auto b = make_app(1, 2);
+  a->client.join("g", test_config());
+  b->client.join("g", test_config());
+  ASSERT_TRUE(wait_keys({a.get(), b.get()}, "g", 2));
+  const util::Bytes before = a->client.key_material("g", 16);
+  const std::uint64_t epoch_a = a->client.key_epoch("g");
+  // Refresh from the controller side (b is newest = controller).
+  b->client.refresh_key("g");
+  ASSERT_TRUE(c.run_until(
+      [&] { return a->client.key_epoch("g") > epoch_a && a->client.has_key("g"); },
+      5 * sim::kSecond));
+  assert_same_key({a.get(), b.get()}, "g");
+  EXPECT_NE(a->client.key_material("g", 16), before);
+}
+
+TEST_F(SecureFixture, NonControllerRefreshForwarded) {
+  auto a = make_app(0, 1);
+  auto b = make_app(1, 2);
+  a->client.join("g", test_config());
+  b->client.join("g", test_config());
+  ASSERT_TRUE(wait_keys({a.get(), b.get()}, "g", 2));
+  const util::Bytes before = a->client.key_material("g", 16);
+  a->client.refresh_key("g");  // a is the oldest, NOT the Cliques controller
+  ASSERT_TRUE(c.run_until(
+      [&] {
+        return a->client.has_key("g") && b->client.has_key("g") &&
+               a->client.key_material("g", 16) != before;
+      },
+      5 * sim::kSecond));
+  assert_same_key({a.get(), b.get()}, "g");
+}
+
+TEST_F(SecureFixture, MessagesAcrossRefreshStillDecrypt) {
+  auto a = make_app(0, 1);
+  auto b = make_app(1, 2);
+  a->client.join("g", test_config());
+  b->client.join("g", test_config());
+  ASSERT_TRUE(wait_keys({a.get(), b.get()}, "g", 2));
+  // Interleave sends and a refresh; everything must arrive.
+  a->client.send("g", bytes_of("m1"));
+  b->client.refresh_key("g");
+  a->client.send("g", bytes_of("m2"));
+  ASSERT_TRUE(c.run_until([&] { return b->texts("g").size() == 2; }, 5 * sim::kSecond));
+  EXPECT_EQ(b->texts("g"), (std::vector<std::string>{"m1", "m2"}));
+}
+
+TEST_F(SecureFixture, CkdModuleWorksEndToEnd) {
+  auto a = make_app(0, 1);
+  auto b = make_app(1, 2);
+  auto d = make_app(2, 3);
+  for (App* x : {a.get(), b.get(), d.get()}) x->client.join("g", test_config("ckd"));
+  ASSERT_TRUE(wait_keys({a.get(), b.get(), d.get()}, "g", 3));
+  assert_same_key({a.get(), b.get(), d.get()}, "g");
+  a->client.send("g", bytes_of("ckd message"));
+  ASSERT_TRUE(c.run_until([&] { return !d->texts("g").empty(); }, 5 * sim::kSecond));
+  EXPECT_EQ(d->texts("g")[0], "ckd message");
+}
+
+TEST_F(SecureFixture, CkdControllerCrashRecovered) {
+  // CKD controller = oldest member: crash its daemon.
+  auto a = make_app(0, 1);
+  auto b = make_app(1, 2);
+  auto d = make_app(2, 3);
+  a->client.join("g", test_config("ckd"));
+  b->client.join("g", test_config("ckd"));
+  d->client.join("g", test_config("ckd"));
+  ASSERT_TRUE(wait_keys({a.get(), b.get(), d.get()}, "g", 3));
+  c.daemons[0]->crash();
+  ASSERT_TRUE(wait_keys({b.get(), d.get()}, "g", 2, 10 * sim::kSecond));
+  assert_same_key({b.get(), d.get()}, "g");
+}
+
+TEST_F(SecureFixture, DifferentGroupsDifferentModulesSimultaneously) {
+  // Paper 5.2: one group on distributed key management, another on
+  // centralized, in the same process at the same time.
+  auto a = make_app(0, 1);
+  auto b = make_app(1, 2);
+  a->client.join("clq-room", test_config("cliques"));
+  b->client.join("clq-room", test_config("cliques"));
+  a->client.join("ckd-room", test_config("ckd"));
+  b->client.join("ckd-room", test_config("ckd"));
+  ASSERT_TRUE(wait_keys({a.get(), b.get()}, "clq-room", 2));
+  ASSERT_TRUE(wait_keys({a.get(), b.get()}, "ckd-room", 2));
+  EXPECT_NE(a->client.key_material("clq-room", 16), a->client.key_material("ckd-room", 16));
+  a->client.send("clq-room", bytes_of("via cliques"));
+  a->client.send("ckd-room", bytes_of("via ckd"));
+  ASSERT_TRUE(c.run_until(
+      [&] { return !b->texts("clq-room").empty() && !b->texts("ckd-room").empty(); },
+      5 * sim::kSecond));
+  EXPECT_EQ(b->texts("clq-room")[0], "via cliques");
+  EXPECT_EQ(b->texts("ckd-room")[0], "via ckd");
+}
+
+TEST_F(SecureFixture, RekeyStatsPopulated) {
+  auto a = make_app(0, 1);
+  auto b = make_app(1, 2);
+  a->client.join("g", test_config());
+  ASSERT_TRUE(wait_keys({a.get()}, "g", 1));
+  b->client.join("g", test_config());
+  ASSERT_TRUE(wait_keys({a.get(), b.get()}, "g", 2));
+  const auto& stats = b->client.last_rekey("g");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->group_size, 2u);
+  EXPECT_GT(stats->exps.total(), 0u);  // the joiner did 2n-1 = 3 exps
+  EXPECT_GE(stats->completed_at, stats->started_at);
+}
+
+TEST_F(SecureFixture, CascadingJoinsDuringAgreement) {
+  // Fire several joins in rapid succession: agreements for intermediate
+  // views are aborted/restarted; the final stable view must converge on one
+  // shared key (the §5.4 cascading scenario).
+  std::vector<std::unique_ptr<App>> apps;
+  std::vector<App*> raw;
+  for (std::size_t i = 0; i < 4; ++i) {
+    apps.push_back(make_app(i % 3, 40 + i));
+    raw.push_back(apps.back().get());
+    raw.back()->client.join("g", test_config());
+    // No waiting: the next join lands while the previous agreement runs.
+  }
+  ASSERT_TRUE(wait_keys(raw, "g", 4, 20 * sim::kSecond));
+  assert_same_key(raw, "g");
+  raw[0]->client.send("g", bytes_of("stable at last"));
+  ASSERT_TRUE(c.run_until([&] { return !raw[3]->texts("g").empty(); }, 5 * sim::kSecond));
+}
+
+TEST_F(SecureFixture, CascadePartitionDuringAgreement) {
+  auto a = make_app(0, 1);
+  auto b = make_app(1, 2);
+  auto d = make_app(2, 3);
+  a->client.join("g", test_config());
+  b->client.join("g", test_config());
+  ASSERT_TRUE(wait_keys({a.get(), b.get()}, "g", 2));
+  // d joins and the network splits while that agreement is in flight.
+  d->client.join("g", test_config());
+  c.run_for(2 * sim::kMillisecond);
+  c.net.partition({{0}, {1, 2}});
+  ASSERT_TRUE(wait_keys({a.get()}, "g", 1, 10 * sim::kSecond));
+  ASSERT_TRUE(wait_keys({b.get(), d.get()}, "g", 2, 10 * sim::kSecond));
+  assert_same_key({b.get(), d.get()}, "g");
+  // Heal: everyone reunites under one key.
+  c.net.heal();
+  ASSERT_TRUE(wait_keys({a.get(), b.get(), d.get()}, "g", 3, 10 * sim::kSecond));
+  assert_same_key({a.get(), b.get(), d.get()}, "g");
+}
+
+TEST_F(SecureFixture, TamperedCiphertextDropped) {
+  auto a = make_app(0, 1);
+  auto b = make_app(1, 2);
+  a->client.join("g", test_config());
+  b->client.join("g", test_config());
+  ASSERT_TRUE(wait_keys({a.get(), b.get()}, "g", 2));
+  // Forge "secure data" from an EVS open-group sender: a raw (non-member)
+  // mailbox on the same daemon injects a message with a bogus key id.
+  // Closed-group crypto must reject it — only members hold the key.
+  gcs::Mailbox evil(*c.daemons[0]);
+  util::Writer w;
+  w.bytes(util::Bytes(8, 0xAB));  // bogus key id
+  w.u16(0);
+  w.bytes(bytes_of("garbage ciphertext"));
+  evil.multicast(gcs::ServiceType::kFifo, "g", w.take(), kSecureDataType);
+  const std::size_t before_a = a->texts("g").size();
+  c.run_for(100 * sim::kMillisecond);
+  EXPECT_EQ(a->texts("g").size(), before_a);  // nothing delivered
+  EXPECT_EQ(b->texts("g").size(), 0u);
+}
+
+}  // namespace
+}  // namespace ss::secure

@@ -1,0 +1,99 @@
+// Tests for the spread.conf-equivalent configuration parser, including a
+// full cluster boot from a parsed configuration.
+#include "gcs/spread_conf.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/cluster_fixture.h"
+
+namespace ss::gcs {
+namespace {
+
+TEST(SpreadConf, ParsesDaemonsAndTimings) {
+  const SpreadConf conf = SpreadConf::parse(R"(
+# my cluster
+daemon 2
+daemon 0
+daemon 1   # trailing comment
+
+heartbeat_ms 7
+fail_timeout_ms 30
+secure_links on
+)");
+  EXPECT_EQ(conf.daemons, (std::vector<DaemonId>{0, 1, 2}));  // sorted
+  EXPECT_EQ(conf.timing.heartbeat_interval, 7 * sim::kMillisecond);
+  EXPECT_EQ(conf.timing.fail_timeout, 30 * sim::kMillisecond);
+  EXPECT_TRUE(conf.secure_links);
+  // Unspecified keys keep their defaults.
+  EXPECT_EQ(conf.timing.link_rto, TimingConfig{}.link_rto);
+}
+
+TEST(SpreadConf, RejectsMalformedInput) {
+  EXPECT_THROW(SpreadConf::parse(""), std::invalid_argument);              // no daemons
+  EXPECT_THROW(SpreadConf::parse("daemon"), std::invalid_argument);        // missing value
+  EXPECT_THROW(SpreadConf::parse("daemon x"), std::invalid_argument);      // not a number
+  EXPECT_THROW(SpreadConf::parse("daemon 1 2"), std::invalid_argument);    // trailing token
+  EXPECT_THROW(SpreadConf::parse("daemon 1\ndaemon 1"), std::invalid_argument);  // duplicate
+  EXPECT_THROW(SpreadConf::parse("daemon 1\nspeling 3"), std::invalid_argument); // unknown key
+  EXPECT_THROW(SpreadConf::parse("daemon 1\nsecure_links maybe"), std::invalid_argument);
+}
+
+TEST(SpreadConf, ErrorsCarryLineNumbers) {
+  try {
+    SpreadConf::parse("daemon 0\n\nbogus_key 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SpreadConf, RoundTripsThroughToString) {
+  SpreadConf conf;
+  conf.daemons = {0, 1, 2, 5};
+  conf.timing.heartbeat_interval = 9 * sim::kMillisecond;
+  conf.secure_links = true;
+  const SpreadConf again = SpreadConf::parse(conf.to_string());
+  EXPECT_EQ(again.daemons, conf.daemons);
+  EXPECT_EQ(again.timing.heartbeat_interval, conf.timing.heartbeat_interval);
+  EXPECT_EQ(again.secure_links, conf.secure_links);
+}
+
+TEST(SpreadConf, BootsAClusterFromConfiguration) {
+  const SpreadConf conf = SpreadConf::parse(R"(
+daemon 0
+daemon 1
+daemon 2
+heartbeat_ms 5
+secure_links on
+)");
+  sim::Scheduler sched;
+  sim::SimNetwork net(sched, 123);
+  DaemonKeyStore store(crypto::DhGroup::ss256());
+  std::vector<std::unique_ptr<Daemon>> daemons;
+  for (DaemonId id : conf.daemons) {
+    daemons.push_back(std::make_unique<Daemon>(sched, net, id, conf.daemons, conf.timing,
+                                               700 + id,
+                                               conf.secure_links ? &store : nullptr));
+    net.add_node(daemons.back().get());
+  }
+  for (auto& d : daemons) d->start();
+  ASSERT_TRUE(sched.run_until_condition(
+      [&] {
+        for (auto& d : daemons) {
+          if (!d->is_operational() || d->view_members().size() != conf.daemons.size()) {
+            return false;
+          }
+        }
+        return true;
+      },
+      10 * sim::kSecond));
+  // secure_links took effect: the daemon group key exists.
+  EXPECT_FALSE(daemons[0]->daemon_group_key().empty());
+}
+
+TEST(SpreadConf, LoadRejectsMissingFile) {
+  EXPECT_THROW(SpreadConf::load("/nonexistent/spread.conf"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ss::gcs

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/serial.h"
+
+namespace ss::util {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes b = {0x00, 0x01, 0xAB, 0xFF};
+  EXPECT_EQ(to_hex(b), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), b);
+  EXPECT_EQ(from_hex("0001ABFF"), b);  // case-insensitive input
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_EQ(from_hex(""), Bytes{});
+}
+
+TEST(BytesTest, FromHexRejectsBadInput) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // bad digit
+}
+
+TEST(BytesTest, CtEqual) {
+  EXPECT_TRUE(ct_equal(from_hex("deadbeef"), from_hex("deadbeef")));
+  EXPECT_FALSE(ct_equal(from_hex("deadbeef"), from_hex("deadbeee")));
+  EXPECT_FALSE(ct_equal(from_hex("dead"), from_hex("deadbeef")));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(BytesTest, SecureWipeClears) {
+  Bytes b = from_hex("deadbeef");
+  secure_wipe(b);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(BytesTest, StringConversion) {
+  EXPECT_EQ(string_of(bytes_of("hello")), "hello");
+  EXPECT_EQ(bytes_of("").size(), 0u);
+}
+
+TEST(SerialTest, PrimitiveRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.str("hello");
+  w.bytes(from_hex("cafe"));
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.bytes(), from_hex("cafe"));
+  EXPECT_TRUE(r.done());
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(SerialTest, BigEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data(), (Bytes{0x01, 0x02, 0x03, 0x04}));
+}
+
+TEST(SerialTest, TruncatedReadThrows) {
+  Writer w;
+  w.u32(7);
+  Bytes data = w.take();
+  data.pop_back();
+  Reader r(data);
+  EXPECT_THROW(r.u32(), SerialError);
+}
+
+TEST(SerialTest, CorruptLengthPrefixThrows) {
+  Writer w;
+  w.u32(1000000);  // claims a million bytes follow
+  Reader r(w.data());
+  EXPECT_THROW(r.bytes(), SerialError);
+}
+
+TEST(SerialTest, TrailingGarbageDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), SerialError);
+}
+
+TEST(SerialTest, RestConsumesEverything) {
+  Writer w;
+  w.u8(9);
+  w.raw(from_hex("aabbcc"));
+  Reader r(w.data());
+  r.u8();
+  EXPECT_EQ(r.rest(), from_hex("aabbcc"));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(r.below(17), 17u);
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng r(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = r.between(3, 5);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng r(9);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng r(10);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, ForkDiverges) {
+  Rng a(11);
+  Rng b = a.fork();
+  EXPECT_NE(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace ss::util

@@ -1,0 +1,71 @@
+// Offline search tool: finds the offsets used by the named DH groups.
+//
+//   find_primes oakley <bits> [start_offset]  — smallest k such that
+//       p = 2^b - 2^{b-64} - 1 + 2^64*(floor(2^{b-130} pi) + k) is a safe prime
+//   find_primes tiny64                        — largest 64-bit safe prime
+//
+// Results are hardcoded in crypto/dh.cpp and re-verified by unit tests.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "crypto/bignum.h"
+#include "crypto/dh.h"
+#include "crypto/drbg.h"
+
+using namespace ss::crypto;
+
+namespace {
+
+bool is_safe_prime(const Bignum& p, RandomSource& rnd, int rounds) {
+  const Bignum q = (p - Bignum(1)) >> 1;
+  // Cheap screens first: q must be odd and both must survive small rounds.
+  if (!q.is_odd()) return false;
+  if (!Bignum::is_probable_prime(q, rounds, rnd)) return false;
+  return Bignum::is_probable_prime(p, rounds, rnd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s oakley <bits> [start] | tiny64\n", argv[0]);
+    return 2;
+  }
+  HmacDrbg rnd(42, "find_primes");
+  const std::string mode = argv[1];
+
+  if (mode == "tiny64") {
+    // Search downward from 2^64-1 over odd candidates.
+    for (std::uint64_t p = ~0ULL; ; p -= 2) {
+      Bignum bp(p);
+      if (is_safe_prime(bp, rnd, 30)) {
+        std::printf("tiny64 safe prime: %llu (0x%llx)\n",
+                    static_cast<unsigned long long>(p), static_cast<unsigned long long>(p));
+        return 0;
+      }
+    }
+  }
+
+  if (mode == "oakley") {
+    if (argc < 3) {
+      std::fprintf(stderr, "oakley mode needs <bits>\n");
+      return 2;
+    }
+    const std::size_t bits = std::strtoul(argv[2], nullptr, 10);
+    std::uint64_t k = argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 0;
+    for (;; ++k) {
+      const Bignum p = DhGroup::oakley_prime(bits, k);
+      // Quick screen with 1 MR round before the expensive confirmation.
+      if (!is_safe_prime(p, rnd, 1)) continue;
+      if (is_safe_prime(p, rnd, 25)) {
+        std::printf("oakley %zu-bit offset k = %llu\np = %s\n", bits,
+                    static_cast<unsigned long long>(k), p.to_hex().c_str());
+        return 0;
+      }
+    }
+  }
+
+  std::fprintf(stderr, "unknown mode %s\n", mode.c_str());
+  return 2;
+}
