@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cipher.dir/bench_ablation_cipher.cpp.o"
+  "CMakeFiles/bench_ablation_cipher.dir/bench_ablation_cipher.cpp.o.d"
+  "bench_ablation_cipher"
+  "bench_ablation_cipher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cipher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_leave_exps.dir/bench_table3_leave_exps.cpp.o"
+  "CMakeFiles/bench_table3_leave_exps.dir/bench_table3_leave_exps.cpp.o.d"
+  "bench_table3_leave_exps"
+  "bench_table3_leave_exps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_leave_exps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_totals.dir/bench_table4_totals.cpp.o"
+  "CMakeFiles/bench_table4_totals.dir/bench_table4_totals.cpp.o.d"
+  "bench_table4_totals"
+  "bench_table4_totals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_totals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction.dir/auction.cpp.o"
+  "CMakeFiles/auction.dir/auction.cpp.o.d"
+  "auction"
+  "auction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

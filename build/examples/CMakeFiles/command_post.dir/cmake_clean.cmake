@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/command_post.dir/command_post.cpp.o"
+  "CMakeFiles/command_post.dir/command_post.cpp.o.d"
+  "command_post"
+  "command_post.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/command_post.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

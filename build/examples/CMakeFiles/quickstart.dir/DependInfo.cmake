@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/secure/CMakeFiles/ss_secure.dir/DependInfo.cmake"
+  "/root/repo/build/src/flush/CMakeFiles/ss_flush.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckd/CMakeFiles/ss_ckd.dir/DependInfo.cmake"
+  "/root/repo/build/src/cliques/CMakeFiles/ss_cliques.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcs/CMakeFiles/ss_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ss_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

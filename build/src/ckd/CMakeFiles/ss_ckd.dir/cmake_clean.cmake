@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_ckd.dir/ckd.cpp.o"
+  "CMakeFiles/ss_ckd.dir/ckd.cpp.o.d"
+  "libss_ckd.a"
+  "libss_ckd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_ckd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_cliques.dir/clq.cpp.o"
+  "CMakeFiles/ss_cliques.dir/clq.cpp.o.d"
+  "CMakeFiles/ss_cliques.dir/key_directory.cpp.o"
+  "CMakeFiles/ss_cliques.dir/key_directory.cpp.o.d"
+  "libss_cliques.a"
+  "libss_cliques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_cliques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

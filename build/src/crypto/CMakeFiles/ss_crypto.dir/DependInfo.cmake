@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bignum.cpp" "src/crypto/CMakeFiles/ss_crypto.dir/bignum.cpp.o" "gcc" "src/crypto/CMakeFiles/ss_crypto.dir/bignum.cpp.o.d"
+  "/root/repo/src/crypto/blowfish.cpp" "src/crypto/CMakeFiles/ss_crypto.dir/blowfish.cpp.o" "gcc" "src/crypto/CMakeFiles/ss_crypto.dir/blowfish.cpp.o.d"
+  "/root/repo/src/crypto/dh.cpp" "src/crypto/CMakeFiles/ss_crypto.dir/dh.cpp.o" "gcc" "src/crypto/CMakeFiles/ss_crypto.dir/dh.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "src/crypto/CMakeFiles/ss_crypto.dir/drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/ss_crypto.dir/drbg.cpp.o.d"
+  "/root/repo/src/crypto/exp_counter.cpp" "src/crypto/CMakeFiles/ss_crypto.dir/exp_counter.cpp.o" "gcc" "src/crypto/CMakeFiles/ss_crypto.dir/exp_counter.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/ss_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/ss_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/pi_spigot.cpp" "src/crypto/CMakeFiles/ss_crypto.dir/pi_spigot.cpp.o" "gcc" "src/crypto/CMakeFiles/ss_crypto.dir/pi_spigot.cpp.o.d"
+  "/root/repo/src/crypto/schnorr.cpp" "src/crypto/CMakeFiles/ss_crypto.dir/schnorr.cpp.o" "gcc" "src/crypto/CMakeFiles/ss_crypto.dir/schnorr.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/crypto/CMakeFiles/ss_crypto.dir/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/ss_crypto.dir/sha1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/ss_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/ss_crypto.dir/blowfish.cpp.o"
+  "CMakeFiles/ss_crypto.dir/blowfish.cpp.o.d"
+  "CMakeFiles/ss_crypto.dir/dh.cpp.o"
+  "CMakeFiles/ss_crypto.dir/dh.cpp.o.d"
+  "CMakeFiles/ss_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/ss_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/ss_crypto.dir/exp_counter.cpp.o"
+  "CMakeFiles/ss_crypto.dir/exp_counter.cpp.o.d"
+  "CMakeFiles/ss_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/ss_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/ss_crypto.dir/pi_spigot.cpp.o"
+  "CMakeFiles/ss_crypto.dir/pi_spigot.cpp.o.d"
+  "CMakeFiles/ss_crypto.dir/schnorr.cpp.o"
+  "CMakeFiles/ss_crypto.dir/schnorr.cpp.o.d"
+  "CMakeFiles/ss_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/ss_crypto.dir/sha1.cpp.o.d"
+  "libss_crypto.a"
+  "libss_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_flush.dir/flush.cpp.o"
+  "CMakeFiles/ss_flush.dir/flush.cpp.o.d"
+  "libss_flush.a"
+  "libss_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcs/daemon.cpp" "src/gcs/CMakeFiles/ss_gcs.dir/daemon.cpp.o" "gcc" "src/gcs/CMakeFiles/ss_gcs.dir/daemon.cpp.o.d"
+  "/root/repo/src/gcs/daemon_delivery.cpp" "src/gcs/CMakeFiles/ss_gcs.dir/daemon_delivery.cpp.o" "gcc" "src/gcs/CMakeFiles/ss_gcs.dir/daemon_delivery.cpp.o.d"
+  "/root/repo/src/gcs/daemon_key.cpp" "src/gcs/CMakeFiles/ss_gcs.dir/daemon_key.cpp.o" "gcc" "src/gcs/CMakeFiles/ss_gcs.dir/daemon_key.cpp.o.d"
+  "/root/repo/src/gcs/daemon_membership.cpp" "src/gcs/CMakeFiles/ss_gcs.dir/daemon_membership.cpp.o" "gcc" "src/gcs/CMakeFiles/ss_gcs.dir/daemon_membership.cpp.o.d"
+  "/root/repo/src/gcs/failure_detector.cpp" "src/gcs/CMakeFiles/ss_gcs.dir/failure_detector.cpp.o" "gcc" "src/gcs/CMakeFiles/ss_gcs.dir/failure_detector.cpp.o.d"
+  "/root/repo/src/gcs/link.cpp" "src/gcs/CMakeFiles/ss_gcs.dir/link.cpp.o" "gcc" "src/gcs/CMakeFiles/ss_gcs.dir/link.cpp.o.d"
+  "/root/repo/src/gcs/link_crypto.cpp" "src/gcs/CMakeFiles/ss_gcs.dir/link_crypto.cpp.o" "gcc" "src/gcs/CMakeFiles/ss_gcs.dir/link_crypto.cpp.o.d"
+  "/root/repo/src/gcs/mailbox.cpp" "src/gcs/CMakeFiles/ss_gcs.dir/mailbox.cpp.o" "gcc" "src/gcs/CMakeFiles/ss_gcs.dir/mailbox.cpp.o.d"
+  "/root/repo/src/gcs/spread_conf.cpp" "src/gcs/CMakeFiles/ss_gcs.dir/spread_conf.cpp.o" "gcc" "src/gcs/CMakeFiles/ss_gcs.dir/spread_conf.cpp.o.d"
+  "/root/repo/src/gcs/types.cpp" "src/gcs/CMakeFiles/ss_gcs.dir/types.cpp.o" "gcc" "src/gcs/CMakeFiles/ss_gcs.dir/types.cpp.o.d"
+  "/root/repo/src/gcs/wire.cpp" "src/gcs/CMakeFiles/ss_gcs.dir/wire.cpp.o" "gcc" "src/gcs/CMakeFiles/ss_gcs.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ss_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

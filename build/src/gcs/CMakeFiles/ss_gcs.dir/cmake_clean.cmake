@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_gcs.dir/daemon.cpp.o"
+  "CMakeFiles/ss_gcs.dir/daemon.cpp.o.d"
+  "CMakeFiles/ss_gcs.dir/daemon_delivery.cpp.o"
+  "CMakeFiles/ss_gcs.dir/daemon_delivery.cpp.o.d"
+  "CMakeFiles/ss_gcs.dir/daemon_key.cpp.o"
+  "CMakeFiles/ss_gcs.dir/daemon_key.cpp.o.d"
+  "CMakeFiles/ss_gcs.dir/daemon_membership.cpp.o"
+  "CMakeFiles/ss_gcs.dir/daemon_membership.cpp.o.d"
+  "CMakeFiles/ss_gcs.dir/failure_detector.cpp.o"
+  "CMakeFiles/ss_gcs.dir/failure_detector.cpp.o.d"
+  "CMakeFiles/ss_gcs.dir/link.cpp.o"
+  "CMakeFiles/ss_gcs.dir/link.cpp.o.d"
+  "CMakeFiles/ss_gcs.dir/link_crypto.cpp.o"
+  "CMakeFiles/ss_gcs.dir/link_crypto.cpp.o.d"
+  "CMakeFiles/ss_gcs.dir/mailbox.cpp.o"
+  "CMakeFiles/ss_gcs.dir/mailbox.cpp.o.d"
+  "CMakeFiles/ss_gcs.dir/spread_conf.cpp.o"
+  "CMakeFiles/ss_gcs.dir/spread_conf.cpp.o.d"
+  "CMakeFiles/ss_gcs.dir/types.cpp.o"
+  "CMakeFiles/ss_gcs.dir/types.cpp.o.d"
+  "CMakeFiles/ss_gcs.dir/wire.cpp.o"
+  "CMakeFiles/ss_gcs.dir/wire.cpp.o.d"
+  "libss_gcs.a"
+  "libss_gcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_gcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_secure.dir/cipher.cpp.o"
+  "CMakeFiles/ss_secure.dir/cipher.cpp.o.d"
+  "CMakeFiles/ss_secure.dir/ka_ckd.cpp.o"
+  "CMakeFiles/ss_secure.dir/ka_ckd.cpp.o.d"
+  "CMakeFiles/ss_secure.dir/ka_cliques.cpp.o"
+  "CMakeFiles/ss_secure.dir/ka_cliques.cpp.o.d"
+  "CMakeFiles/ss_secure.dir/secure_client.cpp.o"
+  "CMakeFiles/ss_secure.dir/secure_client.cpp.o.d"
+  "libss_secure.a"
+  "libss_secure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_secure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_util.dir/bytes.cpp.o"
+  "CMakeFiles/ss_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/ss_util.dir/log.cpp.o"
+  "CMakeFiles/ss_util.dir/log.cpp.o.d"
+  "CMakeFiles/ss_util.dir/rng.cpp.o"
+  "CMakeFiles/ss_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ss_util.dir/serial.cpp.o"
+  "CMakeFiles/ss_util.dir/serial.cpp.o.d"
+  "libss_util.a"
+  "libss_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

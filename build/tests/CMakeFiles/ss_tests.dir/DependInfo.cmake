@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bignum_test.cpp" "tests/CMakeFiles/ss_tests.dir/bignum_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/bignum_test.cpp.o.d"
+  "/root/repo/tests/blowfish_test.cpp" "tests/CMakeFiles/ss_tests.dir/blowfish_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/blowfish_test.cpp.o.d"
+  "/root/repo/tests/churn_test.cpp" "tests/CMakeFiles/ss_tests.dir/churn_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/churn_test.cpp.o.d"
+  "/root/repo/tests/cipher_test.cpp" "tests/CMakeFiles/ss_tests.dir/cipher_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/cipher_test.cpp.o.d"
+  "/root/repo/tests/ckd_test.cpp" "tests/CMakeFiles/ss_tests.dir/ckd_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/ckd_test.cpp.o.d"
+  "/root/repo/tests/clq_test.cpp" "tests/CMakeFiles/ss_tests.dir/clq_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/clq_test.cpp.o.d"
+  "/root/repo/tests/daemon_key_test.cpp" "tests/CMakeFiles/ss_tests.dir/daemon_key_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/daemon_key_test.cpp.o.d"
+  "/root/repo/tests/drbg_dh_test.cpp" "tests/CMakeFiles/ss_tests.dir/drbg_dh_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/drbg_dh_test.cpp.o.d"
+  "/root/repo/tests/flush_test.cpp" "tests/CMakeFiles/ss_tests.dir/flush_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/flush_test.cpp.o.d"
+  "/root/repo/tests/fuzz_decode_test.cpp" "tests/CMakeFiles/ss_tests.dir/fuzz_decode_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/fuzz_decode_test.cpp.o.d"
+  "/root/repo/tests/gcs_recovery_test.cpp" "tests/CMakeFiles/ss_tests.dir/gcs_recovery_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/gcs_recovery_test.cpp.o.d"
+  "/root/repo/tests/gcs_test.cpp" "tests/CMakeFiles/ss_tests.dir/gcs_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/gcs_test.cpp.o.d"
+  "/root/repo/tests/hash_test.cpp" "tests/CMakeFiles/ss_tests.dir/hash_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/hash_test.cpp.o.d"
+  "/root/repo/tests/ka_module_test.cpp" "tests/CMakeFiles/ss_tests.dir/ka_module_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/ka_module_test.cpp.o.d"
+  "/root/repo/tests/link_crypto_test.cpp" "tests/CMakeFiles/ss_tests.dir/link_crypto_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/link_crypto_test.cpp.o.d"
+  "/root/repo/tests/link_test.cpp" "tests/CMakeFiles/ss_tests.dir/link_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/link_test.cpp.o.d"
+  "/root/repo/tests/schnorr_auth_test.cpp" "tests/CMakeFiles/ss_tests.dir/schnorr_auth_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/schnorr_auth_test.cpp.o.d"
+  "/root/repo/tests/secure_extra_test.cpp" "tests/CMakeFiles/ss_tests.dir/secure_extra_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/secure_extra_test.cpp.o.d"
+  "/root/repo/tests/secure_test.cpp" "tests/CMakeFiles/ss_tests.dir/secure_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/secure_test.cpp.o.d"
+  "/root/repo/tests/spread_conf_test.cpp" "tests/CMakeFiles/ss_tests.dir/spread_conf_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/spread_conf_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/ss_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/ss_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/ss_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcs/CMakeFiles/ss_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/flush/CMakeFiles/ss_flush.dir/DependInfo.cmake"
+  "/root/repo/build/src/cliques/CMakeFiles/ss_cliques.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckd/CMakeFiles/ss_ckd.dir/DependInfo.cmake"
+  "/root/repo/build/src/secure/CMakeFiles/ss_secure.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_primes.dir/find_primes.cpp.o"
+  "CMakeFiles/find_primes.dir/find_primes.cpp.o.d"
+  "find_primes"
+  "find_primes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_primes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
