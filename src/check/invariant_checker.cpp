@@ -1,0 +1,454 @@
+#include "check/invariant_checker.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <tuple>
+
+#include "util/bytes.h"
+
+namespace ss::check {
+
+namespace {
+
+constexpr std::size_t kMaxViolations = 100;
+
+/// FNV-1a over the fields that identify a message independently of the
+/// delivery context (the view stamp differs across components for the same
+/// logical message, so it is deliberately excluded).
+std::uint64_t digest_of(const gcs::Message& m) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(m.group.data(), m.group.size());
+  mix(&m.sender.daemon, sizeof(m.sender.daemon));
+  mix(&m.sender.client, sizeof(m.sender.client));
+  mix(&m.service, sizeof(m.service));
+  mix(&m.msg_type, sizeof(m.msg_type));
+  mix(m.payload.data(), m.payload.size());
+  return h;
+}
+
+bool is_unicast(const gcs::Message& m) { return m.view_id == gcs::GroupViewId{}; }
+
+bool is_total_order(gcs::ServiceType s) {
+  return s == gcs::ServiceType::kAgreed || s == gcs::ServiceType::kSafe;
+}
+
+std::string hex(const std::string& raw) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  for (const char c : raw) {
+    const auto b = static_cast<unsigned char>(c);
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::string members_str(const std::vector<gcs::MemberId>& ms) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    if (i != 0) out += ",";
+    out += ms[i].to_string();
+  }
+  return out + "}";
+}
+
+/// Restricts `seq` to the digests it has in common with `other`, matching
+/// duplicate payloads by occurrence index.
+std::vector<std::uint64_t> common_subsequence(const std::vector<std::uint64_t>& seq,
+                                              const std::vector<std::uint64_t>& other) {
+  std::map<std::uint64_t, std::size_t> budget;
+  for (const std::uint64_t d : other) ++budget[d];
+  std::vector<std::uint64_t> out;
+  for (const std::uint64_t d : seq) {
+    auto it = budget.find(d);
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+bool is_prefix(const std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b) {
+  const auto& shorter = a.size() <= b.size() ? a : b;
+  const auto& longer = a.size() <= b.size() ? b : a;
+  return std::equal(shorter.begin(), shorter.end(), longer.begin());
+}
+
+}  // namespace
+
+void InvariantChecker::add_violation(const std::string& property, const std::string& detail) {
+  if (violations_.size() >= kMaxViolations) {
+    ++dropped_violations_;
+    return;
+  }
+  violations_.push_back({property, detail});
+}
+
+std::string InvariantChecker::member_str(const Stream& s) {
+  std::string out = s.member.to_string();
+  if (s.incarnation > 0) out += "#" + std::to_string(s.incarnation);
+  return out;
+}
+
+InvariantChecker::Stream& InvariantChecker::stream_of(const gcs::MemberId& member) {
+  auto it = current_.find(member);
+  if (it == current_.end()) {
+    // Events for a member that never announced an attach (checker installed
+    // mid-run, or synthetic unit-test streams): open a stream implicitly.
+    Stream s;
+    s.member = member;
+    s.incarnation = incarnations_[member]++;
+    streams_.push_back(std::move(s));
+    current_[member] = streams_.size() - 1;
+    return streams_.back();
+  }
+  return streams_[it->second];
+}
+
+InvariantChecker::GroupStream& InvariantChecker::group_stream(Stream& s, gcs::TraceLayer layer,
+                                                              const gcs::GroupName& group) {
+  return s.groups[{static_cast<int>(layer), group}];
+}
+
+void InvariantChecker::on_attach(const gcs::MemberId& member) {
+  ++events_;
+  finalized_ = false;
+  // A fresh connection starts a fresh stream; a reused member id (daemon
+  // restart) must not be conflated with its previous incarnation.
+  Stream s;
+  s.member = member;
+  s.incarnation = incarnations_[member]++;
+  streams_.push_back(std::move(s));
+  current_[member] = streams_.size() - 1;
+}
+
+void InvariantChecker::on_view(gcs::TraceLayer layer, const gcs::MemberId& member,
+                               const gcs::GroupView& view) {
+  ++events_;
+  finalized_ = false;
+  Stream& s = stream_of(member);
+  GroupStream& gs = group_stream(s, layer, view.group);
+
+  if (view.reason == gcs::MembershipReason::kSelfLeave) {
+    if (view.contains(member)) {
+      add_violation("self-inclusion",
+                    member_str(s) + " appears in its own self-leave view of '" + view.group +
+                        "' " + view.view_id.to_string());
+    }
+    gs.left = true;
+    gs.transitional_pending = false;
+    // A rejoin starts a fresh key-agreement history: epochs restart at 1.
+    s.last_epoch.erase(view.group);
+    return;
+  }
+
+  // I1: the receiver is a member of every view delivered to it.
+  if (!view.contains(member)) {
+    add_violation("self-inclusion", member_str(s) + " not in delivered view " +
+                                        view.view_id.to_string() + " of '" + view.group +
+                                        "' members=" + members_str(view.members));
+  }
+
+  // I2: view ids strictly increase per member and group.
+  if (gs.has_view && !(gs.view < view.view_id)) {
+    add_violation("view-monotonicity",
+                  member_str(s) + " in '" + view.group + "': view " + view.view_id.to_string() +
+                      " delivered after " + gs.view.to_string());
+  }
+
+  // I3: network-caused views follow a transitional signal.
+  if (view.reason == gcs::MembershipReason::kNetwork && !gs.transitional_pending) {
+    add_violation("transitional-before-view",
+                  member_str(s) + " in '" + view.group + "': network view " +
+                      view.view_id.to_string() + " without a preceding transitional signal");
+  }
+
+  // I4: all members installing a view id agree on membership and reason.
+  auto [rit, inserted] =
+      view_records_.try_emplace({view.group, view.view_id},
+                                ViewRecord{view.members, view.reason, member});
+  if (!inserted) {
+    if (rit->second.members != view.members) {
+      add_violation("view-agreement",
+                    "view " + view.view_id.to_string() + " of '" + view.group + "': " +
+                        member_str(s) + " sees " + members_str(view.members) + " but " +
+                        rit->second.first_reporter.to_string() + " saw " +
+                        members_str(rit->second.members));
+    } else if (rit->second.reason != view.reason) {
+      add_violation("view-agreement",
+                    "view " + view.view_id.to_string() + " of '" + view.group +
+                        "': reason disagreement (" + gcs::to_string(view.reason) + " vs " +
+                        gcs::to_string(rit->second.reason) + ")");
+    }
+  }
+
+  gs.has_view = true;
+  gs.view = view.view_id;
+  gs.transitional_pending = false;
+  gs.installed.push_back(view.view_id);
+}
+
+void InvariantChecker::on_transitional(gcs::TraceLayer layer, const gcs::MemberId& member,
+                                       const gcs::GroupName& group) {
+  ++events_;
+  finalized_ = false;
+  group_stream(stream_of(member), layer, group).transitional_pending = true;
+}
+
+void InvariantChecker::on_message(gcs::TraceLayer layer, const gcs::MemberId& member,
+                                  const gcs::Message& msg) {
+  ++events_;
+  finalized_ = false;
+  if (is_unicast(msg)) return;  // point-to-point: outside the group contract
+  Stream& s = stream_of(member);
+  GroupStream& gs = group_stream(s, layer, msg.group);
+
+  const std::uint64_t d = digest_of(msg);
+  gs.per_sender[msg.sender].push_back(d);
+  if (is_total_order(msg.service)) gs.totals[msg.view_id].push_back(d);
+
+  if (layer == gcs::TraceLayer::kGcs) {
+    // The daemon stamps deliveries with the receiver's current group view;
+    // per-connection FIFO means the client must have seen that view already.
+    if (!gs.has_view) {
+      add_violation("delivery-before-view",
+                    member_str(s) + " received a message in '" + msg.group +
+                        "' (view " + msg.view_id.to_string() + ") before any view");
+    } else if (msg.view_id != gs.view) {
+      add_violation("delivery-view-stamp",
+                    member_str(s) + " in '" + msg.group + "': message stamped " +
+                        msg.view_id.to_string() + " delivered while in view " +
+                        gs.view.to_string());
+    }
+    return;
+  }
+
+  // I7 (flush): deliver in the sender's view, never after a newer view.
+  if (gs.has_view && msg.view_id < gs.view) {
+    add_violation("same-view-delivery",
+                  member_str(s) + " in '" + msg.group + "': message of old view " +
+                      msg.view_id.to_string() + " delivered after view " + gs.view.to_string() +
+                      " installed");
+  } else if (!gs.has_view || msg.view_id != gs.view) {
+    // Delivered ahead of any install of that view: legal only if this member
+    // never installs it (cascade handover) — audited in finalize().
+    gs.cascade_views.push_back(msg.view_id);
+  }
+}
+
+void InvariantChecker::on_key_installed(const gcs::MemberId& member, const gcs::GroupName& group,
+                                        std::uint64_t epoch, const util::Bytes& key_id,
+                                        const gcs::GroupViewId& view_id) {
+  ++events_;
+  finalized_ = false;
+  Stream& s = stream_of(member);
+  const std::string kid = util::string_of(key_id);
+
+  // I8: key epochs strictly increase per member and group.
+  auto [eit, first] = s.last_epoch.try_emplace(group, epoch);
+  if (!first) {
+    if (epoch <= eit->second) {
+      add_violation("key-epoch-monotonic",
+                    member_str(s) + " in '" + group + "': epoch " + std::to_string(epoch) +
+                        " installed after epoch " + std::to_string(eit->second));
+    }
+    eit->second = epoch;
+  }
+  s.keys[{group, kid}] = KeyInstall{epoch, view_id};
+
+  // I8: every member binds a given key to the same view.
+  auto [kit, inserted] = key_views_.try_emplace({group, kid}, view_id);
+  if (!inserted && kit->second != view_id) {
+    add_violation("key-view-agreement",
+                  "key " + hex(kid) + " of '" + group + "': " + member_str(s) +
+                      " agreed it in view " + view_id.to_string() + " but others in " +
+                      kit->second.to_string());
+  }
+}
+
+void InvariantChecker::on_message_opened(const gcs::MemberId& member, const gcs::GroupName& group,
+                                         const util::Bytes& key_id,
+                                         const gcs::GroupViewId& msg_view,
+                                         const gcs::GroupViewId& current_view) {
+  ++events_;
+  finalized_ = false;
+  Stream& s = stream_of(member);
+  const std::string kid = util::string_of(key_id);
+
+  auto it = s.keys.find({group, kid});
+  if (it == s.keys.end()) {
+    add_violation("key-view-consistency",
+                  member_str(s) + " in '" + group + "': decrypted with key " + hex(kid) +
+                      " it never installed");
+    return;
+  }
+  // I8: the key's agreement view, the message's view and the member's view
+  // at decryption time must all coincide — old-view keys never survive a
+  // view change, so a mismatch means a key leaked across a view epoch.
+  if (it->second.view != current_view) {
+    add_violation("key-view-consistency",
+                  member_str(s) + " in '" + group + "': key " + hex(kid) + " of view " +
+                      it->second.view.to_string() + " used while in view " +
+                      current_view.to_string());
+  } else if (msg_view != current_view) {
+    add_violation("key-view-consistency",
+                  member_str(s) + " in '" + group + "': message of view " +
+                      msg_view.to_string() + " decrypted in view " + current_view.to_string());
+  }
+}
+
+void InvariantChecker::check_cascade_installs() {
+  for (const Stream& s : streams_) {
+    for (const auto& [key, gs] : s.groups) {
+      for (const gcs::GroupViewId& vid : gs.cascade_views) {
+        if (std::find(gs.installed.begin(), gs.installed.end(), vid) != gs.installed.end()) {
+          add_violation("same-view-delivery",
+                        member_str(s) + " in '" + key.second + "': message of view " +
+                            vid.to_string() + " delivered before that view installed");
+        }
+      }
+    }
+  }
+}
+
+void InvariantChecker::check_fifo_consistency() {
+  // Collect, per (layer, group, sender), every receiver's delivery order.
+  struct Entry {
+    const Stream* stream;
+    const std::vector<std::uint64_t>* seq;
+  };
+  std::map<std::tuple<int, gcs::GroupName, gcs::MemberId>, std::vector<Entry>> by_sender;
+  for (const Stream& s : streams_) {
+    for (const auto& [key, gs] : s.groups) {
+      for (const auto& [sender, seq] : gs.per_sender) {
+        by_sender[{key.first, key.second, sender}].push_back({&s, &seq});
+      }
+    }
+  }
+  for (const auto& [key, entries] : by_sender) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      for (std::size_t j = i + 1; j < entries.size(); ++j) {
+        const auto a = common_subsequence(*entries[i].seq, *entries[j].seq);
+        const auto b = common_subsequence(*entries[j].seq, *entries[i].seq);
+        if (a != b) {
+          add_violation("fifo-order",
+                        "group '" + std::get<1>(key) + "', sender " +
+                            std::get<2>(key).to_string() + ": " + member_str(*entries[i].stream) +
+                            " and " + member_str(*entries[j].stream) +
+                            " deliver common messages in different orders");
+        }
+      }
+    }
+  }
+}
+
+void InvariantChecker::check_total_order() {
+  struct Entry {
+    const Stream* stream;
+    const GroupStream* gs;
+    const std::vector<std::uint64_t>* seq;
+  };
+  std::map<std::tuple<int, gcs::GroupName, gcs::GroupViewId>, std::vector<Entry>> by_view;
+  for (const Stream& s : streams_) {
+    for (const auto& [key, gs] : s.groups) {
+      for (const auto& [vid, seq] : gs.totals) {
+        by_view[{key.first, key.second, vid}].push_back({&s, &gs, &seq});
+      }
+    }
+  }
+
+  // Successor of view V in a stream: the view installed right after V, or
+  // nothing when V was the stream's last (or was never installed — cascade).
+  auto successor = [](const GroupStream& gs, const gcs::GroupViewId& vid)
+      -> std::optional<gcs::GroupViewId> {
+    auto it = std::find(gs.installed.begin(), gs.installed.end(), vid);
+    if (it == gs.installed.end() || std::next(it) == gs.installed.end()) return std::nullopt;
+    return *std::next(it);
+  };
+
+  for (const auto& [key, entries] : by_view) {
+    const gcs::GroupViewId& vid = std::get<2>(key);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      for (std::size_t j = i + 1; j < entries.size(); ++j) {
+        const auto succ_i = successor(*entries[i].gs, vid);
+        const auto succ_j = successor(*entries[j].gs, vid);
+        const auto& a = *entries[i].seq;
+        const auto& b = *entries[j].seq;
+        bool violated;
+        const char* mode;
+        if (succ_i && succ_j && *succ_i == *succ_j) {
+          // Transitioned to the next view together: identical deliveries.
+          violated = a != b;
+          mode = "members that installed the next view together";
+        } else if (!succ_i && !succ_j) {
+          // Both still in the view at the end of the run: one total-order
+          // stream, possibly with undelivered tail.
+          violated = !is_prefix(a, b);
+          mode = "members still in the view";
+        } else {
+          // Different continuations (partition, leave, cascade): common
+          // messages must still appear in one global order.
+          violated = common_subsequence(a, b) != common_subsequence(b, a);
+          mode = "members with different continuations";
+        }
+        if (violated) {
+          add_violation("total-order",
+                        "group '" + std::get<1>(key) + "', view " + vid.to_string() + ": " +
+                            member_str(*entries[i].stream) + " (" + std::to_string(a.size()) +
+                            " msgs) and " + member_str(*entries[j].stream) + " (" +
+                            std::to_string(b.size()) +
+                            " msgs) disagree on agreed/safe delivery order (" + mode + ")");
+        }
+      }
+    }
+  }
+}
+
+void InvariantChecker::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  check_cascade_installs();
+  check_fifo_consistency();
+  check_total_order();
+}
+
+std::string InvariantChecker::report() const {
+  if (violations_.empty()) return "";
+  std::ostringstream os;
+  os << "protocol invariant violations (" << violations_.size();
+  if (dropped_violations_ > 0) os << " shown, " << dropped_violations_ << " more dropped";
+  os << "):\n";
+  for (const Violation& v : violations_) os << "  [" << v.property << "] " << v.detail << "\n";
+  return os.str();
+}
+
+std::vector<Violation> InvariantChecker::finalize_and_take() {
+  finalize();
+  std::vector<Violation> out = std::move(violations_);
+  violations_.clear();
+  dropped_violations_ = 0;
+  return out;
+}
+
+void InvariantChecker::reset() {
+  streams_.clear();
+  current_.clear();
+  incarnations_.clear();
+  view_records_.clear();
+  key_views_.clear();
+  violations_.clear();
+  dropped_violations_ = 0;
+  events_ = 0;
+  finalized_ = false;
+}
+
+}  // namespace ss::check

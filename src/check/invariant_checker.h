@@ -1,0 +1,168 @@
+// Runtime protocol invariant checker.
+//
+// Observes the client-visible event streams of every member in the process
+// (via the compiled-in gcs::ClientTrace hooks) and asserts the safety
+// properties the paper's security architecture is built on:
+//
+//   I1 self-inclusion        — every delivered view contains the receiver
+//                              (except the final self-leave view, which must
+//                              not contain it).
+//   I2 view monotonicity     — per member and group, delivered view ids
+//                              strictly increase.
+//   I3 transitional order    — a network-caused view is preceded by the EVS
+//                              transitional signal for that group.
+//   I4 view agreement        — members installing the same view id see
+//                              identical membership (and the same reason).
+//   I5 per-sender FIFO       — any two receivers deliver the messages of one
+//                              sender they have in common in the same order.
+//   I6 total order           — agreed/safe deliveries within one view are
+//                              identical for members that install the next
+//                              view together, prefix-consistent for members
+//                              still in the view, and relative-order
+//                              consistent otherwise (EVS during cascades).
+//   I7 same-view delivery    — the flush layer delivers every message in the
+//                              view its sender sent it in: never after a
+//                              newer view installed, and a message of a view
+//                              this member later installs must not arrive
+//                              before the install (VS; paper Section 3.1).
+//   I8 key-view consistency  — a group key is bound to the view it was
+//                              agreed in: all members associate a key id
+//                              with the same view, per-member key epochs
+//                              strictly increase, and no message is
+//                              decrypted under a key from a different view
+//                              epoch (paper Sections 3.1, 5.4).
+//
+// I1-I3, I7 (partially), and I8 fire online as events arrive; the
+// cross-member comparisons (I4-I6 and the cascade audit of I7) run in
+// finalize(). The checker is test infrastructure but lives in src/ so any
+// embedding (soak harnesses, future live deployments) can enable it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gcs/trace.h"
+#include "gcs/types.h"
+
+namespace ss::check {
+
+struct Violation {
+  std::string property;  // e.g. "same-view-delivery"
+  std::string detail;
+
+  std::string to_string() const { return property + ": " + detail; }
+};
+
+class InvariantChecker : public gcs::ClientTrace {
+ public:
+  InvariantChecker() = default;
+
+  // --- gcs::ClientTrace ------------------------------------------------------
+  void on_attach(const gcs::MemberId& member) override;
+  void on_view(gcs::TraceLayer layer, const gcs::MemberId& member,
+               const gcs::GroupView& view) override;
+  void on_message(gcs::TraceLayer layer, const gcs::MemberId& member,
+                  const gcs::Message& msg) override;
+  void on_transitional(gcs::TraceLayer layer, const gcs::MemberId& member,
+                       const gcs::GroupName& group) override;
+  void on_key_installed(const gcs::MemberId& member, const gcs::GroupName& group,
+                        std::uint64_t epoch, const util::Bytes& key_id,
+                        const gcs::GroupViewId& view_id) override;
+  void on_message_opened(const gcs::MemberId& member, const gcs::GroupName& group,
+                         const util::Bytes& key_id, const gcs::GroupViewId& msg_view,
+                         const gcs::GroupViewId& current_view) override;
+
+  // --- results ---------------------------------------------------------------
+  /// Runs the cross-member checks (I4-I7). Idempotent; further events after
+  /// a finalize() re-arm it.
+  void finalize();
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  /// Human-readable summary of all violations (empty string when ok).
+  std::string report() const;
+  /// finalize() + return the violations, clearing them (the recorded event
+  /// streams are kept). Used by tests that deliberately seed a violation.
+  std::vector<Violation> finalize_and_take();
+  /// Drops all recorded streams and violations.
+  void reset();
+
+  /// Total events observed (streams sanity check for tests).
+  std::uint64_t events_observed() const { return events_; }
+
+ private:
+  /// One member's delivery stream for one (layer, group).
+  struct GroupStream {
+    bool has_view = false;
+    gcs::GroupViewId view;  // latest delivered (installed) view id
+    bool transitional_pending = false;
+    bool left = false;  // saw the final self-leave view
+    std::vector<gcs::GroupViewId> installed;  // in delivery order
+    /// Delivered multicast digests per sender (I5).
+    std::map<gcs::MemberId, std::vector<std::uint64_t>> per_sender;
+    /// Ordered agreed/safe digests per message view (I6).
+    std::map<gcs::GroupViewId, std::vector<std::uint64_t>> totals;
+    /// Flush layer: views of messages delivered while not installed
+    /// (legal only for views this member never installs — cascades).
+    std::vector<gcs::GroupViewId> cascade_views;
+  };
+
+  struct KeyInstall {
+    std::uint64_t epoch = 0;
+    gcs::GroupViewId view;
+  };
+
+  /// One client incarnation (daemon restarts may reuse member ids).
+  struct Stream {
+    gcs::MemberId member;
+    std::uint64_t incarnation = 0;
+    std::map<std::pair<int, gcs::GroupName>, GroupStream> groups;  // (layer, group)
+    std::map<std::pair<gcs::GroupName, std::string>, KeyInstall> keys;  // (group, key id)
+    std::map<gcs::GroupName, std::uint64_t> last_epoch;
+  };
+
+  struct ViewRecord {
+    std::vector<gcs::MemberId> members;
+    gcs::MembershipReason reason{};
+    gcs::MemberId first_reporter;
+  };
+
+  Stream& stream_of(const gcs::MemberId& member);
+  GroupStream& group_stream(Stream& s, gcs::TraceLayer layer, const gcs::GroupName& group);
+  void add_violation(const std::string& property, const std::string& detail);
+  static std::string member_str(const Stream& s);
+
+  // Cross-stream finalize passes.
+  void check_fifo_consistency();
+  void check_total_order();
+  void check_cascade_installs();
+
+  std::vector<Stream> streams_;
+  std::map<gcs::MemberId, std::size_t> current_;  // member -> index into streams_
+  std::map<gcs::MemberId, std::uint64_t> incarnations_;
+  /// (group, view id) -> membership/reason as first reported (I4).
+  std::map<std::pair<gcs::GroupName, gcs::GroupViewId>, ViewRecord> view_records_;
+  /// (group, key id) -> view the key was agreed in (I8, cross-member).
+  std::map<std::pair<gcs::GroupName, std::string>, gcs::GroupViewId> key_views_;
+
+  std::vector<Violation> violations_;
+  std::uint64_t dropped_violations_ = 0;
+  std::uint64_t events_ = 0;
+  bool finalized_ = false;
+};
+
+/// RAII: installs a checker as the process-wide trace for the current scope.
+class TraceScope {
+ public:
+  explicit TraceScope(InvariantChecker& checker)
+      : prev_(gcs::ClientTrace::set_global(&checker)) {}
+  ~TraceScope() { gcs::ClientTrace::set_global(prev_); }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  gcs::ClientTrace* prev_;
+};
+
+}  // namespace ss::check

@@ -1,5 +1,6 @@
 #include "flush/flush.h"
 
+#include "gcs/trace.h"
 #include "util/serial.h"
 
 namespace ss::flush {
@@ -36,6 +37,9 @@ FlushMailbox::FlushMailbox(gcs::Daemon& daemon) : mbox_(daemon) {
   mbox_.on_view([this](const gcs::GroupView& v) { handle_raw_view(v); });
   mbox_.on_message([this](const gcs::Message& m) { handle_raw_message(m); });
   mbox_.on_transitional([this](const gcs::GroupName& g) {
+    if (gcs::ClientTrace* t = gcs::ClientTrace::global()) {
+      t->on_transitional(gcs::TraceLayer::kFlush, mbox_.id(), g);
+    }
     if (on_transitional_) on_transitional_(g);
   });
 }
@@ -88,7 +92,7 @@ void FlushMailbox::send_flush_ok(const gcs::GroupName& group, GroupState& st) {
 void FlushMailbox::handle_raw_view(const gcs::GroupView& view) {
   if (view.reason == gcs::MembershipReason::kSelfLeave) {
     state_.erase(view.group);
-    if (on_view_) on_view_(view);
+    deliver_app_view(view);
     return;
   }
 
@@ -96,9 +100,7 @@ void FlushMailbox::handle_raw_view(const gcs::GroupView& view) {
   if (st.is_flushing && !st.buffered.empty()) {
     // Cascade: the view we were flushing toward was superseded. Deliver what
     // was buffered for it (EVS-grade guarantee during cascades), in order.
-    for (const gcs::Message& m : st.buffered) {
-      if (on_message_) on_message_(m);
-    }
+    for (const gcs::Message& m : st.buffered) deliver_app_message(m);
   }
   st.buffered.clear();
   st.is_flushing = true;
@@ -144,7 +146,7 @@ void FlushMailbox::handle_raw_message(const gcs::Message& msg) {
   if (msg.msg_type != kFlushDataType) {
     // Raw traffic from a non-flush client (open-group sender): not part of
     // the VS contract; surface it unchanged.
-    if (on_message_) on_message_(msg);
+    deliver_app_message(msg);
     return;
   }
 
@@ -165,7 +167,7 @@ void FlushMailbox::handle_raw_message(const gcs::Message& msg) {
   if (st.has_view && u.vid == st.current.view_id) {
     // Sent in our installed view (this covers both normal operation and
     // old-view traffic still arriving during a flush).
-    if (on_message_) on_message_(app);
+    deliver_app_message(app);
   } else if (st.is_flushing && u.vid == st.pending.view_id) {
     // Sent by a member that installed the pending view before us.
     st.buffered.push_back(std::move(app));
@@ -187,10 +189,22 @@ void FlushMailbox::maybe_install(const gcs::GroupName& group) {
   st.oks.clear();
   std::vector<gcs::Message> buffered = std::move(st.buffered);
   st.buffered.clear();
-  if (on_view_) on_view_(st.current);
-  for (const gcs::Message& m : buffered) {
-    if (on_message_) on_message_(m);
+  deliver_app_view(st.current);
+  for (const gcs::Message& m : buffered) deliver_app_message(m);
+}
+
+void FlushMailbox::deliver_app_message(const gcs::Message& msg) {
+  if (gcs::ClientTrace* t = gcs::ClientTrace::global()) {
+    t->on_message(gcs::TraceLayer::kFlush, mbox_.id(), msg);
   }
+  if (on_message_) on_message_(msg);
+}
+
+void FlushMailbox::deliver_app_view(const gcs::GroupView& view) {
+  if (gcs::ClientTrace* t = gcs::ClientTrace::global()) {
+    t->on_view(gcs::TraceLayer::kFlush, mbox_.id(), view);
+  }
+  if (on_view_) on_view_(view);
 }
 
 }  // namespace ss::flush

@@ -95,6 +95,9 @@ class FlushMailbox {
   void handle_raw_message(const gcs::Message& msg);
   void maybe_install(const gcs::GroupName& group);
   void send_flush_ok(const gcs::GroupName& group, GroupState& st);
+  /// Hand an event to the application (runs the compiled-in trace first).
+  void deliver_app_message(const gcs::Message& msg);
+  void deliver_app_view(const gcs::GroupView& view);
 
   gcs::Mailbox mbox_;
   std::map<gcs::GroupName, GroupState> state_;

@@ -1,10 +1,13 @@
 #include "gcs/mailbox.h"
 
+#include "gcs/trace.h"
+
 namespace ss::gcs {
 
 Mailbox::Mailbox(Daemon& daemon) : daemon_(daemon) {
   id_ = daemon_.attach_client(this);
   connected_ = true;
+  if (ClientTrace* t = ClientTrace::global()) t->on_attach(id_);
 }
 
 Mailbox::~Mailbox() {
@@ -42,14 +45,17 @@ void Mailbox::kill() {
 }
 
 void Mailbox::deliver_message(const Message& msg) {
+  if (ClientTrace* t = ClientTrace::global()) t->on_message(TraceLayer::kGcs, id_, msg);
   if (on_message_) on_message_(msg);
 }
 
 void Mailbox::deliver_view(const GroupView& view) {
+  if (ClientTrace* t = ClientTrace::global()) t->on_view(TraceLayer::kGcs, id_, view);
   if (on_view_) on_view_(view);
 }
 
 void Mailbox::deliver_transitional(const GroupName& group) {
+  if (ClientTrace* t = ClientTrace::global()) t->on_transitional(TraceLayer::kGcs, id_, group);
   if (on_transitional_) on_transitional_(group);
 }
 

@@ -1,0 +1,17 @@
+#include "gcs/trace.h"
+
+namespace ss::gcs {
+
+ClientTrace* ClientTrace::global_ = nullptr;
+
+const char* to_string(TraceLayer layer) {
+  switch (layer) {
+    case TraceLayer::kGcs:
+      return "gcs";
+    case TraceLayer::kFlush:
+      return "flush";
+  }
+  return "?";
+}
+
+}  // namespace ss::gcs

@@ -2,6 +2,7 @@
 
 #include "crypto/hmac.h"
 #include "crypto/schnorr.h"
+#include "gcs/trace.h"
 #include "util/log.h"
 #include "util/serial.h"
 
@@ -282,6 +283,9 @@ void SecureGroupClient::apply_new_key(const gcs::GroupName& group, GroupState& s
   st.key_ready = true;
   ++st.epoch;
   ++st.stats.rekeys;
+  if (gcs::ClientTrace* t = gcs::ClientTrace::global()) {
+    t->on_key_installed(fm_.id(), group, st.epoch, st.key_id, st.view.view_id);
+  }
 
   if (st.in_rekey) {
     RekeyStats stats;
@@ -383,6 +387,9 @@ void SecureGroupClient::deliver_ciphertext(GroupState& st, const gcs::Message& m
 
   try {
     const util::Bytes inner = suite->unprotect(sealed, make_aad(msg.group, key_id));
+    if (gcs::ClientTrace* t = gcs::ClientTrace::global()) {
+      t->on_message_opened(fm_.id(), msg.group, key_id, msg.view_id, st.view.view_id);
+    }
     util::Reader r(inner);
     const bool signed_msg = r.u8() != 0;
     std::optional<crypto::SchnorrSignature> sig;

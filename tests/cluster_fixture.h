@@ -1,11 +1,20 @@
 // Shared test harness: a simulated cluster of daemons plus recording
 // clients. Used by the gcs, flush and secure-layer test suites.
+//
+// Every Cluster installs a check::InvariantChecker as the process-wide
+// client trace for its lifetime, so all clients created against its daemons
+// (RecordingClient, FlushMailbox, SecureGroupClient — in any test) have the
+// EVS/VS/key-consistency protocol invariants enforced automatically. The
+// checker's verdict is asserted in the Cluster destructor.
 #pragma once
+
+#include <gtest/gtest.h>
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "check/invariant_checker.h"
 #include "gcs/daemon.h"
 #include "gcs/mailbox.h"
 #include "sim/network.h"
@@ -53,7 +62,7 @@ class Cluster {
  public:
   explicit Cluster(std::size_t n, std::uint64_t seed = 42,
                    gcs::TimingConfig timing = {}, sim::LinkModel link = {})
-      : net(sched, seed, link) {
+      : net(sched, seed, link), trace_scope_(checker) {
     std::vector<gcs::DaemonId> ids;
     for (std::size_t i = 0; i < n; ++i) ids.push_back(static_cast<gcs::DaemonId>(i));
     for (std::size_t i = 0; i < n; ++i) {
@@ -68,6 +77,12 @@ class Cluster {
       daemons[i] = std::move(d);
     }
     for (auto& d : daemons) d->start();
+  }
+
+  /// Fails the surrounding test if any protocol invariant was violated.
+  ~Cluster() {
+    checker.finalize();
+    if (!checker.ok()) ADD_FAILURE() << checker.report();
   }
 
   /// Runs until every running daemon is operational in the same view
@@ -107,7 +122,12 @@ class Cluster {
 
   sim::Scheduler sched;
   sim::SimNetwork net;
+  /// Protocol invariant checker fed by every client of this cluster.
+  check::InvariantChecker checker;
   std::vector<std::unique_ptr<gcs::Daemon>> daemons;
+
+ private:
+  check::TraceScope trace_scope_;
 };
 
 }  // namespace ss::testing

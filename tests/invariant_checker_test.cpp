@@ -1,0 +1,364 @@
+// Tests for the protocol invariant checker itself (src/check): each checked
+// property is exercised with a synthetic event stream that satisfies it and
+// one that violates it, and a live-cluster self-test seeds a deliberate
+// violation through the real trace hooks to prove the wiring fires.
+#include "check/invariant_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "flush/flush.h"
+#include "tests/cluster_fixture.h"
+
+namespace ss::check {
+namespace {
+
+using gcs::GroupView;
+using gcs::GroupViewId;
+using gcs::MemberId;
+using gcs::MembershipReason;
+using gcs::Message;
+using gcs::ServiceType;
+using gcs::TraceLayer;
+using gcs::ViewId;
+using util::bytes_of;
+
+MemberId member(std::uint32_t daemon, std::uint32_t client = 1) {
+  return MemberId{static_cast<gcs::DaemonId>(daemon), client};
+}
+
+GroupViewId vid(std::uint64_t round, std::uint64_t change = 0) {
+  return GroupViewId{ViewId{round, 0}, change};
+}
+
+GroupView make_view(const std::string& group, GroupViewId id, std::vector<MemberId> members,
+                    MembershipReason reason = MembershipReason::kJoin) {
+  GroupView v;
+  v.group = group;
+  v.view_id = id;
+  v.members = std::move(members);
+  v.reason = reason;
+  return v;
+}
+
+Message make_msg(const std::string& group, MemberId sender, GroupViewId view,
+                 const std::string& payload, ServiceType service = ServiceType::kFifo) {
+  Message m;
+  m.group = group;
+  m.sender = sender;
+  m.service = service;
+  m.payload = bytes_of(payload);
+  m.view_id = view;
+  return m;
+}
+
+std::vector<std::string> properties(const std::vector<Violation>& vs) {
+  std::vector<std::string> out;
+  for (const auto& v : vs) out.push_back(v.property);
+  return out;
+}
+
+bool has_property(const std::vector<Violation>& vs, const std::string& p) {
+  for (const auto& v : vs) {
+    if (v.property == p) return true;
+  }
+  return false;
+}
+
+// --- I1 self-inclusion -------------------------------------------------------
+
+TEST(InvariantChecker, SelfInclusionHolds) {
+  InvariantChecker ck;
+  ck.on_view(TraceLayer::kGcs, member(0), make_view("g", vid(1), {member(0), member(1)}));
+  ck.finalize();
+  EXPECT_TRUE(ck.ok()) << ck.report();
+}
+
+TEST(InvariantChecker, SelfInclusionViolationFires) {
+  InvariantChecker ck;
+  // A view delivered to member(0) that does not contain it.
+  ck.on_view(TraceLayer::kGcs, member(0), make_view("g", vid(1), {member(1), member(2)}));
+  const auto vs = ck.finalize_and_take();
+  EXPECT_TRUE(has_property(vs, "self-inclusion")) << ::testing::PrintToString(properties(vs));
+}
+
+TEST(InvariantChecker, SelfLeaveViewMustExcludeReceiver) {
+  InvariantChecker ck;
+  auto bye = make_view("g", vid(2), {member(0)}, MembershipReason::kSelfLeave);
+  ck.on_view(TraceLayer::kFlush, member(0), bye);
+  const auto vs = ck.finalize_and_take();
+  EXPECT_TRUE(has_property(vs, "self-inclusion"));
+}
+
+// --- I2 view monotonicity ----------------------------------------------------
+
+TEST(InvariantChecker, ViewMonotonicityViolationFires) {
+  InvariantChecker ck;
+  ck.on_view(TraceLayer::kGcs, member(0), make_view("g", vid(2), {member(0)}));
+  ck.on_view(TraceLayer::kGcs, member(0), make_view("g", vid(1), {member(0)}));
+  const auto vs = ck.finalize_and_take();
+  EXPECT_TRUE(has_property(vs, "view-monotonicity"));
+}
+
+TEST(InvariantChecker, ReattachStartsFreshStream) {
+  InvariantChecker ck;
+  ck.on_attach(member(0));
+  ck.on_view(TraceLayer::kGcs, member(0), make_view("g", vid(5), {member(0)}));
+  // Daemon restart: the same member id comes back with a lower view round.
+  ck.on_attach(member(0));
+  ck.on_view(TraceLayer::kGcs, member(0), make_view("g", vid(1), {member(0)}));
+  ck.finalize();
+  EXPECT_TRUE(ck.ok()) << ck.report();
+}
+
+// --- I3 transitional signal --------------------------------------------------
+
+TEST(InvariantChecker, NetworkViewRequiresTransitional) {
+  InvariantChecker ck;
+  ck.on_view(TraceLayer::kGcs, member(0), make_view("g", vid(1), {member(0), member(1)}));
+  ck.on_view(TraceLayer::kGcs, member(0),
+             make_view("g", vid(2), {member(0)}, MembershipReason::kNetwork));
+  const auto vs = ck.finalize_and_take();
+  EXPECT_TRUE(has_property(vs, "transitional-before-view"));
+}
+
+TEST(InvariantChecker, TransitionalThenNetworkViewIsClean) {
+  InvariantChecker ck;
+  ck.on_view(TraceLayer::kGcs, member(0), make_view("g", vid(1), {member(0), member(1)}));
+  ck.on_transitional(TraceLayer::kGcs, member(0), "g");
+  ck.on_view(TraceLayer::kGcs, member(0),
+             make_view("g", vid(2), {member(0)}, MembershipReason::kNetwork));
+  ck.finalize();
+  EXPECT_TRUE(ck.ok()) << ck.report();
+}
+
+// --- I4 view agreement -------------------------------------------------------
+
+TEST(InvariantChecker, ViewAgreementViolationFires) {
+  InvariantChecker ck;
+  ck.on_view(TraceLayer::kGcs, member(0), make_view("g", vid(1), {member(0), member(1)}));
+  // member(1) installs the same view id with different membership.
+  ck.on_view(TraceLayer::kGcs, member(1), make_view("g", vid(1), {member(1)}));
+  const auto vs = ck.finalize_and_take();
+  EXPECT_TRUE(has_property(vs, "view-agreement"));
+}
+
+// --- I5 per-sender FIFO ------------------------------------------------------
+
+TEST(InvariantChecker, FifoConsistencyHolds) {
+  InvariantChecker ck;
+  const auto v = vid(1);
+  for (auto m : {member(0), member(1)}) {
+    ck.on_view(TraceLayer::kFlush, m, make_view("g", v, {member(0), member(1)}));
+  }
+  for (auto m : {member(0), member(1)}) {
+    ck.on_message(TraceLayer::kFlush, m, make_msg("g", member(0), v, "a"));
+    ck.on_message(TraceLayer::kFlush, m, make_msg("g", member(0), v, "b"));
+  }
+  ck.finalize();
+  EXPECT_TRUE(ck.ok()) << ck.report();
+}
+
+TEST(InvariantChecker, FifoViolationFires) {
+  InvariantChecker ck;
+  const auto v = vid(1);
+  for (auto m : {member(0), member(1)}) {
+    ck.on_view(TraceLayer::kFlush, m, make_view("g", v, {member(0), member(1)}));
+  }
+  ck.on_message(TraceLayer::kFlush, member(0), make_msg("g", member(0), v, "a"));
+  ck.on_message(TraceLayer::kFlush, member(0), make_msg("g", member(0), v, "b"));
+  // member(1) sees the same sender's messages in the opposite order.
+  ck.on_message(TraceLayer::kFlush, member(1), make_msg("g", member(0), v, "b"));
+  ck.on_message(TraceLayer::kFlush, member(1), make_msg("g", member(0), v, "a"));
+  const auto vs = ck.finalize_and_take();
+  EXPECT_TRUE(has_property(vs, "fifo-order"));
+}
+
+// --- I6 total order ----------------------------------------------------------
+
+TEST(InvariantChecker, TotalOrderPrefixIsAccepted) {
+  InvariantChecker ck;
+  const auto v = vid(1);
+  for (auto m : {member(0), member(1)}) {
+    ck.on_view(TraceLayer::kGcs, m, make_view("g", v, {member(0), member(1)}));
+  }
+  for (const char* p : {"x", "y", "z"}) {
+    ck.on_message(TraceLayer::kGcs, member(0),
+                  make_msg("g", member(1), v, p, ServiceType::kAgreed));
+  }
+  // member(1) is one message behind (still in flight): a legal prefix.
+  for (const char* p : {"x", "y"}) {
+    ck.on_message(TraceLayer::kGcs, member(1),
+                  make_msg("g", member(1), v, p, ServiceType::kAgreed));
+  }
+  ck.finalize();
+  EXPECT_TRUE(ck.ok()) << ck.report();
+}
+
+TEST(InvariantChecker, TotalOrderViolationFires) {
+  InvariantChecker ck;
+  const auto v = vid(1);
+  for (auto m : {member(0), member(1)}) {
+    ck.on_view(TraceLayer::kGcs, m, make_view("g", v, {member(0), member(1)}));
+  }
+  // Two members deliver concurrent agreed messages in different orders.
+  ck.on_message(TraceLayer::kGcs, member(0), make_msg("g", member(0), v, "x", ServiceType::kAgreed));
+  ck.on_message(TraceLayer::kGcs, member(0), make_msg("g", member(1), v, "y", ServiceType::kAgreed));
+  ck.on_message(TraceLayer::kGcs, member(1), make_msg("g", member(1), v, "y", ServiceType::kAgreed));
+  ck.on_message(TraceLayer::kGcs, member(1), make_msg("g", member(0), v, "x", ServiceType::kAgreed));
+  const auto vs = ck.finalize_and_take();
+  EXPECT_TRUE(has_property(vs, "total-order"));
+}
+
+// --- I7 same-view delivery ---------------------------------------------------
+
+TEST(InvariantChecker, OldViewMessageAfterNewViewFires) {
+  InvariantChecker ck;
+  ck.on_view(TraceLayer::kFlush, member(0), make_view("g", vid(1), {member(0)}));
+  ck.on_view(TraceLayer::kFlush, member(0), make_view("g", vid(2), {member(0), member(1)}));
+  // A message of the superseded view arrives after the new view installed.
+  ck.on_message(TraceLayer::kFlush, member(0), make_msg("g", member(1), vid(1), "stale"));
+  const auto vs = ck.finalize_and_take();
+  EXPECT_TRUE(has_property(vs, "same-view-delivery"));
+}
+
+TEST(InvariantChecker, MessageBeforeItsViewInstallFires) {
+  InvariantChecker ck;
+  ck.on_view(TraceLayer::kFlush, member(0), make_view("g", vid(1), {member(0)}));
+  // Message of view 2 delivered, then view 2 installs: VS forbids this.
+  ck.on_message(TraceLayer::kFlush, member(0), make_msg("g", member(1), vid(2), "early"));
+  ck.on_view(TraceLayer::kFlush, member(0), make_view("g", vid(2), {member(0), member(1)}));
+  const auto vs = ck.finalize_and_take();
+  EXPECT_TRUE(has_property(vs, "same-view-delivery"));
+}
+
+TEST(InvariantChecker, CascadeDeliveryOfAbandonedViewIsLegal) {
+  InvariantChecker ck;
+  ck.on_view(TraceLayer::kFlush, member(0), make_view("g", vid(1), {member(0)}));
+  // Buffered messages of a view this member never installs (cascade).
+  ck.on_message(TraceLayer::kFlush, member(0), make_msg("g", member(1), vid(2), "cascade"));
+  ck.on_transitional(TraceLayer::kFlush, member(0), "g");
+  ck.on_view(TraceLayer::kFlush, member(0),
+             make_view("g", vid(3), {member(0)}, MembershipReason::kNetwork));
+  ck.finalize();
+  EXPECT_TRUE(ck.ok()) << ck.report();
+}
+
+// --- I8 key-view consistency -------------------------------------------------
+
+TEST(InvariantChecker, KeyLifecycleIsClean) {
+  InvariantChecker ck;
+  const auto v = vid(1);
+  const util::Bytes key = bytes_of("keyid-01");
+  ck.on_key_installed(member(0), "g", 1, key, v);
+  ck.on_key_installed(member(1), "g", 1, key, v);
+  ck.on_message_opened(member(0), "g", key, v, v);
+  ck.finalize();
+  EXPECT_TRUE(ck.ok()) << ck.report();
+}
+
+TEST(InvariantChecker, KeyEpochMustIncrease) {
+  InvariantChecker ck;
+  ck.on_key_installed(member(0), "g", 2, bytes_of("keyid-02"), vid(1));
+  ck.on_key_installed(member(0), "g", 2, bytes_of("keyid-03"), vid(1));
+  const auto vs = ck.finalize_and_take();
+  EXPECT_TRUE(has_property(vs, "key-epoch-monotonic"));
+}
+
+TEST(InvariantChecker, KeyEpochRestartsAfterRejoin) {
+  InvariantChecker ck;
+  ck.on_key_installed(member(0), "g", 1, bytes_of("keyid-a"), vid(1));
+  ck.on_key_installed(member(0), "g", 2, bytes_of("keyid-b"), vid(1));
+  ck.on_view(TraceLayer::kFlush, member(0), make_view("g", vid(2), {}, MembershipReason::kSelfLeave));
+  // Rejoining starts a fresh key-agreement history: epoch 1 again is legal.
+  ck.on_key_installed(member(0), "g", 1, bytes_of("keyid-c"), vid(3));
+  ck.finalize();
+  EXPECT_TRUE(ck.ok()) << ck.report();
+}
+
+TEST(InvariantChecker, KeyAgreedInDifferentViewsFires) {
+  InvariantChecker ck;
+  const util::Bytes key = bytes_of("keyid-04");
+  ck.on_key_installed(member(0), "g", 1, key, vid(1));
+  ck.on_key_installed(member(1), "g", 1, key, vid(2));
+  const auto vs = ck.finalize_and_take();
+  EXPECT_TRUE(has_property(vs, "key-view-agreement"));
+}
+
+TEST(InvariantChecker, DecryptionUnderForeignViewKeyFires) {
+  InvariantChecker ck;
+  const util::Bytes key = bytes_of("keyid-05");
+  ck.on_key_installed(member(0), "g", 1, key, vid(1));
+  // The member moved to view 2 but still decrypts with view 1's key.
+  ck.on_message_opened(member(0), "g", key, vid(2), vid(2));
+  const auto vs = ck.finalize_and_take();
+  EXPECT_TRUE(has_property(vs, "key-view-consistency"));
+}
+
+TEST(InvariantChecker, DecryptionWithUnknownKeyFires) {
+  InvariantChecker ck;
+  ck.on_message_opened(member(0), "g", bytes_of("keyid-06"), vid(1), vid(1));
+  const auto vs = ck.finalize_and_take();
+  EXPECT_TRUE(has_property(vs, "key-view-consistency"));
+}
+
+// --- live wiring -------------------------------------------------------------
+
+// A healthy cluster run must produce trace events and no violations (the
+// Cluster destructor re-asserts this for every test in the suite).
+TEST(InvariantCheckerLive, CleanClusterTrafficProducesEventsAndNoViolations) {
+  ss::testing::Cluster c(3);
+  ASSERT_TRUE(c.converge(3));
+  {
+    flush::FlushMailbox a(*c.daemons[0]);
+    flush::FlushMailbox b(*c.daemons[1]);
+    a.on_flush_request([&a](const gcs::GroupName& g) { a.flush_ok(g); });
+    b.on_flush_request([&b](const gcs::GroupName& g) { b.flush_ok(g); });
+    a.join("g");
+    b.join("g");
+    ASSERT_TRUE(c.run_until([&] {
+      const auto* va = a.current_view("g");
+      const auto* vb = b.current_view("g");
+      return va != nullptr && va->members.size() == 2 && vb != nullptr &&
+             vb->members.size() == 2;
+    }));
+    ASSERT_TRUE(a.send(gcs::ServiceType::kAgreed, "g", bytes_of("hello")));
+    c.run_for(200 * sim::kMillisecond);
+  }
+  EXPECT_GT(c.checker.events_observed(), 0u);
+  c.checker.finalize();
+  EXPECT_TRUE(c.checker.ok()) << c.checker.report();
+}
+
+// Seeded-violation self-test: inject a protocol-breaking event into the
+// live cluster's checker through the same trace entry points the client
+// stack uses, and demonstrate the checker catches it.
+TEST(InvariantCheckerLive, SeededViolationIsCaught) {
+  ss::testing::Cluster c(2);
+  ASSERT_TRUE(c.converge(2));
+  testing::RecordingClient a(*c.daemons[0]);
+  testing::RecordingClient b(*c.daemons[1]);
+  a.mbox().join("g");
+  b.mbox().join("g");
+  ASSERT_TRUE(c.run_until([&] {
+    const auto* v = b.last_view("g");
+    return v != nullptr && v->members.size() == 2;
+  }));
+  ASSERT_TRUE(c.checker.finalize_and_take().empty()) << "cluster unhealthy before seeding";
+
+  // Seed: replay member a's current view to it with one member missing —
+  // breaking both self-inclusion (if a is dropped) and view agreement.
+  gcs::GroupView forged = *a.last_view("g");
+  forged.members = {b.id()};
+  gcs::ClientTrace::global()->on_view(gcs::TraceLayer::kGcs, a.id(), forged);
+
+  auto vs = c.checker.finalize_and_take();
+  EXPECT_TRUE(has_property(vs, "self-inclusion")) << ::testing::PrintToString(properties(vs));
+  EXPECT_TRUE(has_property(vs, "view-agreement"));
+  EXPECT_TRUE(has_property(vs, "view-monotonicity"));
+
+  // Reset so the Cluster destructor does not fail this (expected) seeding.
+  c.checker.reset();
+}
+
+}  // namespace
+}  // namespace ss::check

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Correctness gate: builds and runs the full test suite under several
+# compiler/runtime instrumentation configurations, plus a lint pass.
+#
+#   tools/check.sh              run every stage
+#   tools/check.sh plain asan   run only the named stages
+#
+# Stages:
+#   plain  RelWithDebInfo, promoted warnings as errors (SS_WERROR=ON)
+#   asan   AddressSanitizer + UndefinedBehaviorSanitizer
+#   tsan   ThreadSanitizer (the simulation is single-threaded; this guards
+#          against accidental threading being introduced)
+#   tidy   clang-tidy over src/ (skipped with a notice if clang-tidy is not
+#          installed; the gcc toolchain image does not ship it)
+set -u
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+STAGES=("$@")
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(plain asan tsan tidy)
+FAILED=()
+
+run_stage() {
+  local name=$1 dir=$2
+  shift 2
+  echo "==== stage: $name ===="
+  if cmake -B "$dir" -S . "$@" \
+      && cmake --build "$dir" -j "$JOBS" \
+      && ctest --test-dir "$dir" --output-on-failure -j "$JOBS"; then
+    echo "==== stage $name: OK ===="
+  else
+    echo "==== stage $name: FAILED ===="
+    FAILED+=("$name")
+  fi
+}
+
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    plain)
+      run_stage plain build-check -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSS_WERROR=ON
+      ;;
+    asan)
+      ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1} \
+      UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1} \
+      run_stage asan build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSS_SANITIZE=address,undefined
+      ;;
+    tsan)
+      run_stage tsan build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSS_SANITIZE=thread
+      ;;
+    tidy)
+      if command -v clang-tidy >/dev/null 2>&1; then
+        echo "==== stage: tidy ===="
+        cmake -B build-check -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+        if find src -name '*.cpp' -print0 \
+            | xargs -0 -n 8 -P "$JOBS" clang-tidy -p build-check --quiet; then
+          echo "==== stage tidy: OK ===="
+        else
+          echo "==== stage tidy: FAILED ===="
+          FAILED+=(tidy)
+        fi
+      else
+        echo "==== stage tidy: SKIPPED (clang-tidy not installed) ===="
+      fi
+      ;;
+    *)
+      echo "unknown stage: $stage (expected plain|asan|tsan|tidy)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if [ ${#FAILED[@]} -gt 0 ]; then
+  echo "FAILED stages: ${FAILED[*]}" >&2
+  exit 1
+fi
+echo "all stages passed"
