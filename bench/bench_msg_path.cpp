@@ -1,0 +1,215 @@
+// Data-path micro-benchmark: copies per multicast along the zero-copy
+// message path (util::SharedBytes + scatter-gather frames + link packing).
+//
+// Two steady-state scenarios, counters from util/msgpath.h (exposed via
+// gcs::ClientTrace::data_path()):
+//
+//   local   — 1 daemon, 8 clients in one group. Delivery is pure fan-out
+//             inside the daemon; the refactor shares one payload block
+//             across all clients, so a multicast costs ZERO payload copies.
+//
+//   daemons — 4 daemons x 2 clients, kAgreed service. The sender's daemon
+//             gathers headers + payload into one wire image (exactly one
+//             counted copy) and shares that block across all peer links;
+//             receivers alias the scatter body end to end.
+//
+// Output: one JSON object on stdout (BENCH_msgpath.json records the
+// baseline). Self-asserting: exits nonzero if copies-per-multicast exceeds
+// the contract (0 local, 1 daemons), so CI can run it as a smoke test.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gcs/daemon.h"
+#include "gcs/mailbox.h"
+#include "gcs/trace.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "util/bytes.h"
+#include "util/msgpath.h"
+
+using namespace ss;
+
+namespace {
+
+constexpr int kMulticasts = 64;
+constexpr std::size_t kPayloadSize = 4096;  // > link_pack_limit: data rides unpacked
+
+struct ScenarioResult {
+  std::string name;
+  std::size_t payload_size = kPayloadSize;
+  std::uint64_t multicasts = 0;
+  std::uint64_t delivered_msgs = 0;
+  std::uint64_t delivered_bytes = 0;
+  util::MsgPathStats stats;
+
+  double copies_per_multicast() const {
+    return static_cast<double>(stats.payload_copies) / static_cast<double>(multicasts);
+  }
+  double bytes_copied_per_delivered_byte() const {
+    return static_cast<double>(stats.payload_bytes_copied) /
+           static_cast<double>(delivered_bytes);
+  }
+};
+
+ScenarioResult run_scenario(const std::string& name, std::size_t n_daemons,
+                            std::size_t clients_per_daemon, gcs::ServiceType service,
+                            std::size_t payload_size = kPayloadSize, int burst = 1) {
+  sim::Scheduler sched;
+  sim::SimNetwork net(sched, 42);
+  std::vector<gcs::DaemonId> ids;
+  for (std::size_t i = 0; i < n_daemons; ++i) ids.push_back(static_cast<gcs::DaemonId>(i));
+  std::vector<std::unique_ptr<gcs::Daemon>> daemons;
+  for (gcs::DaemonId id : ids) {
+    daemons.push_back(
+        std::make_unique<gcs::Daemon>(sched, net, id, ids, gcs::TimingConfig{}, 5 + id));
+    net.add_node(daemons.back().get());
+  }
+  for (auto& d : daemons) d->start();
+  sched.run_until_condition(
+      [&] {
+        for (auto& d : daemons) {
+          if (!d->is_operational() || d->view_members().size() != n_daemons) return false;
+        }
+        return true;
+      },
+      10 * sim::kSecond);
+
+  std::uint64_t delivered_msgs = 0;
+  std::uint64_t delivered_bytes = 0;
+  std::vector<std::unique_ptr<gcs::Mailbox>> clients;
+  for (auto& d : daemons) {
+    for (std::size_t c = 0; c < clients_per_daemon; ++c) {
+      clients.push_back(std::make_unique<gcs::Mailbox>(*d));
+      clients.back()->on_message([&](const gcs::Message& m) {
+        ++delivered_msgs;
+        delivered_bytes += m.payload.size();
+      });
+      clients.back()->join("bench");
+    }
+  }
+  sched.run_for(2 * sim::kSecond);  // memberships settle
+
+  // Steady state: count only the data path.
+  gcs::ClientTrace::reset_data_path();
+  const util::Bytes payload(payload_size, 0x5A);
+  for (int i = 0; i < kMulticasts; i += burst) {
+    // A burst lands in one instant: small messages to the same peer pack.
+    for (int k = 0; k < burst && i + k < kMulticasts; ++k) {
+      clients.front()->multicast(service, "bench", payload);
+    }
+    sched.run_for(50 * sim::kMillisecond);
+  }
+  sched.run_for(sim::kSecond);
+
+  ScenarioResult r;
+  r.name = name;
+  r.payload_size = payload_size;
+  r.multicasts = kMulticasts;
+  r.delivered_msgs = delivered_msgs;
+  r.delivered_bytes = delivered_bytes;
+  r.stats = gcs::ClientTrace::data_path();
+  return r;
+}
+
+void print_json(const ScenarioResult& r, bool last) {
+  std::printf("  \"%s\": {\n", r.name.c_str());
+  std::printf("    \"multicasts\": %llu,\n", static_cast<unsigned long long>(r.multicasts));
+  std::printf("    \"payload_bytes\": %llu,\n",
+              static_cast<unsigned long long>(r.payload_size));
+  std::printf("    \"delivered_msgs\": %llu,\n",
+              static_cast<unsigned long long>(r.delivered_msgs));
+  std::printf("    \"delivered_bytes\": %llu,\n",
+              static_cast<unsigned long long>(r.delivered_bytes));
+  std::printf("    \"payload_allocs\": %llu,\n",
+              static_cast<unsigned long long>(r.stats.payload_allocs));
+  std::printf("    \"payload_copies\": %llu,\n",
+              static_cast<unsigned long long>(r.stats.payload_copies));
+  std::printf("    \"payload_bytes_copied\": %llu,\n",
+              static_cast<unsigned long long>(r.stats.payload_bytes_copied));
+  std::printf("    \"frames_sent\": %llu,\n",
+              static_cast<unsigned long long>(r.stats.frames_sent));
+  std::printf("    \"frames_packed\": %llu,\n",
+              static_cast<unsigned long long>(r.stats.frames_packed));
+  std::printf("    \"messages_packed\": %llu,\n",
+              static_cast<unsigned long long>(r.stats.messages_packed));
+  std::printf("    \"copies_per_multicast\": %.4f,\n", r.copies_per_multicast());
+  std::printf("    \"bytes_copied_per_delivered_byte\": %.4f\n",
+              r.bytes_copied_per_delivered_byte());
+  std::printf("  }%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  // local: 1 daemon, 8 clients — delivery never leaves the daemon.
+  const ScenarioResult local =
+      run_scenario("local", 1, 8, gcs::ServiceType::kAgreed);
+  // daemons: 4 daemons x 2 clients, total-order service across the wire.
+  const ScenarioResult wide =
+      run_scenario("daemons", 4, 2, gcs::ServiceType::kAgreed);
+  // packed: same topology, bursts of 8 small messages — the link layer
+  // packs them into shared frames (Spread's small-message packing).
+  const ScenarioResult packed =
+      run_scenario("packed", 4, 2, gcs::ServiceType::kAgreed, 64, 8);
+
+  std::printf("{\n");
+  print_json(local, false);
+  print_json(wide, false);
+  print_json(packed, true);
+  std::printf("}\n");
+
+  bool ok = true;
+  if (local.delivered_msgs != static_cast<std::uint64_t>(kMulticasts) * 8) {
+    std::fprintf(stderr, "FAIL: local delivered %llu msgs, want %d\n",
+                 static_cast<unsigned long long>(local.delivered_msgs), kMulticasts * 8);
+    ok = false;
+  }
+  if (wide.delivered_msgs != static_cast<std::uint64_t>(kMulticasts) * 8) {
+    std::fprintf(stderr, "FAIL: daemons delivered %llu msgs, want %d\n",
+                 static_cast<unsigned long long>(wide.delivered_msgs), kMulticasts * 8);
+    ok = false;
+  }
+  // Satellite contract: local delivery of one multicast performs ZERO
+  // payload copies (the old path copied once into the daemon and once per
+  // client).
+  if (local.stats.payload_copies != 0) {
+    std::fprintf(stderr, "FAIL: local copies_per_multicast = %.4f, want 0\n",
+                 local.copies_per_multicast());
+    ok = false;
+  }
+  // Tentpole contract: at most one copy per multicast across daemons (the
+  // single header+payload gather, shared across all peer links). The old
+  // path copied once per peer daemon plus once per local client.
+  if (wide.copies_per_multicast() > 1.0) {
+    std::fprintf(stderr, "FAIL: daemons copies_per_multicast = %.4f, want <= 1\n",
+                 wide.copies_per_multicast());
+    ok = false;
+  }
+  if (packed.delivered_msgs != static_cast<std::uint64_t>(kMulticasts) * 8) {
+    std::fprintf(stderr, "FAIL: packed delivered %llu msgs, want %d\n",
+                 static_cast<unsigned long long>(packed.delivered_msgs), kMulticasts * 8);
+    ok = false;
+  }
+  if (packed.copies_per_multicast() > 1.0) {
+    std::fprintf(stderr, "FAIL: packed copies_per_multicast = %.4f, want <= 1\n",
+                 packed.copies_per_multicast());
+    ok = false;
+  }
+  // Burst traffic must actually exercise the packing path.
+  if (packed.stats.messages_packed == 0) {
+    std::fprintf(stderr, "FAIL: packed scenario packed no messages\n");
+    ok = false;
+  }
+  if (!ok) return 1;
+  std::fprintf(stderr,
+               "bench_msg_path: OK (local %.2f, daemons %.2f, packed %.2f "
+               "copies/multicast; %llu msgs packed into %llu frames)\n",
+               local.copies_per_multicast(), wide.copies_per_multicast(),
+               packed.copies_per_multicast(),
+               static_cast<unsigned long long>(packed.stats.messages_packed),
+               static_cast<unsigned long long>(packed.stats.frames_packed));
+  return 0;
+}

@@ -27,7 +27,7 @@ util::Bytes CkdRound1Msg::encode() const {
   return w.take();
 }
 
-CkdRound1Msg CkdRound1Msg::decode(const util::Bytes& raw) {
+CkdRound1Msg CkdRound1Msg::decode(const util::SharedBytes& raw) {
   util::Reader r(raw);
   CkdRound1Msg m;
   m.controller = MemberId::decode(r);
@@ -42,7 +42,7 @@ util::Bytes CkdRound2Msg::encode() const {
   return w.take();
 }
 
-CkdRound2Msg CkdRound2Msg::decode(const util::Bytes& raw) {
+CkdRound2Msg CkdRound2Msg::decode(const util::SharedBytes& raw) {
   util::Reader r(raw);
   CkdRound2Msg m;
   m.member = MemberId::decode(r);
@@ -61,7 +61,7 @@ util::Bytes CkdKeyDistMsg::encode() const {
   return w.take();
 }
 
-CkdKeyDistMsg CkdKeyDistMsg::decode(const util::Bytes& raw) {
+CkdKeyDistMsg CkdKeyDistMsg::decode(const util::SharedBytes& raw) {
   util::Reader r(raw);
   CkdKeyDistMsg m;
   m.controller = MemberId::decode(r);

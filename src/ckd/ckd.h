@@ -32,6 +32,7 @@
 #include "crypto/exp_counter.h"
 #include "gcs/types.h"
 #include "util/bytes.h"
+#include "util/shared_bytes.h"
 
 namespace ss::ckd {
 
@@ -44,7 +45,7 @@ struct CkdRound1Msg {
   crypto::Bignum value;
 
   util::Bytes encode() const;
-  static CkdRound1Msg decode(const util::Bytes& raw);
+  static CkdRound1Msg decode(const util::SharedBytes& raw);
 };
 
 /// Round 2: member -> controller. alpha^{ri * K1i}.
@@ -53,7 +54,7 @@ struct CkdRound2Msg {
   crypto::Bignum value;
 
   util::Bytes encode() const;
-  static CkdRound2Msg decode(const util::Bytes& raw);
+  static CkdRound2Msg decode(const util::SharedBytes& raw);
 };
 
 /// Round 3: controller -> group. Per-member Ks^{alpha^{r1 ri}}.
@@ -62,7 +63,7 @@ struct CkdKeyDistMsg {
   std::vector<std::pair<MemberId, crypto::Bignum>> encrypted_keys;
 
   util::Bytes encode() const;
-  static CkdKeyDistMsg decode(const util::Bytes& raw);
+  static CkdKeyDistMsg decode(const util::SharedBytes& raw);
 };
 
 class CkdContext {

@@ -56,7 +56,7 @@ util::Bytes ClqHandoffMsg::encode() const {
   return w.take();
 }
 
-ClqHandoffMsg ClqHandoffMsg::decode(const util::Bytes& raw) {
+ClqHandoffMsg ClqHandoffMsg::decode(const util::SharedBytes& raw) {
   util::Reader r(raw);
   ClqHandoffMsg m;
   m.old_controller = MemberId::decode(r);
@@ -75,7 +75,7 @@ util::Bytes ClqBroadcastMsg::encode() const {
   return w.take();
 }
 
-ClqBroadcastMsg ClqBroadcastMsg::decode(const util::Bytes& raw) {
+ClqBroadcastMsg ClqBroadcastMsg::decode(const util::SharedBytes& raw) {
   util::Reader r(raw);
   ClqBroadcastMsg m;
   m.controller = MemberId::decode(r);
@@ -92,7 +92,7 @@ util::Bytes ClqMergeChainMsg::encode() const {
   return w.take();
 }
 
-ClqMergeChainMsg ClqMergeChainMsg::decode(const util::Bytes& raw) {
+ClqMergeChainMsg ClqMergeChainMsg::decode(const util::SharedBytes& raw) {
   util::Reader r(raw);
   ClqMergeChainMsg m;
   m.from = MemberId::decode(r);
@@ -108,7 +108,7 @@ util::Bytes ClqMergePartialMsg::encode() const {
   return w.take();
 }
 
-ClqMergePartialMsg ClqMergePartialMsg::decode(const util::Bytes& raw) {
+ClqMergePartialMsg ClqMergePartialMsg::decode(const util::SharedBytes& raw) {
   util::Reader r(raw);
   ClqMergePartialMsg m;
   m.new_controller = MemberId::decode(r);
@@ -123,7 +123,7 @@ util::Bytes ClqFactorOutMsg::encode() const {
   return w.take();
 }
 
-ClqFactorOutMsg ClqFactorOutMsg::decode(const util::Bytes& raw) {
+ClqFactorOutMsg ClqFactorOutMsg::decode(const util::SharedBytes& raw) {
   util::Reader r(raw);
   ClqFactorOutMsg m;
   m.member = MemberId::decode(r);

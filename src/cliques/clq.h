@@ -48,6 +48,7 @@
 #include "crypto/dh.h"
 #include "gcs/types.h"
 #include "util/bytes.h"
+#include "util/shared_bytes.h"
 
 namespace ss::cliques {
 
@@ -76,7 +77,7 @@ struct ClqHandoffMsg {
   crypto::Bignum group_element;
 
   util::Bytes encode() const;
-  static ClqHandoffMsg decode(const util::Bytes& raw);
+  static ClqHandoffMsg decode(const util::SharedBytes& raw);
 };
 
 /// Final broadcast of join/leave/refresh/merge.
@@ -86,7 +87,7 @@ struct ClqBroadcastMsg {
   std::vector<ClqEntry> entries;
 
   util::Bytes encode() const;
-  static ClqBroadcastMsg decode(const util::Bytes& raw);
+  static ClqBroadcastMsg decode(const util::SharedBytes& raw);
 };
 
 /// Merge steps 1-2: value accumulating shares along the chain of new
@@ -98,7 +99,7 @@ struct ClqMergeChainMsg {
   crypto::Bignum value;
 
   util::Bytes encode() const;
-  static ClqMergeChainMsg decode(const util::Bytes& raw);
+  static ClqMergeChainMsg decode(const util::SharedBytes& raw);
 };
 
 /// Merge step 3: the partial group secret broadcast by the last new member.
@@ -107,7 +108,7 @@ struct ClqMergePartialMsg {
   crypto::Bignum value;  // unblinded accumulated partial
 
   util::Bytes encode() const;
-  static ClqMergePartialMsg decode(const util::Bytes& raw);
+  static ClqMergePartialMsg decode(const util::SharedBytes& raw);
 };
 
 /// Merge step 4: member -> new controller (unicast), own share factored out,
@@ -117,7 +118,7 @@ struct ClqFactorOutMsg {
   crypto::Bignum value;
 
   util::Bytes encode() const;
-  static ClqFactorOutMsg decode(const util::Bytes& raw);
+  static ClqFactorOutMsg decode(const util::SharedBytes& raw);
 };
 
 /// One member's view of the group key agreement. One context per (member,

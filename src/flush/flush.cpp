@@ -7,27 +7,27 @@ namespace ss::flush {
 
 namespace {
 
-util::Bytes wrap_data(const gcs::GroupViewId& vid, std::int16_t app_type,
-                      const util::Bytes& payload) {
+util::SharedBytes wrap_data(const gcs::GroupViewId& vid, std::int16_t app_type,
+                            const util::SharedBytes& payload) {
   util::Writer w;
   vid.encode(w);
   w.u16(static_cast<std::uint16_t>(app_type));
-  w.bytes(payload);
-  return w.take();
+  w.payload(payload);  // chained, gathered once in take_shared()
+  return w.take_shared();
 }
 
 struct Unwrapped {
   gcs::GroupViewId vid;
   std::int16_t app_type;
-  util::Bytes payload;
+  util::SharedBytes payload;
 };
 
-Unwrapped unwrap_data(const util::Bytes& raw) {
+Unwrapped unwrap_data(const util::SharedBytes& raw) {
   util::Reader r(raw);
   Unwrapped u;
   u.vid = gcs::GroupViewId::decode(r);
   u.app_type = static_cast<std::int16_t>(r.u16());
-  u.payload = r.bytes();
+  u.payload = r.payload();  // zero-copy slice of the delivered block
   return u;
 }
 
@@ -59,7 +59,7 @@ const gcs::GroupView* FlushMailbox::current_view(const gcs::GroupName& group) co
 }
 
 bool FlushMailbox::send(gcs::ServiceType service, const gcs::GroupName& group,
-                        util::Bytes payload, std::int16_t msg_type) {
+                        util::SharedBytes payload, std::int16_t msg_type) {
   if (msg_type <= kFlushReservedType) return false;  // reserved range
   auto it = state_.find(group);
   if (it == state_.end() || !it->second.has_view || it->second.is_flushing) return false;
@@ -69,7 +69,7 @@ bool FlushMailbox::send(gcs::ServiceType service, const gcs::GroupName& group,
 }
 
 void FlushMailbox::unicast(const gcs::MemberId& to, const gcs::GroupName& group,
-                           util::Bytes payload, std::int16_t msg_type) {
+                           util::SharedBytes payload, std::int16_t msg_type) {
   mbox_.unicast(to, group, std::move(payload), msg_type);
 }
 

@@ -60,8 +60,9 @@ class FlushMailbox {
   void leave(const gcs::GroupName& group);
 
   /// Sends in the current view. Returns false (and sends nothing) while the
-  /// group is flushing or before the first view installs.
-  bool send(gcs::ServiceType service, const gcs::GroupName& group, util::Bytes payload,
+  /// group is flushing or before the first view installs. The payload is
+  /// chained by reference into the flush envelope, not copied.
+  bool send(gcs::ServiceType service, const gcs::GroupName& group, util::SharedBytes payload,
             std::int16_t msg_type = 0);
 
   /// Acknowledges a flush request; the new view installs once every member
@@ -69,7 +70,7 @@ class FlushMailbox {
   void flush_ok(const gcs::GroupName& group);
 
   /// Member-to-member unicast (no view semantics; used by key agreement).
-  void unicast(const gcs::MemberId& to, const gcs::GroupName& group, util::Bytes payload,
+  void unicast(const gcs::MemberId& to, const gcs::GroupName& group, util::SharedBytes payload,
                std::int16_t msg_type = 0);
 
   /// True while `group` is between views (sending blocked).

@@ -1,6 +1,8 @@
 // Timing knobs for the daemon stack (the simulated spread.conf).
 #pragma once
 
+#include <cstddef>
+
 #include "sim/scheduler.h"
 
 namespace ss::gcs {
@@ -20,6 +22,10 @@ struct TimingConfig {
   sim::Time recovery_timeout = 80 * sim::kMillisecond;
   /// Daemon <-> local client IPC latency.
   sim::Time client_ipc_delay = 20 * sim::kMicrosecond;
+  /// Reliable messages up to this size are coalesced per destination into
+  /// one pack frame (Spread-style packing). The pack is flushed in the same
+  /// scheduler instant, so packing adds no latency. 0 disables packing.
+  std::size_t link_pack_limit = 512;
 };
 
 }  // namespace ss::gcs

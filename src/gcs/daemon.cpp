@@ -31,7 +31,7 @@ void Daemon::start() {
   boot_id_ = rng_.next() | 1;  // never 0 (0 means "unknown" in the link layer)
   links_ = std::make_unique<LinkManager>(
       sched_, net_, self_, boot_id_, timing_,
-      [this](DaemonId from, const util::Bytes& msg) { handle_message(from, msg); });
+      [this](DaemonId from, const util::SharedBytes& msg) { handle_message(from, msg); });
   if (key_store_ != nullptr) {
     crypto::HmacDrbg provision_rnd(rng_.next(), "daemon-lt-key");
     key_store_->provision(self_, provision_rnd);
@@ -84,7 +84,7 @@ void Daemon::crash() {
   stop();
 }
 
-void Daemon::on_packet(sim::NodeId from, const util::Bytes& payload) {
+void Daemon::on_packet(sim::NodeId from, const util::Frame& payload) {
   if (state_ == DState::kDown) return;
   if (fd_) fd_->heard_from(from);
   try {
@@ -94,7 +94,7 @@ void Daemon::on_packet(sim::NodeId from, const util::Bytes& payload) {
   }
 }
 
-void Daemon::handle_message(DaemonId from, const util::Bytes& raw) {
+void Daemon::handle_message(DaemonId from, const util::SharedBytes& raw) {
   if (state_ == DState::kDown) return;
   try {
     auto [type, body] = unframe(raw);
@@ -145,20 +145,16 @@ void Daemon::handle_message(DaemonId from, const util::Bytes& raw) {
         if (key_agent_) key_agent_->on_key_dist(from, r.rest());
         break;
       case MsgType::kUnicast: {
-        const UnicastMsg m = UnicastMsg::decode(r);
+        UnicastMsg m = UnicastMsg::decode(r);
         auto it = clients_.find(m.to.client);
         if (m.to.daemon == self_ && it != clients_.end() && it->second.connected) {
           Message out;
-          out.group = m.group;
+          out.group = std::move(m.group);
           out.sender = m.from;
           out.service = ServiceType::kFifo;
           out.msg_type = m.msg_type;
-          out.payload = m.payload;
-          const std::uint32_t client = m.to.client;
-          schedule_client_delivery([this, client, out] {
-            auto cit = clients_.find(client);
-            if (cit != clients_.end() && cit->second.connected) cit->second.cb->deliver_message(out);
-          });
+          out.payload = std::move(m.payload);
+          post_to_client(m.to.client, out);
         }
         break;
       }
@@ -174,7 +170,8 @@ void Daemon::send_heartbeats() {
   hb.view = view_id_;
   auto it = contexts_.find(view_id_);
   hb.delivered_gseq = it != contexts_.end() ? it->second.contig_gseq : 0;
-  const util::Bytes framed = frame(MsgType::kHeartbeat, hb.encode());
+  // One shared encoding, chained into every peer's frame without copying.
+  const util::SharedBytes framed{frame(MsgType::kHeartbeat, hb.encode())};
   for (DaemonId peer : configured_) {
     if (peer != self_) links_->send_raw(peer, framed);
   }
@@ -183,8 +180,18 @@ void Daemon::send_heartbeats() {
 
 void Daemon::broadcast_to(const std::vector<DaemonId>& daemons, MsgType type,
                           const util::Bytes& body) {
-  const util::Bytes framed = frame(type, body);
+  // One shared encoding for the whole fan-out.
+  const util::SharedBytes framed{frame(type, body)};
   for (DaemonId d : daemons) links_->send(d, framed);
+}
+
+void Daemon::post_to_client(std::uint32_t client, const Message& msg) {
+  // The lambda's Message copy shares the payload block — zero payload
+  // copies no matter how many local clients a multicast fans out to.
+  schedule_client_delivery([this, client, msg] {
+    auto it = clients_.find(client);
+    if (it != clients_.end() && it->second.connected) it->second.cb->deliver_message(msg);
+  });
 }
 
 void Daemon::schedule_client_delivery(std::function<void()> fn) {
@@ -259,7 +266,7 @@ void Daemon::client_leave(const MemberId& id, const GroupName& group) {
 }
 
 void Daemon::client_multicast(const MemberId& id, ServiceType service, const GroupName& group,
-                              std::int16_t msg_type, util::Bytes payload) {
+                              std::int16_t msg_type, util::SharedBytes payload) {
   auto it = clients_.find(id.client);
   if (it == clients_.end() || !it->second.connected) return;
   PendingSend ps{service, false, group, id, msg_type, std::move(payload)};
@@ -271,7 +278,7 @@ void Daemon::client_multicast(const MemberId& id, ServiceType service, const Gro
 }
 
 void Daemon::client_unicast(const MemberId& from, const MemberId& to, const GroupName& group,
-                            std::int16_t msg_type, util::Bytes payload) {
+                            std::int16_t msg_type, util::SharedBytes payload) {
   auto it = clients_.find(from.client);
   if (it == clients_.end() || !it->second.connected) return;
   UnicastMsg m;
@@ -280,7 +287,7 @@ void Daemon::client_unicast(const MemberId& from, const MemberId& to, const Grou
   m.group = group;
   m.msg_type = msg_type;
   m.payload = std::move(payload);
-  links_->send(to.daemon, frame(MsgType::kUnicast, m.encode()));
+  links_->send(to.daemon, m.encode_framed());
 }
 
 std::vector<MemberId> Daemon::members_of(const GroupName& group) const {

@@ -92,7 +92,7 @@ class Daemon : public sim::NetNode {
   bool running() const { return state_ != DState::kDown; }
 
   // --- sim::NetNode --------------------------------------------------------
-  void on_packet(sim::NodeId from, const util::Bytes& payload) override;
+  void on_packet(sim::NodeId from, const util::Frame& payload) override;
 
   // --- client interface (used by gcs::Mailbox) -----------------------------
   MemberId attach_client(ClientCallbacks* cb);
@@ -102,9 +102,9 @@ class Daemon : public sim::NetNode {
   void client_join(const MemberId& id, const GroupName& group);
   void client_leave(const MemberId& id, const GroupName& group);
   void client_multicast(const MemberId& id, ServiceType service, const GroupName& group,
-                        std::int16_t msg_type, util::Bytes payload);
+                        std::int16_t msg_type, util::SharedBytes payload);
   void client_unicast(const MemberId& from, const MemberId& to, const GroupName& group,
-                      std::int16_t msg_type, util::Bytes payload);
+                      std::int16_t msg_type, util::SharedBytes payload);
 
   // --- introspection -------------------------------------------------------
   DaemonId id() const { return self_; }
@@ -178,7 +178,7 @@ class Daemon : public sim::NetNode {
     GroupName group;
     MemberId origin;
     std::int16_t msg_type;
-    util::Bytes payload;
+    util::SharedBytes payload;
   };
 
   struct LocalClient {
@@ -224,10 +224,13 @@ class Daemon : public sim::NetNode {
                           const std::optional<MemberId>& self_leaver);
 
   // --- plumbing (daemon.cpp) ------------------------------------------------
-  void handle_message(DaemonId from, const util::Bytes& msg);
+  void handle_message(DaemonId from, const util::SharedBytes& msg);
   void send_heartbeats();
   void broadcast_to(const std::vector<DaemonId>& daemons, MsgType type, const util::Bytes& body);
   void schedule_client_delivery(std::function<void()> fn);
+  /// Single home for handing a message to one local client (async, shares
+  /// the payload block — no copies).
+  void post_to_client(std::uint32_t client, const Message& msg);
   std::vector<MemberId> members_of(const GroupName& group) const;
   GroupViewId current_group_view_id(const GroupName& group) const;
 
@@ -273,8 +276,8 @@ class Daemon : public sim::NetNode {
   sim::EventId recovery_timer_ = 0;
   bool recovery_timer_armed_ = false;
 
-  // Buffered traffic for views not yet installed.
-  std::map<ViewId, std::vector<util::Bytes>> future_view_buffer_;
+  // Buffered traffic for views not yet installed (refcounted re-encodings).
+  std::map<ViewId, std::vector<util::SharedBytes>> future_view_buffer_;
 
   // Lightweight groups (identical at all daemons of a view).
   GroupTable groups_;

@@ -41,9 +41,17 @@ void Daemon::multicast_data(PendingSend ps) {
     ++ctx.my_causal_sent;
   }
 
-  const util::Bytes framed = frame(MsgType::kData, m.encode());
-  for (DaemonId d : ctx.members) {
-    if (d != self_) links_->send(d, framed);
+  // Encode once (the single payload gather of the data path) and share the
+  // block across every peer. A purely local multicast skips encoding
+  // entirely: self-delivery hands the DataMsg over in-memory, so delivering
+  // to N local clients costs zero payload copies.
+  const bool has_remote = std::any_of(ctx.members.begin(), ctx.members.end(),
+                                      [this](DaemonId d) { return d != self_; });
+  if (has_remote) {
+    const util::SharedBytes framed = m.encode_framed();
+    for (DaemonId d : ctx.members) {
+      if (d != self_) links_->send(d, framed);
+    }
   }
   // Self receipt through the same path (self-delivery), asynchronously so a
   // client API call never re-enters delivery code that is on the stack.
@@ -59,7 +67,7 @@ void Daemon::on_data(const DataMsg& msg) {
   if (it == contexts_.end()) {
     if (msg.view.round > view_id_.round) {
       // Sent in a view we have not installed yet; replay after install.
-      future_view_buffer_[msg.view].push_back(frame(MsgType::kData, msg.encode()));
+      future_view_buffer_[msg.view].push_back(msg.encode_framed());
     }
     return;  // stale view: drop
   }
@@ -99,7 +107,7 @@ void Daemon::sequencer_stamp(ViewContext& ctx) {
     stamp.seq = key.second;
     ctx.stamps[stamp.gseq] = key;
     ctx.stamp_of[key] = stamp.gseq;
-    const util::Bytes framed = frame(MsgType::kOrderStamp, stamp.encode());
+    const util::SharedBytes framed{frame(MsgType::kOrderStamp, stamp.encode())};
     for (DaemonId d : ctx.members) {
       if (d != self_) links_->send(d, framed);
     }
@@ -330,15 +338,11 @@ void Daemon::deliver_to_clients(const DataMsg& m) {
   out.sender = m.origin;
   out.service = m.service;
   out.msg_type = m.msg_type;
-  out.payload = m.payload;
+  out.payload = m.payload;  // refcount bump, not a copy
   out.view_id = current_group_view_id(m.group);
   for (const auto& member : members) {
     if (member.daemon != self_) continue;
-    const std::uint32_t client = member.client;
-    schedule_client_delivery([this, client, out] {
-      auto cit = clients_.find(client);
-      if (cit != clients_.end() && cit->second.connected) cit->second.cb->deliver_message(out);
-    });
+    post_to_client(member.client, out);
   }
 }
 

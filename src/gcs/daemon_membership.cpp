@@ -68,9 +68,10 @@ void Daemon::announce_gather() {
   m.round = gather_round_;
   m.candidates.assign(my_candidates_.begin(), my_candidates_.end());
   gather_announced_[self_] = m.candidates;
-  const util::Bytes body = m.encode();
+  // One shared encoding for the whole candidate fan-out.
+  const util::SharedBytes framed{frame(MsgType::kGatherAnnounce, m.encode())};
   for (DaemonId d : my_candidates_) {
-    if (d != self_) links_->send(d, frame(MsgType::kGatherAnnounce, body));
+    if (d != self_) links_->send(d, framed);
   }
   // (Re)arm the stabilization timer: propose once the set is quiet.
   if (stable_timer_armed_) sched_.cancel(gather_stable_timer_);
@@ -437,9 +438,9 @@ void Daemon::install_view(const ViewId& id, const std::vector<DaemonId>& members
   // Replay traffic that arrived for this view before we installed it.
   auto buf = future_view_buffer_.find(id);
   if (buf != future_view_buffer_.end()) {
-    std::vector<util::Bytes> msgs = std::move(buf->second);
+    std::vector<util::SharedBytes> msgs = std::move(buf->second);
     future_view_buffer_.erase(buf);
-    for (const util::Bytes& raw : msgs) handle_message(self_, raw);
+    for (const util::SharedBytes& raw : msgs) handle_message(self_, raw);
   }
   // Drop buffers for views that can no longer install.
   for (auto it = future_view_buffer_.begin(); it != future_view_buffer_.end();) {

@@ -1,7 +1,10 @@
 #include "gcs/link.h"
 
 #include <deque>
+#include <utility>
+#include <vector>
 
+#include "util/msgpath.h"
 #include "util/serial.h"
 
 namespace ss::gcs {
@@ -10,7 +13,21 @@ namespace {
 constexpr std::uint8_t kFrameData = 0;
 constexpr std::uint8_t kFrameAck = 1;
 constexpr std::uint8_t kFrameRaw = 2;
+constexpr std::uint8_t kFramePack = 3;
 constexpr std::uint32_t kMaxBackoffShift = 8;  // RTO * 2^8 cap
+
+// Reads a length-prefixed message that either rides in the frame's scatter
+// body segment (zero-copy fast path: the sender chained the shared payload
+// after the header) or lies inline after the header (crypto-linearized or
+// hand-built frames).
+util::SharedBytes read_msg(util::Reader& r, const util::Frame& f) {
+  const std::uint32_t n = r.u32();
+  if (f.body.empty()) return r.raw_shared(n);
+  if (r.remaining() != 0 || f.body.size() != n) {
+    throw util::SerialError("link: malformed scatter frame");
+  }
+  return f.body;
+}
 }  // namespace
 
 LinkManager::LinkManager(sim::Scheduler& sched, sim::SimNetwork& net, DaemonId self,
@@ -30,34 +47,81 @@ void LinkManager::shutdown() {
   for (auto& [peer, st] : send_) {
     if (st.timer_armed) sched_.cancel(st.rto_timer);
     st.timer_armed = false;
+    if (st.pack_armed) sched_.cancel(st.pack_timer);
+    st.pack_armed = false;
   }
 }
 
-void LinkManager::ship(DaemonId to, util::Bytes frame) {
+void LinkManager::ship(DaemonId to, util::Frame frame) {
   if (crypto_ != nullptr) {
     try {
-      frame = crypto_->seal(to, frame);
+      // Sealing needs contiguous bytes: linearize (counted) then wrap the
+      // ciphertext as a bodyless frame.
+      frame = util::Frame{util::SharedBytes(crypto_->seal(to, frame.to_bytes()))};
     } catch (const std::exception&) {
       return;  // peer not provisioned: refuse to talk to it
     }
   }
+  ++util::msgpath().frames_sent;
   net_.send(self_, to, std::move(frame));
 }
 
-void LinkManager::transmit(DaemonId to, std::uint64_t seq, const util::Bytes& msg) {
+void LinkManager::transmit(DaemonId to, std::uint64_t seq, const util::SharedBytes& msg) {
+  if (msg.size() > UINT32_MAX) throw util::SerialError("link: message too large");
   util::Writer w;
   w.u8(kFrameData);
   w.u64(boot_id_);
   w.u64(seq);
-  w.bytes(msg);
-  ship(to, w.take());
+  w.u32(static_cast<std::uint32_t>(msg.size()));
+  // Fresh header per transmission; the body is shared, never copied — this
+  // is the writev() shape of the real daemons' link protocol.
+  ship(to, util::Frame{w.take_shared(), msg});
 }
 
-void LinkManager::send(DaemonId to, const util::Bytes& msg) {
+void LinkManager::flush_pack(DaemonId to) {
+  if (shutdown_) return;
+  auto sit = send_.find(to);
+  if (sit == send_.end()) return;
+  SendState& st = sit->second;
+  if (st.pack_armed) {
+    sched_.cancel(st.pack_timer);  // no-op when called from the timer itself
+    st.pack_armed = false;
+  }
+  if (st.pack_queue.empty()) return;
+  // Acks or a peer reboot may have retired queued seqs already; skip those.
+  std::vector<std::pair<std::uint64_t, const util::SharedBytes*>> batch;
+  batch.reserve(st.pack_queue.size());
+  for (std::uint64_t seq : st.pack_queue) {
+    auto it = st.unacked.find(seq);
+    if (it != st.unacked.end()) batch.emplace_back(seq, &it->second);
+  }
+  st.pack_queue.clear();
+  if (batch.empty()) return;
+  if (batch.size() == 1) {
+    transmit(to, batch.front().first, *batch.front().second);
+    return;
+  }
+  util::Writer w;
+  w.u8(kFramePack);
+  w.u64(boot_id_);
+  w.u32(static_cast<std::uint32_t>(batch.size()));
+  for (const auto& [seq, msg] : batch) {
+    w.u64(seq);
+    w.u32(static_cast<std::uint32_t>(msg->size()));
+    w.raw(msg->data(), msg->size());
+  }
+  util::MsgPathStats& mp = util::msgpath();
+  ++mp.frames_packed;
+  mp.messages_packed += batch.size();
+  ship(to, util::Frame{w.take_shared()});
+}
+
+void LinkManager::send(DaemonId to, util::SharedBytes msg) {
   if (shutdown_) return;
   if (to == self_) {
     // Local loopback: asynchronous, like a kernel socket to ourselves.
-    sched_.after(1, [this, msg] {
+    // The capture shares the payload block; no bytes are copied.
+    sched_.after(1, [this, msg = std::move(msg)] {
       if (!shutdown_) deliver_(self_, msg);
     });
     return;
@@ -65,16 +129,30 @@ void LinkManager::send(DaemonId to, const util::Bytes& msg) {
   SendState& st = send_[to];
   const std::uint64_t seq = st.next_seq++;
   st.unacked.emplace(seq, msg);
-  transmit(to, seq, msg);
+  if (timing_.link_pack_limit > 0 && msg.size() <= timing_.link_pack_limit) {
+    // Small message: queue for packing, flushed later in this same instant
+    // so any further sends to this peer from the same event join the pack.
+    st.pack_queue.push_back(seq);
+    if (!st.pack_armed) {
+      st.pack_armed = true;
+      st.pack_timer = sched_.after(0, [this, to] { flush_pack(to); });
+    }
+  } else {
+    // Big message: flush queued smalls first so wire order matches seq
+    // order (the receiver is go-back-N; inversions would cost an RTO).
+    flush_pack(to);
+    transmit(to, seq, msg);
+  }
   arm_timer(to);
 }
 
-void LinkManager::send_raw(DaemonId to, const util::Bytes& msg) {
+void LinkManager::send_raw(DaemonId to, const util::SharedBytes& msg) {
   if (shutdown_ || to == self_) return;
+  if (msg.size() > UINT32_MAX) throw util::SerialError("link: message too large");
   util::Writer w;
   w.u8(kFrameRaw);
-  w.bytes(msg);
-  ship(to, w.take());
+  w.u32(static_cast<std::uint32_t>(msg.size()));
+  ship(to, util::Frame{w.take_shared(), msg});
 }
 
 void LinkManager::arm_timer(DaemonId peer) {
@@ -93,6 +171,7 @@ void LinkManager::on_timeout(DaemonId peer) {
   // Go-back-N: resend everything outstanding (network is per-pair FIFO,
   // so the receiver reaccepts in order). Exponential backoff bounds the
   // retransmission churn toward partitioned or crashed peers.
+  // Retransmissions share the original payload blocks — no copies.
   for (const auto& [seq, msg] : st.unacked) {
     ++retransmissions_;
     transmit(peer, seq, msg);
@@ -107,25 +186,33 @@ void LinkManager::send_ack(DaemonId to, std::uint64_t echo_boot, std::uint64_t c
   w.u64(echo_boot);
   w.u64(boot_id_);
   w.u64(cum_seq);
-  ship(to, w.take());
+  ship(to, util::Frame{w.take_shared()});
 }
 
-void LinkManager::on_packet(DaemonId from, const util::Bytes& raw) {
+void LinkManager::on_packet(DaemonId from, const util::Frame& raw) {
   if (shutdown_) return;
-  util::Bytes frame = raw;
+  util::Frame f = raw;
   if (crypto_ != nullptr) {
     try {
-      frame = crypto_->open(from, raw);
+      f = util::Frame{util::SharedBytes(crypto_->open(from, raw.to_bytes()))};
     } catch (const std::exception&) {
       ++frames_rejected_;  // forged/corrupt/unauthorized: drop
       return;
     }
   }
-  util::Reader r(frame);
+  try {
+    dispatch_frame(from, f);
+  } catch (const util::SerialError&) {
+    ++frames_rejected_;  // malformed/truncated frame: drop, stream intact
+  }
+}
+
+void LinkManager::dispatch_frame(DaemonId from, const util::Frame& f) {
+  util::Reader r(f.head);
   const std::uint8_t kind = r.u8();
 
   if (kind == kFrameRaw) {
-    deliver_(from, r.bytes());
+    deliver_(from, read_msg(r, f));
     return;
   }
 
@@ -139,7 +226,12 @@ void LinkManager::on_packet(DaemonId from, const util::Bytes& raw) {
       // Peer rebooted: its receive stream restarted. Renumber all unacked
       // messages from 1 and replay, so the fresh peer accepts them.
       st.peer_boot = peer_boot;
-      std::deque<util::Bytes> backlog;
+      st.pack_queue.clear();  // queued seqs are about to be renumbered
+      if (st.pack_armed) {
+        sched_.cancel(st.pack_timer);
+        st.pack_armed = false;
+      }
+      std::deque<util::SharedBytes> backlog;
       for (auto& [seq, msg] : st.unacked) backlog.push_back(std::move(msg));
       st.unacked.clear();
       st.next_seq = 1;
@@ -172,7 +264,7 @@ void LinkManager::on_packet(DaemonId from, const util::Bytes& raw) {
   if (kind == kFrameData) {
     const std::uint64_t boot = r.u64();
     const std::uint64_t seq = r.u64();
-    util::Bytes msg = r.bytes();
+    util::SharedBytes msg = read_msg(r, f);
     RecvState& st = recv_[from];
     if (st.boot_id != boot) {
       // Peer restarted (or first contact): fresh stream.
@@ -190,6 +282,39 @@ void LinkManager::on_packet(DaemonId from, const util::Bytes& raw) {
     }
     return;
   }
+
+  if (kind == kFramePack) {
+    const std::uint64_t boot = r.u64();
+    const std::uint32_t count = r.u32();
+    // Parse every inner message before delivering any: a truncated pack
+    // throws here, so partial packs are all-or-nothing.
+    std::vector<std::pair<std::uint64_t, util::SharedBytes>> inner;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint64_t seq = r.u64();
+      inner.emplace_back(seq, r.payload());
+    }
+    {
+      RecvState& st = recv_[from];
+      if (st.boot_id != boot) {
+        st.boot_id = boot;
+        st.next_seq = 1;
+      }
+    }
+    for (auto& [seq, msg] : inner) {
+      // Refetch per message: a delivery can reset or erase our state.
+      RecvState& st = recv_[from];
+      if (st.boot_id != boot) return;  // stream reset mid-pack: stop
+      if (seq == st.next_seq) {
+        ++st.next_seq;
+        deliver_(from, msg);
+      }
+      if (shutdown_) return;
+    }
+    RecvState& st = recv_[from];
+    // One cumulative ack per pack, not per inner message.
+    if (st.boot_id == boot) send_ack(from, boot, st.next_seq - 1);
+    return;
+  }
   // Unknown frame kind: drop.
 }
 
@@ -197,6 +322,7 @@ void LinkManager::reset_peer(DaemonId peer) {
   auto it = send_.find(peer);
   if (it != send_.end()) {
     if (it->second.timer_armed) sched_.cancel(it->second.rto_timer);
+    if (it->second.pack_armed) sched_.cancel(it->second.pack_timer);
     send_.erase(it);
   }
   recv_.erase(peer);

@@ -6,24 +6,35 @@
 // ordered multicast) sees loss-free FIFO channels, as the Spread daemons'
 // link protocols provide. Boot ids detect peer restarts: a peer that crashed
 // and recovered gets a fresh receive context instead of a stale one.
+//
+// Data path: messages are refcounted SharedBytes; a transmission writes a
+// fresh small header and chains the message body as the Frame's scatter
+// segment, so retransmissions and multi-peer fan-out never copy payload
+// bytes. Small messages (<= TimingConfig::link_pack_limit) are coalesced
+// per destination into one pack frame, flushed in the same scheduler
+// instant — Spread's message packing, with zero added latency. Packing
+// lives below the EVS layer: the receiver unpacks in order, so FIFO/order
+// semantics above are unchanged.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <vector>
 
 #include "gcs/config.h"
 #include "gcs/link_crypto.h"
 #include "gcs/types.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
-#include "util/bytes.h"
+#include "util/frame.h"
+#include "util/shared_bytes.h"
 
 namespace ss::gcs {
 
 class LinkManager {
  public:
-  using DeliverFn = std::function<void(DaemonId from, const util::Bytes& msg)>;
+  using DeliverFn = std::function<void(DaemonId from, const util::SharedBytes& msg)>;
 
   LinkManager(sim::Scheduler& sched, sim::SimNetwork& net, DaemonId self,
               std::uint64_t boot_id, TimingConfig timing, DeliverFn deliver);
@@ -34,13 +45,13 @@ class LinkManager {
 
   /// Reliable FIFO delivery (eventually, while connectivity holds).
   /// Sending to self delivers locally through the scheduler.
-  void send(DaemonId to, const util::Bytes& msg);
+  void send(DaemonId to, util::SharedBytes msg);
 
   /// Fire-and-forget (heartbeats).
-  void send_raw(DaemonId to, const util::Bytes& msg);
+  void send_raw(DaemonId to, const util::SharedBytes& msg);
 
-  /// Feeds an incoming network packet into the link layer.
-  void on_packet(DaemonId from, const util::Bytes& frame);
+  /// Feeds an incoming network datagram into the link layer.
+  void on_packet(DaemonId from, const util::Frame& frame);
 
   /// Drops unacked traffic to a peer and resets its receive context.
   /// Called when a view excluding the peer is installed.
@@ -52,7 +63,8 @@ class LinkManager {
   /// Enables link-layer encryption: every outgoing frame is sealed for its
   /// destination and every incoming frame authenticated (paper Section 5:
   /// daemons protect themselves against malicious network attackers).
-  /// The LinkCrypto must outlive this manager.
+  /// The LinkCrypto must outlive this manager. Sealing needs a contiguous
+  /// frame, so crypto linearizes the scatter segments (counted copies).
   void set_crypto(LinkCrypto* crypto) { crypto_ = crypto; }
 
   std::uint64_t retransmissions() const { return retransmissions_; }
@@ -63,10 +75,14 @@ class LinkManager {
   struct SendState {
     std::uint64_t next_seq = 1;
     std::uint64_t peer_boot = 0;  // last boot id seen in the peer's acks
-    std::map<std::uint64_t, util::Bytes> unacked;  // seq -> unframed message
+    std::map<std::uint64_t, util::SharedBytes> unacked;  // seq -> unframed message
     sim::EventId rto_timer = 0;
     bool timer_armed = false;
     std::uint32_t backoff_shift = 0;
+    // Small messages queued for packing; flushed in the same instant.
+    std::vector<std::uint64_t> pack_queue;
+    sim::EventId pack_timer = 0;
+    bool pack_armed = false;
   };
   struct RecvState {
     std::uint64_t boot_id = 0;  // 0 = none seen yet
@@ -75,8 +91,14 @@ class LinkManager {
 
   void arm_timer(DaemonId peer);
   void on_timeout(DaemonId peer);
-  void ship(DaemonId to, util::Bytes frame);
-  void transmit(DaemonId to, std::uint64_t seq, const util::Bytes& msg);
+  /// Parses and acts on a decrypted frame; throws SerialError on malformed
+  /// input (contained — and counted — by on_packet).
+  void dispatch_frame(DaemonId from, const util::Frame& frame);
+  void ship(DaemonId to, util::Frame frame);
+  void transmit(DaemonId to, std::uint64_t seq, const util::SharedBytes& msg);
+  /// Sends the queued small messages to `to` as one pack frame (or a plain
+  /// frame if only one survived). No-op when the queue is empty.
+  void flush_pack(DaemonId to);
   void send_ack(DaemonId to, std::uint64_t boot_id, std::uint64_t cum_seq);
 
   sim::Scheduler& sched_;

@@ -22,12 +22,12 @@ void Mailbox::leave(const GroupName& group) {
   if (connected_) daemon_.client_leave(id_, group);
 }
 
-void Mailbox::multicast(ServiceType service, const GroupName& group, util::Bytes payload,
+void Mailbox::multicast(ServiceType service, const GroupName& group, util::SharedBytes payload,
                         std::int16_t msg_type) {
   if (connected_) daemon_.client_multicast(id_, service, group, msg_type, std::move(payload));
 }
 
-void Mailbox::unicast(const MemberId& to, const GroupName& group_context, util::Bytes payload,
+void Mailbox::unicast(const MemberId& to, const GroupName& group_context, util::SharedBytes payload,
                       std::int16_t msg_type) {
   if (connected_) daemon_.client_unicast(id_, to, group_context, msg_type, std::move(payload));
 }

@@ -36,10 +36,12 @@ class Mailbox final : private ClientCallbacks {
 
   void join(const GroupName& group);
   void leave(const GroupName& group);
-  void multicast(ServiceType service, const GroupName& group, util::Bytes payload,
+  /// `payload` is a refcounted SharedBytes; a plain util::Bytes converts
+  /// implicitly (ownership moves in, no copy).
+  void multicast(ServiceType service, const GroupName& group, util::SharedBytes payload,
                  std::int16_t msg_type = 0);
   /// Member-to-member private message (Cliques hands partial keys this way).
-  void unicast(const MemberId& to, const GroupName& group_context, util::Bytes payload,
+  void unicast(const MemberId& to, const GroupName& group_context, util::SharedBytes payload,
                std::int16_t msg_type = 0);
 
   /// Graceful disconnect (leaves all groups).

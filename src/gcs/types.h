@@ -96,13 +96,14 @@ struct GroupView {
   bool contains(const MemberId& m) const;
 };
 
-/// A data message as delivered to clients.
+/// A data message as delivered to clients. Copying a Message shares the
+/// payload block (refcounted); fan-out to N local clients costs no copies.
 struct Message {
   GroupName group;        // empty for member-to-member unicast
   MemberId sender;
   ServiceType service = ServiceType::kFifo;
   std::int16_t msg_type = 0;  // application-defined multiplexing tag
-  util::Bytes payload;
+  util::SharedBytes payload;
   GroupViewId view_id;    // group view the message was delivered in
 };
 

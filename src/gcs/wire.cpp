@@ -116,6 +116,11 @@ GroupTable GroupTable::decode(util::Reader& r) {
 
 util::Bytes DataMsg::encode() const {
   util::Writer w;
+  encode_into(w);
+  return w.take();
+}
+
+void DataMsg::encode_into(util::Writer& w) const {
   view.encode(w);
   w.u32(sender);
   w.u64(seq);
@@ -125,8 +130,16 @@ util::Bytes DataMsg::encode() const {
   origin.encode(w);
   w.u16(static_cast<std::uint16_t>(msg_type));
   encode_seq_vec(w, vclock);
-  w.bytes(payload);
-  return w.take();
+  // Chained, not copied: the payload bytes are gathered exactly once when
+  // the caller takes the encoding.
+  w.payload(payload);
+}
+
+util::SharedBytes DataMsg::encode_framed() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kData));
+  encode_into(w);
+  return w.take_shared();
 }
 
 DataMsg DataMsg::decode(util::Reader& r) {
@@ -140,7 +153,7 @@ DataMsg DataMsg::decode(util::Reader& r) {
   m.origin = MemberId::decode(r);
   m.msg_type = static_cast<std::int16_t>(r.u16());
   m.vclock = decode_seq_vec(r);
-  m.payload = r.bytes();
+  m.payload = r.payload();
   return m;
 }
 
@@ -287,7 +300,9 @@ RetransDataMsg RetransDataMsg::decode(util::Reader& r) {
   m.old_view = ViewId::decode(r);
   const std::uint32_t n = r.u32();
   for (std::uint32_t i = 0; i < n; ++i) {
-    const util::Bytes raw = r.bytes();
+    // Nested zero-copy: the inner reader (and the decoded payload) alias
+    // the outer buffer's block when it is shared.
+    const util::SharedBytes raw = r.payload();
     util::Reader inner(raw);
     m.msgs.push_back(DataMsg::decode(inner));
   }
@@ -296,12 +311,23 @@ RetransDataMsg RetransDataMsg::decode(util::Reader& r) {
 
 util::Bytes UnicastMsg::encode() const {
   util::Writer w;
+  encode_into(w);
+  return w.take();
+}
+
+void UnicastMsg::encode_into(util::Writer& w) const {
   from.encode(w);
   to.encode(w);
   w.str(group);
   w.u16(static_cast<std::uint16_t>(msg_type));
-  w.bytes(payload);
-  return w.take();
+  w.payload(payload);
+}
+
+util::SharedBytes UnicastMsg::encode_framed() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kUnicast));
+  encode_into(w);
+  return w.take_shared();
 }
 
 UnicastMsg UnicastMsg::decode(util::Reader& r) {
@@ -310,7 +336,7 @@ UnicastMsg UnicastMsg::decode(util::Reader& r) {
   m.to = MemberId::decode(r);
   m.group = r.str();
   m.msg_type = static_cast<std::int16_t>(r.u16());
-  m.payload = r.bytes();
+  m.payload = r.payload();
   return m;
 }
 
@@ -326,6 +352,12 @@ std::pair<MsgType, util::Bytes> unframe(const util::Bytes& data) {
   util::Reader r(data);
   const MsgType type = static_cast<MsgType>(r.u8());
   return {type, r.rest()};
+}
+
+std::pair<MsgType, util::SharedBytes> unframe(const util::SharedBytes& data) {
+  if (data.empty()) throw util::SerialError("unframe: empty");
+  const MsgType type = static_cast<MsgType>(data[0]);
+  return {type, data.slice(1)};
 }
 
 }  // namespace ss::gcs

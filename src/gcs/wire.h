@@ -93,9 +93,14 @@ struct DataMsg {
   std::int16_t msg_type = 0;
   /// Causal timestamp: per-daemon send counts (only for kCausal service).
   std::vector<std::pair<DaemonId, std::uint64_t>> vclock;
-  util::Bytes payload;
+  util::SharedBytes payload;
 
   util::Bytes encode() const;
+  void encode_into(util::Writer& w) const;
+  /// Framed encoding (type byte + headers + chained payload) as one shared
+  /// block: the single gather of the multicast send path, refcount-shared
+  /// across every destination.
+  util::SharedBytes encode_framed() const;
   static DataMsg decode(util::Reader& r);
 };
 
@@ -192,9 +197,12 @@ struct UnicastMsg {
   MemberId to;
   GroupName group;  // informational context (e.g. key agreement group)
   std::int16_t msg_type = 0;
-  util::Bytes payload;
+  util::SharedBytes payload;
 
   util::Bytes encode() const;
+  void encode_into(util::Writer& w) const;
+  /// See DataMsg::encode_framed.
+  util::SharedBytes encode_framed() const;
   static UnicastMsg decode(util::Reader& r);
 };
 
@@ -202,5 +210,7 @@ struct UnicastMsg {
 util::Bytes frame(MsgType type, const util::Bytes& body);
 /// Splits a framed message; throws util::SerialError on junk.
 std::pair<MsgType, util::Bytes> unframe(const util::Bytes& data);
+/// Zero-copy unframe: the returned body aliases `data`'s block.
+std::pair<MsgType, util::SharedBytes> unframe(const util::SharedBytes& data);
 
 }  // namespace ss::gcs

@@ -22,10 +22,10 @@ util::Bytes wrap_unicast(const gcs::GroupViewId& vid, const util::Bytes& payload
   return w.take();
 }
 
-std::pair<gcs::GroupViewId, util::Bytes> unwrap_unicast(const util::Bytes& raw) {
+std::pair<gcs::GroupViewId, util::SharedBytes> unwrap_unicast(const util::SharedBytes& raw) {
   util::Reader r(raw);
   gcs::GroupViewId vid = gcs::GroupViewId::decode(r);
-  return {vid, r.bytes()};
+  return {vid, r.payload()};  // zero-copy slice of the delivered block
 }
 
 bool is_ka_type(std::int16_t t) { return t <= -31000 && t > -32000; }
@@ -345,8 +345,10 @@ void SecureGroupClient::flush_outbox(const gcs::GroupName& group, GroupState& st
     util::Writer w;
     w.bytes(st.key_id);
     w.u16(static_cast<std::uint16_t>(msg_type));
-    w.bytes(st.cipher->protect(inner.take(), make_aad(group, st.key_id), rnd_));
-    if (!fm_.send(st.config.data_service, group, w.take(), kSecureDataType)) {
+    // Encrypt once, chain the ciphertext: the block is shared down the
+    // stack and across all recipient daemons without further copies.
+    w.payload(util::SharedBytes(st.cipher->protect(inner.take(), make_aad(group, st.key_id), rnd_)));
+    if (!fm_.send(st.config.data_service, group, w.take_shared(), kSecureDataType)) {
       return;  // flushing: keep queued; the next key event retries
     }
     ++st.stats.sealed;

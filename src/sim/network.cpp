@@ -26,13 +26,13 @@ const LinkModel& SimNetwork::model_for(NodeId a, NodeId b) const {
   return it != link_overrides_.end() ? it->second : default_model_;
 }
 
-void SimNetwork::send(NodeId from, NodeId to, util::Bytes payload) {
+void SimNetwork::send(NodeId from, NodeId to, util::Frame payload) {
   if (from >= nodes_.size() || to >= nodes_.size()) {
     throw std::out_of_range("SimNetwork::send: bad node id");
   }
   ++stats_.packets_sent;
   stats_.bytes_sent += payload.size();
-  if (tap_) tap_(from, to, payload);
+  if (tap_) tap_(from, to, payload.to_bytes());
 
   if (!up_[from] || !up_[to]) {
     ++stats_.packets_dropped_down;

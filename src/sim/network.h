@@ -17,6 +17,7 @@
 
 #include "sim/scheduler.h"
 #include "util/bytes.h"
+#include "util/frame.h"
 #include "util/rng.h"
 
 namespace ss::sim {
@@ -24,11 +25,13 @@ namespace ss::sim {
 using NodeId = std::uint32_t;
 constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 
-/// Receiver interface for raw datagrams.
+/// Receiver interface for raw datagrams. Datagrams are scatter-gather
+/// Frames (util/frame.h): in-flight copies of a Frame share the body block,
+/// so a multicast fan-out never duplicates payload bytes inside the network.
 class NetNode {
  public:
   virtual ~NetNode() = default;
-  virtual void on_packet(NodeId from, const util::Bytes& payload) = 0;
+  virtual void on_packet(NodeId from, const util::Frame& payload) = 0;
 };
 
 /// Per-link timing/loss model.
@@ -61,7 +64,8 @@ class SimNetwork {
   void rebind(NodeId id, NetNode* node);
 
   /// Sends a datagram. May be lost, never duplicated or corrupted.
-  void send(NodeId from, NodeId to, util::Bytes payload);
+  /// Accepts a util::Frame; util::Bytes converts implicitly (bodyless frame).
+  void send(NodeId from, NodeId to, util::Frame payload);
 
   // --- fault injection ---
   void crash(NodeId id);
@@ -84,7 +88,8 @@ class SimNetwork {
 
   /// Wiretap: observes every datagram as it is sent (tests use this to
   /// verify confidentiality of encrypted links, or to inject adversarial
-  /// behaviour). Pass nullptr to remove.
+  /// behaviour). Pass nullptr to remove. The frame is linearized for the
+  /// tap, so installing one adds (counted) payload copies.
   using TapFn = std::function<void(NodeId from, NodeId to, const util::Bytes& payload)>;
   void set_tap(TapFn tap) { tap_ = std::move(tap); }
 

@@ -1,0 +1,49 @@
+// Scatter-gather datagram for the simulated network.
+//
+// A Frame mirrors a writev() call on a UDP socket: a small per-transmission
+// header segment plus an optional shared body segment. The sim network
+// carries Frames instead of flat byte vectors so that a multicast body is
+// refcount-shared across all destinations — the link layer writes a fresh
+// 21-byte header per peer but never copies the message body. Receivers that
+// understand the split reuse the body zero-copy; anything that needs a
+// contiguous view (wiretaps, link crypto) calls to_bytes(), which performs
+// — and counts — the copy that the scatter path exists to avoid.
+#pragma once
+
+#include <cstddef>
+
+#include "util/msgpath.h"
+#include "util/shared_bytes.h"
+
+namespace ss::util {
+
+struct Frame {
+  SharedBytes head;
+  SharedBytes body;
+
+  Frame() = default;
+  // Implicit on purpose: a flat buffer is a Frame with no body segment.
+  Frame(SharedBytes h) : head(std::move(h)) {}  // NOLINT(google-explicit-constructor)
+  Frame(Bytes h) : head(std::move(h)) {}        // NOLINT(google-explicit-constructor)
+  Frame(SharedBytes h, SharedBytes b) : head(std::move(h)), body(std::move(b)) {}
+
+  std::size_t size() const { return head.size() + body.size(); }
+  bool empty() const { return size() == 0; }
+
+  /// Contiguous copy of the datagram. Counts the body bytes as a payload
+  /// copy (header bytes are serialization overhead, not payload).
+  Bytes to_bytes() const {
+    Bytes out;
+    out.reserve(size());
+    out.insert(out.end(), head.begin(), head.end());
+    if (!body.empty()) {
+      MsgPathStats& mp = msgpath();
+      ++mp.payload_copies;
+      mp.payload_bytes_copied += body.size();
+      out.insert(out.end(), body.begin(), body.end());
+    }
+    return out;
+  }
+};
+
+}  // namespace ss::util

@@ -1,0 +1,12 @@
+#include "util/msgpath.h"
+
+namespace ss::util {
+
+MsgPathStats& msgpath() {
+  static MsgPathStats stats;
+  return stats;
+}
+
+void msgpath_reset() { msgpath() = MsgPathStats{}; }
+
+}  // namespace ss::util

@@ -1,0 +1,38 @@
+// Compiled-in data-path counters for the zero-copy message path.
+//
+// The paper's performance argument rests on the messaging substrate being
+// cheap next to the cryptography; Spread earns that by packing messages and
+// avoiding copies on the data path. These counters make our reproduction's
+// behaviour measurable: every payload allocation, payload copy and network
+// frame is counted at the point where it happens, so tests and benchmarks
+// can assert properties like "local delivery of one multicast performs zero
+// payload copies".
+//
+// The counters are process-wide plain integers. The simulation is
+// single-threaded by design (one scheduler drives everything), so no
+// atomics are needed; the tsan stage runs the same single-threaded suite.
+#pragma once
+
+#include <cstdint>
+
+namespace ss::util {
+
+struct MsgPathStats {
+  // Payload buffer lifecycle (SharedBytes blocks).
+  std::uint64_t payload_allocs = 0;       // fresh refcounted blocks created
+  std::uint64_t payload_copies = 0;       // deep copies of payload bytes
+  std::uint64_t payload_bytes_copied = 0; // bytes deep-copied
+
+  // Link layer.
+  std::uint64_t frames_sent = 0;     // frames shipped onto the sim network
+  std::uint64_t frames_packed = 0;   // pack frames (>= 2 messages coalesced)
+  std::uint64_t messages_packed = 0; // messages that rode inside pack frames
+};
+
+/// The process-wide counter set.
+MsgPathStats& msgpath();
+
+/// Zeroes all counters (benchmark / test epochs).
+void msgpath_reset();
+
+}  // namespace ss::util

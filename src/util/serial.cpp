@@ -1,5 +1,7 @@
 #include "util/serial.h"
 
+#include "util/msgpath.h"
+
 namespace ss::util {
 
 void Writer::u16(std::uint16_t v) {
@@ -25,24 +27,61 @@ void Writer::bytes(const Bytes& b) {
   raw(b);
 }
 
+void Writer::payload(const SharedBytes& p) {
+  if (p.size() > UINT32_MAX) throw SerialError("Writer::payload: too large");
+  u32(static_cast<std::uint32_t>(p.size()));
+  if (!p.empty()) chunks_.push_back(Chunk{buf_.size(), p});
+}
+
 void Writer::str(std::string_view s) {
   if (s.size() > UINT32_MAX) throw SerialError("Writer::str: too large");
   u32(static_cast<std::uint32_t>(s.size()));
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
 
+std::size_t Writer::size() const {
+  std::size_t n = buf_.size();
+  for (const Chunk& c : chunks_) n += c.bytes.size();
+  return n;
+}
+
+const Bytes& Writer::data() const {
+  if (!chunks_.empty()) throw SerialError("Writer::data: scatter chunks pending");
+  return buf_;
+}
+
+Bytes Writer::take() {
+  if (chunks_.empty()) return std::move(buf_);
+  Bytes out;
+  out.reserve(size());
+  MsgPathStats& mp = msgpath();
+  std::size_t pos = 0;
+  for (const Chunk& c : chunks_) {
+    out.insert(out.end(), buf_.begin() + static_cast<std::ptrdiff_t>(pos),
+               buf_.begin() + static_cast<std::ptrdiff_t>(c.at));
+    pos = c.at;
+    out.insert(out.end(), c.bytes.begin(), c.bytes.end());
+    ++mp.payload_copies;
+    mp.payload_bytes_copied += c.bytes.size();
+  }
+  out.insert(out.end(), buf_.begin() + static_cast<std::ptrdiff_t>(pos), buf_.end());
+  buf_.clear();
+  chunks_.clear();
+  return out;
+}
+
 void Reader::need(std::size_t n) const {
-  if (buf_.size() - pos_ < n) throw SerialError("Reader: out of data");
+  if (size_ - pos_ < n) throw SerialError("Reader: out of data");
 }
 
 std::uint8_t Reader::u8() {
   need(1);
-  return buf_[pos_++];
+  return data_[pos_++];
 }
 
 std::uint16_t Reader::u16() {
   need(2);
-  std::uint16_t v = static_cast<std::uint16_t>(buf_[pos_] << 8 | buf_[pos_ + 1]);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
   pos_ += 2;
   return v;
 }
@@ -50,7 +89,7 @@ std::uint16_t Reader::u16() {
 std::uint32_t Reader::u32() {
   need(4);
   std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v = v << 8 | buf_[pos_ + i];
+  for (int i = 0; i < 4; ++i) v = v << 8 | data_[pos_ + i];
   pos_ += 4;
   return v;
 }
@@ -58,7 +97,7 @@ std::uint32_t Reader::u32() {
 std::uint64_t Reader::u64() {
   need(8);
   std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v = v << 8 | buf_[pos_ + i];
+  for (int i = 0; i < 8; ++i) v = v << 8 | data_[pos_ + i];
   pos_ += 8;
   return v;
 }
@@ -66,8 +105,7 @@ std::uint64_t Reader::u64() {
 Bytes Reader::bytes() {
   std::uint32_t n = u32();
   need(n);
-  Bytes out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  Bytes out(data_ + pos_, data_ + pos_ + n);
   pos_ += n;
   return out;
 }
@@ -75,15 +113,28 @@ Bytes Reader::bytes() {
 std::string Reader::str() {
   std::uint32_t n = u32();
   need(n);
-  std::string out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                  buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  std::string out(data_ + pos_, data_ + pos_ + n);
   pos_ += n;
   return out;
 }
 
 Bytes Reader::rest() {
-  Bytes out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_), buf_.end());
-  pos_ = buf_.size();
+  Bytes out(data_ + pos_, data_ + size_);
+  pos_ = size_;
+  return out;
+}
+
+SharedBytes Reader::payload() { return raw_shared(u32()); }
+
+SharedBytes Reader::raw_shared(std::size_t n) {
+  need(n);
+  SharedBytes out;
+  if (backed_) {
+    out = backing_.slice(pos_, n);
+  } else {
+    out = SharedBytes::copy_of(data_ + pos_, n);
+  }
+  pos_ += n;
   return out;
 }
 

@@ -4,6 +4,13 @@
 // strings are length-prefixed with u32. Readers throw SerialError instead of
 // reading out of bounds, so a corrupted or truncated message can never walk
 // off the end of a buffer.
+//
+// Zero-copy path: Writer::payload() chains a SharedBytes by reference after
+// its length prefix — the bytes are gathered at most once, in take() /
+// take_shared(). Reader::payload() is the matching decode: when the Reader
+// is backed by a SharedBytes it returns a zero-copy slice of the backing
+// block. Both produce/consume exactly the same wire bytes as the legacy
+// bytes() calls, so the wire format is unchanged.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 #include <vector>
 
 #include "util/bytes.h"
+#include "util/shared_bytes.h"
 
 namespace ss::util {
 
@@ -29,21 +37,43 @@ class Writer {
   void u64(std::uint64_t v);
   void raw(const Bytes& b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
   void raw(const std::uint8_t* p, std::size_t n) { buf_.insert(buf_.end(), p, p + n); }
-  /// Length-prefixed byte string.
+  /// Length-prefixed byte string (copied inline).
   void bytes(const Bytes& b);
+  /// Length-prefixed byte string chained by reference — not copied here;
+  /// the gather happens (at most once) in take() or take_shared().
+  /// Wire bytes are identical to bytes().
+  void payload(const SharedBytes& p);
   /// Length-prefixed UTF-8 string.
   void str(std::string_view s);
 
-  const Bytes& data() const { return buf_; }
-  Bytes take() { return std::move(buf_); }
+  /// Total encoded size including chained payloads.
+  std::size_t size() const;
+
+  /// Inline view; only valid while no payload() chunks are pending.
+  const Bytes& data() const;
+  /// Contiguous encoding; copies any chained payloads (counted).
+  Bytes take();
+  /// Contiguous encoding as a fresh shared block — the single exact-size
+  /// gather that the send path performs per encoded message.
+  SharedBytes take_shared() { return SharedBytes(take()); }
 
  private:
+  struct Chunk {
+    std::size_t at;  // insert position within buf_
+    SharedBytes bytes;
+  };
+
   Bytes buf_;
+  std::vector<Chunk> chunks_;
 };
 
 class Reader {
  public:
-  explicit Reader(const Bytes& buf) : buf_(buf) {}
+  /// Views `buf`, which must outlive the Reader. Decoded payloads are copies.
+  explicit Reader(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
+  /// Views a shared buffer; decoded payloads alias its block (zero-copy).
+  explicit Reader(const SharedBytes& buf)
+      : backing_(buf), backed_(true), data_(buf.data()), size_(buf.size()) {}
 
   std::uint8_t u8();
   std::uint16_t u16();
@@ -53,15 +83,24 @@ class Reader {
   std::string str();
   Bytes rest();
 
-  std::size_t remaining() const { return buf_.size() - pos_; }
-  bool done() const { return pos_ == buf_.size(); }
+  /// Length-prefixed byte string as a SharedBytes: a zero-copy slice when
+  /// this Reader is backed by one, otherwise a (counted) deep copy.
+  SharedBytes payload();
+  /// `n` raw bytes with the same backing rules as payload().
+  SharedBytes raw_shared(std::size_t n);
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
   /// Throws unless the whole buffer was consumed — catches trailing garbage.
   void expect_done() const;
 
  private:
   void need(std::size_t n) const;
 
-  const Bytes& buf_;
+  SharedBytes backing_;
+  bool backed_ = false;
+  const std::uint8_t* data_;
+  std::size_t size_;
   std::size_t pos_ = 0;
 };
 

@@ -1,0 +1,68 @@
+#include "util/shared_bytes.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/msgpath.h"
+
+namespace ss::util {
+
+SharedBytes::SharedBytes(Bytes b) {
+  if (b.empty()) return;
+  len_ = b.size();
+  block_ = std::make_shared<Bytes>(std::move(b));
+  ++msgpath().payload_allocs;
+}
+
+SharedBytes SharedBytes::copy_of(const std::uint8_t* p, std::size_t n) {
+  MsgPathStats& mp = msgpath();
+  ++mp.payload_copies;
+  mp.payload_bytes_copied += n;
+  return SharedBytes(Bytes(p, p + n));
+}
+
+SharedBytes SharedBytes::slice(std::size_t off, std::size_t n) const {
+  if (off > len_ || n > len_ - off) {
+    throw std::out_of_range("SharedBytes::slice: out of range");
+  }
+  SharedBytes out;
+  out.block_ = block_;
+  out.off_ = off_ + off;
+  out.len_ = n;
+  return out;
+}
+
+SharedBytes SharedBytes::slice(std::size_t off) const {
+  if (off > len_) throw std::out_of_range("SharedBytes::slice: out of range");
+  return slice(off, len_ - off);
+}
+
+Bytes SharedBytes::to_bytes() const {
+  MsgPathStats& mp = msgpath();
+  ++mp.payload_copies;
+  mp.payload_bytes_copied += len_;
+  return Bytes(begin(), end());
+}
+
+bool operator==(const SharedBytes& a, const SharedBytes& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+bool operator==(const SharedBytes& a, const Bytes& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+bool operator==(const Bytes& a, const SharedBytes& b) { return b == a; }
+
+std::string string_of(const SharedBytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+void secure_wipe(SharedBytes& b) {
+  if (b.block_) secure_wipe(*b.block_);
+  b.block_.reset();
+  b.off_ = 0;
+  b.len_ = 0;
+}
+
+}  // namespace ss::util

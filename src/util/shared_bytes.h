@@ -1,0 +1,81 @@
+// Immutable, reference-counted payload buffer.
+//
+// SharedBytes is a cheap copyable view (block + offset + length) over a
+// refcounted byte block. It is the drop-in replacement for `util::Bytes`
+// everywhere a payload is stored or forwarded: copying a SharedBytes bumps a
+// refcount instead of deep-copying the bytes, so one multicast payload can
+// be shared across N local clients and D peer daemons. Slicing is zero-copy
+// and bounds-checked.
+//
+// The view is immutable with one sanctioned exception: secure_wipe()
+// zeroizes the underlying block in place, so every alias of shared key
+// material observes zeros afterwards (key hygiene beats immutability).
+//
+// All deep copies and block allocations are counted in util::msgpath so the
+// data path's copy behaviour is testable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace ss::util {
+
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+
+  /// Takes ownership of an existing buffer without copying its bytes.
+  /// Implicit on purpose: Bytes is the legacy payload type at dozens of call
+  /// sites, and `SharedBytes p = some_vector;` is the intended migration.
+  SharedBytes(Bytes b);  // NOLINT(google-explicit-constructor)
+
+  /// Deep-copies `n` bytes into a fresh block (counted as a payload copy).
+  static SharedBytes copy_of(const std::uint8_t* p, std::size_t n);
+  static SharedBytes copy_of(const Bytes& b) { return copy_of(b.data(), b.size()); }
+
+  const std::uint8_t* data() const { return block_ ? block_->data() + off_ : nullptr; }
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  std::uint8_t operator[](std::size_t i) const { return *(data() + i); }
+  const std::uint8_t* begin() const { return data(); }
+  const std::uint8_t* end() const { return data() + len_; }
+
+  /// Zero-copy sub-view sharing the same block.
+  /// Throws std::out_of_range if [off, off+n) is not within this view.
+  SharedBytes slice(std::size_t off, std::size_t n) const;
+  /// Zero-copy suffix from `off` to the end of this view.
+  SharedBytes slice(std::size_t off) const;
+
+  /// Deep copy back into a plain vector (counted as a payload copy).
+  Bytes to_bytes() const;
+
+  /// Number of SharedBytes views sharing this block (0 for the empty view).
+  long use_count() const { return block_.use_count(); }
+
+ private:
+  friend void secure_wipe(SharedBytes& b);
+
+  std::shared_ptr<Bytes> block_;
+  std::size_t off_ = 0;
+  std::size_t len_ = 0;
+};
+
+bool operator==(const SharedBytes& a, const SharedBytes& b);
+bool operator==(const SharedBytes& a, const Bytes& b);
+bool operator==(const Bytes& a, const SharedBytes& b);
+inline bool operator!=(const SharedBytes& a, const SharedBytes& b) { return !(a == b); }
+inline bool operator!=(const SharedBytes& a, const Bytes& b) { return !(a == b); }
+inline bool operator!=(const Bytes& a, const SharedBytes& b) { return !(a == b); }
+
+/// The inverse of bytes_of, for human-readable payloads.
+std::string string_of(const SharedBytes& b);
+
+/// Zeroizes the entire underlying block in place — every alias sees zeros —
+/// then detaches this view. The block-wide wipe is deliberate: key material
+/// must not survive in bytes adjacent to a slice of it.
+void secure_wipe(SharedBytes& b);
+
+}  // namespace ss::util

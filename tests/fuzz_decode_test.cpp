@@ -5,9 +5,13 @@
 
 #include "ckd/ckd.h"
 #include "cliques/clq.h"
+#include "gcs/link.h"
 #include "gcs/wire.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
 #include "util/rng.h"
 #include "util/serial.h"
+#include "util/shared_bytes.h"
 
 namespace ss {
 namespace {
@@ -93,6 +97,113 @@ TEST_P(FuzzDecode, MutatedValidMessagesContained) {
     // Truncations too.
     if (rng.chance(0.3)) mutated.resize(rng.below(mutated.size() + 1));
     expect_contained([](const Bytes& d) { Reader r(d); gcs::DataMsg::decode(r); }, mutated);
+  }
+}
+
+TEST_P(FuzzDecode, PackedLinkFramesContained) {
+  // The packed-frame decoder (gcs/link.cpp, kFramePack) must drop hostile
+  // frames — truncated pack headers, zero-length inner messages, overlong
+  // counts, scatter length mismatches — without crashing or corrupting the
+  // receive stream.
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 11);
+  sim::Scheduler sched;
+  sim::SimNetwork net(sched, 99);
+  // The link acks every accepted frame through the network; register sink
+  // nodes for every peer id this test impersonates.
+  struct NullNode : sim::NetNode {
+    void on_packet(sim::NodeId, const util::Frame&) override {}
+  } sink;
+  for (int n = 0; n < 420; ++n) net.add_node(&sink);
+  // Count deliveries from peer 5 only: mutated frames (sent from other
+  // peer ids) may legitimately parse and deliver — containment, not
+  // rejection, is what is under test there.
+  std::uint64_t delivered = 0;
+  gcs::LinkManager lm(sched, net, 0, 0xF00, gcs::TimingConfig{},
+                      [&delivered](gcs::DaemonId from, const util::SharedBytes&) {
+                        if (from == 5) ++delivered;
+                      });
+
+  // A well-formed pack frame to mutate: 3 inner messages, one zero-length.
+  const auto make_pack = [](std::uint32_t count, const std::vector<Bytes>& msgs) {
+    util::Writer w;
+    w.u8(3);  // kFramePack
+    w.u64(0xB007);
+    w.u32(count);
+    std::uint64_t seq = 1;
+    for (const auto& m : msgs) {
+      w.u64(seq++);
+      w.bytes(m);
+    }
+    return w.take();
+  };
+  const std::vector<Bytes> inner = {util::bytes_of("first"), Bytes{}, util::bytes_of("third")};
+  const Bytes valid = make_pack(3, inner);
+
+  // Sanity: the unmutated pack delivers all three (zero-length included).
+  lm.on_packet(5, util::Frame{util::SharedBytes(valid)});
+  EXPECT_EQ(delivered, 3u);
+  EXPECT_EQ(lm.frames_rejected(), 0u);
+
+  // Overlong count: claims more inner messages than are present.
+  lm.on_packet(6, util::Frame{util::SharedBytes(make_pack(200, inner))});
+  // Truncated pack headers: every prefix of a valid frame.
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    Bytes t(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(cut));
+    lm.on_packet(7, util::Frame{util::SharedBytes(std::move(t))});
+  }
+  // Random mutations of a valid pack, against a fresh peer each time so a
+  // lucky parse cannot advance the real stream state.
+  for (int i = 0; i < 300; ++i) {
+    Bytes mutated = valid;
+    const std::size_t flips = 1 + rng.below(6);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    if (rng.chance(0.3)) mutated.resize(rng.below(mutated.size() + 1));
+    lm.on_packet(static_cast<gcs::DaemonId>(100 + i), util::Frame{util::SharedBytes(mutated)});
+  }
+  // Scatter mismatch: header claims a body length the frame does not carry.
+  {
+    const auto bad_head = [] {
+      util::Writer w;
+      w.u8(0);  // kFrameData
+      w.u64(0xB007);
+      w.u64(1);
+      w.u32(64);  // claims 64 body bytes
+      return w.take_shared();
+    };
+    lm.on_packet(8, util::Frame{bad_head(), util::SharedBytes(util::bytes_of("short"))});
+    lm.on_packet(9, util::Frame{bad_head()});  // no body at all
+  }
+  EXPECT_GT(lm.frames_rejected(), 0u);
+
+  // The original peer's stream survives all of the above: next in-sequence
+  // pack still delivers.
+  util::Writer w;
+  w.u8(3);
+  w.u64(0xB007);
+  w.u32(1);
+  w.u64(4);
+  w.bytes(util::bytes_of("fourth"));
+  lm.on_packet(5, util::Frame{w.take_shared()});
+  EXPECT_EQ(delivered, 4u);
+}
+
+TEST_P(FuzzDecode, SharedBytesSliceBoundsContained) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 40503 + 29);
+  for (int i = 0; i < 300; ++i) {
+    const util::SharedBytes s{random_bytes(rng, 64)};
+    const std::size_t off = rng.below(2 * (s.size() + 2));
+    const std::size_t len = rng.below(2 * (s.size() + 2));
+    try {
+      const util::SharedBytes sub = s.slice(off, len);
+      // A successful slice must be a true in-bounds view of the block.
+      ASSERT_LE(off + len, s.size());
+      ASSERT_EQ(sub.size(), len);
+      if (len > 0) ASSERT_EQ(sub.data(), s.data() + off);
+    } catch (const std::out_of_range&) {
+      ASSERT_GT(off + len, s.size());  // rejection only when truly out of bounds
+    }
   }
 }
 

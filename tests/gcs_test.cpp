@@ -55,8 +55,8 @@ TEST(SimNetworkTest, DeliversWithLatency) {
   sim::SimNetwork net(sched, 1);
   struct Sink : sim::NetNode {
     std::vector<std::string> got;
-    void on_packet(sim::NodeId, const util::Bytes& p) override {
-      got.push_back(string_of(p));
+    void on_packet(sim::NodeId, const util::Frame& p) override {
+      got.push_back(string_of(p.to_bytes()));
     }
   } a, b;
   net.add_node(&a);
@@ -73,7 +73,7 @@ TEST(SimNetworkTest, PartitionBlocksAndHealRestores) {
   sim::SimNetwork net(sched, 1);
   struct Sink : sim::NetNode {
     int count = 0;
-    void on_packet(sim::NodeId, const util::Bytes&) override { ++count; }
+    void on_packet(sim::NodeId, const util::Frame&) override { ++count; }
   } a, b;
   net.add_node(&a);
   net.add_node(&b);
@@ -94,7 +94,7 @@ TEST(SimNetworkTest, CrashedNodeReceivesNothing) {
   sim::SimNetwork net(sched, 1);
   struct Sink : sim::NetNode {
     int count = 0;
-    void on_packet(sim::NodeId, const util::Bytes&) override { ++count; }
+    void on_packet(sim::NodeId, const util::Frame&) override { ++count; }
   } a, b;
   net.add_node(&a);
   net.add_node(&b);

@@ -164,7 +164,7 @@ TEST(EncryptedLinks, ForgedPacketsRejectedWithoutDisruption) {
   ASSERT_TRUE(s.converge());
   // An attacker node on the network blasts junk at daemon 0.
   struct Attacker : sim::NetNode {
-    void on_packet(sim::NodeId, const Bytes&) override {}
+    void on_packet(sim::NodeId, const util::Frame&) override {}
   } attacker;
   const sim::NodeId evil = s.net.add_node(&attacker);
   for (int i = 0; i < 50; ++i) {

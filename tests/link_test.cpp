@@ -7,6 +7,7 @@
 #include "sim/network.h"
 #include "sim/scheduler.h"
 #include "util/bytes.h"
+#include "util/msgpath.h"
 
 namespace ss::gcs {
 namespace {
@@ -21,11 +22,11 @@ struct LinkPair {
     node_a = net.add_node(&relay_a);
     node_b = net.add_node(&relay_b);
     a = std::make_unique<LinkManager>(sched, net, node_a, boot_a, TimingConfig{},
-                                      [this](DaemonId from, const Bytes& m) {
+                                      [this](DaemonId from, const util::SharedBytes& m) {
                                         a_received.emplace_back(from, string_of(m));
                                       });
     b = std::make_unique<LinkManager>(sched, net, node_b, boot_b, TimingConfig{},
-                                      [this](DaemonId from, const Bytes& m) {
+                                      [this](DaemonId from, const util::SharedBytes& m) {
                                         b_received.emplace_back(from, string_of(m));
                                       });
     relay_a.target = a.get();
@@ -34,7 +35,7 @@ struct LinkPair {
 
   struct Relay : sim::NetNode {
     LinkManager* target = nullptr;
-    void on_packet(sim::NodeId from, const Bytes& payload) override {
+    void on_packet(sim::NodeId from, const util::Frame& payload) override {
       if (target != nullptr) target->on_packet(from, payload);
     }
   };
@@ -97,7 +98,7 @@ TEST(LinkTest, PeerRebootRenumbersStream) {
 
   // b "reboots": fresh LinkManager with a new boot id, same node address.
   lp.b = std::make_unique<LinkManager>(lp.sched, lp.net, lp.node_b, 0xB2, TimingConfig{},
-                                       [&lp](DaemonId from, const Bytes& m) {
+                                       [&lp](DaemonId from, const util::SharedBytes& m) {
                                          lp.b_received.emplace_back(from, string_of(m));
                                        });
   lp.relay_b.target = lp.b.get();
@@ -118,7 +119,7 @@ TEST(LinkTest, SenderRebootAcceptedAsFreshStream) {
   lp.sched.run_for(50 * sim::kMillisecond);
   // a reboots with a new boot id.
   lp.a = std::make_unique<LinkManager>(lp.sched, lp.net, lp.node_a, 0xA2, TimingConfig{},
-                                       [&lp](DaemonId from, const Bytes& m) {
+                                       [&lp](DaemonId from, const util::SharedBytes& m) {
                                          lp.a_received.emplace_back(from, string_of(m));
                                        });
   lp.relay_a.target = lp.a.get();
@@ -170,6 +171,95 @@ TEST(LinkTest, ResetPeerDropsPendingTraffic) {
   lp.sched.run_for(2 * sim::kSecond);
   ASSERT_EQ(lp.b_received.size(), 1u);
   EXPECT_EQ(lp.b_received[0].second, "fresh");
+}
+
+TEST(LinkTest, PacksSmallMessagesIntoOneFrame) {
+  util::msgpath_reset();
+  LinkPair lp;
+  // Ten small sends in the same instant: one pack frame on the wire.
+  for (int i = 0; i < 10; ++i) lp.a->send(lp.node_b, bytes_of("p" + std::to_string(i)));
+  lp.sched.run_for(100 * sim::kMillisecond);
+  std::vector<std::string> expect;
+  for (int i = 0; i < 10; ++i) expect.push_back("p" + std::to_string(i));
+  EXPECT_EQ(lp.b_payloads(), expect);
+  EXPECT_EQ(util::msgpath().frames_packed, 1u);
+  EXPECT_EQ(util::msgpath().messages_packed, 10u);
+  // One pack + one cumulative ack.
+  EXPECT_EQ(lp.net.stats().packets_sent, 2u);
+}
+
+TEST(LinkTest, BigMessageFlushesPackQueueFirst) {
+  util::msgpath_reset();
+  LinkPair lp;
+  const Bytes big(TimingConfig{}.link_pack_limit + 1, 0x42);
+  lp.a->send(lp.node_b, bytes_of("small-1"));
+  lp.a->send(lp.node_b, bytes_of("small-2"));
+  lp.a->send(lp.node_b, big);  // must not overtake the queued smalls
+  lp.sched.run_for(100 * sim::kMillisecond);
+  ASSERT_EQ(lp.b_received.size(), 3u);
+  EXPECT_EQ(lp.b_received[0].second, "small-1");
+  EXPECT_EQ(lp.b_received[1].second, "small-2");
+  EXPECT_EQ(lp.b_received[2].second.size(), big.size());
+  EXPECT_EQ(lp.a->retransmissions(), 0u);  // FIFO order held, no RTO repair
+  EXPECT_EQ(util::msgpath().frames_packed, 1u);
+  EXPECT_EQ(util::msgpath().messages_packed, 2u);
+}
+
+TEST(LinkTest, PackingDisabledSendsPlainFrames) {
+  util::msgpath_reset();
+  TimingConfig timing;
+  timing.link_pack_limit = 0;
+  sim::Scheduler sched;
+  sim::SimNetwork net(sched, 7);
+  LinkPair::Relay relay_a, relay_b;
+  const sim::NodeId na = net.add_node(&relay_a);
+  const sim::NodeId nb = net.add_node(&relay_b);
+  std::vector<std::string> got;
+  LinkManager a(sched, net, na, 0xA, timing, [](DaemonId, const util::SharedBytes&) {});
+  LinkManager b(sched, net, nb, 0xB, timing,
+                [&got](DaemonId, const util::SharedBytes& m) { got.push_back(string_of(m)); });
+  relay_a.target = &a;
+  relay_b.target = &b;
+  for (int i = 0; i < 5; ++i) a.send(nb, bytes_of("n" + std::to_string(i)));
+  sched.run_for(100 * sim::kMillisecond);
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_EQ(util::msgpath().frames_packed, 0u);
+  EXPECT_EQ(util::msgpath().messages_packed, 0u);
+}
+
+TEST(LinkTest, PackedMessagesSurviveLoss) {
+  LinkPair lp(/*loss=*/0.3);
+  // Bursts of small messages across several instants under heavy loss:
+  // packs may drop; go-back-N retransmission must still deliver exactly
+  // once, in order.
+  for (int burst = 0; burst < 10; ++burst) {
+    for (int i = 0; i < 3; ++i) {
+      lp.a->send(lp.node_b, bytes_of("b" + std::to_string(burst) + "-" + std::to_string(i)));
+    }
+    lp.sched.run_for(sim::kMillisecond);
+  }
+  lp.sched.run_for(5 * sim::kSecond);
+  ASSERT_EQ(lp.b_received.size(), 30u);
+  std::size_t idx = 0;
+  for (int burst = 0; burst < 10; ++burst) {
+    for (int i = 0; i < 3; ++i, ++idx) {
+      EXPECT_EQ(lp.b_received[idx].second,
+                "b" + std::to_string(burst) + "-" + std::to_string(i));
+    }
+  }
+}
+
+TEST(LinkTest, ScatterTransmitCopiesPayloadZeroTimes) {
+  util::msgpath_reset();
+  LinkPair lp;
+  const Bytes big(4096, 0x7E);
+  lp.a->send(lp.node_b, big);
+  lp.sched.run_for(100 * sim::kMillisecond);
+  ASSERT_EQ(lp.b_received.size(), 1u);
+  // The 4 KiB body rode as a shared scatter segment end to end: the only
+  // copy in this test is b_received storing the delivered string.
+  EXPECT_EQ(util::msgpath().payload_copies, 0u);
+  EXPECT_EQ(util::msgpath().payload_bytes_copied, 0u);
 }
 
 }  // namespace

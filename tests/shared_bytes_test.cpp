@@ -1,0 +1,176 @@
+// Unit tests for the refcounted payload buffer (util/shared_bytes.h) and the
+// scatter-gather Writer/Reader path (util/serial.h): lifetime, aliasing,
+// secure_wipe on shared key material, and copy accounting via util/msgpath.h.
+#include "util/shared_bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/msgpath.h"
+#include "util/serial.h"
+
+namespace ss::util {
+namespace {
+
+TEST(SharedBytesTest, EmptyByDefault) {
+  SharedBytes s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.use_count(), 0);
+  EXPECT_EQ(s, SharedBytes());
+}
+
+TEST(SharedBytesTest, AdoptsBytesAndReadsBack) {
+  SharedBytes s{bytes_of("hello")};
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_EQ(string_of(s), "hello");
+  EXPECT_EQ(s[0], 'h');
+  EXPECT_EQ(s.to_bytes(), bytes_of("hello"));
+}
+
+TEST(SharedBytesTest, CopySharesTheBlockWithoutAllocating) {
+  msgpath_reset();
+  SharedBytes a{bytes_of("shared block")};
+  EXPECT_EQ(msgpath().payload_allocs, 1u);
+  SharedBytes b = a;            // refcount bump
+  SharedBytes c = a.slice(7);   // view into the same block
+  EXPECT_EQ(msgpath().payload_allocs, 1u);  // no new blocks
+  EXPECT_EQ(msgpath().payload_copies, 0u);
+  EXPECT_EQ(a.use_count(), 3);
+  EXPECT_EQ(b.data(), a.data());
+  EXPECT_EQ(c.data(), a.data() + 7);
+  EXPECT_EQ(string_of(c), "block");
+}
+
+TEST(SharedBytesTest, AliasOutlivesSource) {
+  SharedBytes tail;
+  {
+    SharedBytes whole{bytes_of("prefix-payload")};
+    tail = whole.slice(7);
+  }  // `whole` destroyed; the block must survive through `tail`
+  EXPECT_EQ(string_of(tail), "payload");
+  EXPECT_EQ(tail.use_count(), 1);
+}
+
+TEST(SharedBytesTest, SliceBoundsChecked) {
+  SharedBytes s{bytes_of("0123456789")};
+  EXPECT_EQ(string_of(s.slice(2, 3)), "234");
+  EXPECT_EQ(s.slice(10).size(), 0u);  // empty tail is legal
+  EXPECT_THROW(s.slice(11), std::out_of_range);
+  EXPECT_THROW(s.slice(4, 7), std::out_of_range);
+  // Slicing a slice stays bounds-checked against the view, not the block.
+  SharedBytes mid = s.slice(2, 5);
+  EXPECT_THROW(mid.slice(0, 6), std::out_of_range);
+  EXPECT_EQ(string_of(mid.slice(1, 2)), "34");
+}
+
+TEST(SharedBytesTest, CopyOfMakesIndependentBlock) {
+  msgpath_reset();
+  Bytes src = bytes_of("key material");
+  SharedBytes s = SharedBytes::copy_of(src);
+  EXPECT_EQ(msgpath().payload_copies, 1u);
+  EXPECT_EQ(msgpath().payload_bytes_copied, src.size());
+  src[0] = 'X';  // mutating the source must not show through
+  EXPECT_EQ(string_of(s), "key material");
+}
+
+TEST(SharedBytesTest, SecureWipeZeroizesAllAliases) {
+  // The secure layer wipes key material on teardown; with shared buffers the
+  // wipe must reach every alias in place (no copy can survive holding the
+  // secret), then detach the wiped handle.
+  SharedBytes key{bytes_of("super secret key")};
+  SharedBytes alias = key;
+  SharedBytes tail = key.slice(12);
+  secure_wipe(key);
+  EXPECT_TRUE(key.empty());  // wiped handle detaches
+  ASSERT_EQ(alias.size(), 16u);
+  for (std::uint8_t b : alias) EXPECT_EQ(b, 0u);
+  for (std::uint8_t b : tail) EXPECT_EQ(b, 0u);
+}
+
+TEST(SharedBytesTest, EqualityComparesContents) {
+  SharedBytes a{bytes_of("same")};
+  SharedBytes b{bytes_of("same")};
+  EXPECT_EQ(a, b);  // distinct blocks, equal bytes
+  EXPECT_EQ(a, bytes_of("same"));
+  EXPECT_EQ(bytes_of("same"), a);
+  EXPECT_NE(a, bytes_of("diff"));
+}
+
+TEST(WriterScatterTest, ChainedPayloadMatchesLegacyEncoding) {
+  // The scatter Writer must produce byte-identical output to inline writes:
+  // the wire format is unchanged by this refactor.
+  const SharedBytes payload{bytes_of("payload bytes")};
+  Writer legacy;
+  legacy.u32(7);
+  legacy.str("hdr");
+  legacy.bytes(payload.to_bytes());  // legacy: u32 length + inline copy
+  Writer scatter;
+  scatter.u32(7);
+  scatter.str("hdr");
+  scatter.payload(payload);  // zero-copy chain
+  EXPECT_EQ(scatter.size(), legacy.size());
+  EXPECT_EQ(scatter.take(), legacy.take());
+}
+
+TEST(WriterScatterTest, DataThrowsWhileChunksPending) {
+  Writer w;
+  w.u8(1);
+  w.payload(SharedBytes{bytes_of("chained")});
+  EXPECT_THROW(w.data(), SerialError);
+  (void)w.take();  // gathering resolves the chunks
+}
+
+TEST(WriterScatterTest, TakeCountsGatherCopies) {
+  msgpath_reset();
+  const SharedBytes p{bytes_of("12345678")};
+  msgpath_reset();  // ignore the alloc above
+  Writer w;
+  w.u8(0);
+  w.payload(p);
+  const Bytes flat = w.take();
+  EXPECT_EQ(msgpath().payload_copies, 1u);  // the single sanctioned gather
+  EXPECT_EQ(msgpath().payload_bytes_copied, p.size());
+  EXPECT_EQ(flat.size(), 1 + 4 + p.size());
+}
+
+TEST(ReaderBackedTest, PayloadAliasesTheBackingBlock) {
+  msgpath_reset();
+  Writer w;
+  w.u64(0xDEADBEEF);
+  w.payload(SharedBytes{bytes_of("zero copy read")});
+  const SharedBytes framed = w.take_shared();
+  msgpath_reset();
+  Reader r(framed);
+  EXPECT_EQ(r.u64(), 0xDEADBEEFu);
+  const SharedBytes out = r.payload();
+  EXPECT_EQ(string_of(out), "zero copy read");
+  // Backed reader: the payload is a slice of `framed`, not a copy.
+  EXPECT_EQ(out.data(), framed.data() + 8 + 4);
+  EXPECT_EQ(msgpath().payload_copies, 0u);
+  EXPECT_EQ(msgpath().payload_allocs, 0u);
+}
+
+TEST(ReaderBackedTest, UnbackedReaderCopiesPayload) {
+  Writer w;
+  w.payload(SharedBytes{bytes_of("fallback")});
+  const Bytes flat = w.take();
+  msgpath_reset();
+  Reader r(flat);  // Bytes-backed: cannot alias safely
+  const SharedBytes out = r.payload();
+  EXPECT_EQ(string_of(out), "fallback");
+  EXPECT_EQ(msgpath().payload_copies, 1u);
+}
+
+TEST(ReaderBackedTest, PayloadBoundsChecked) {
+  Writer w;
+  w.u32(100);  // claims 100 payload bytes that are not there
+  const SharedBytes framed{w.take()};
+  Reader r(framed);
+  EXPECT_THROW(r.payload(), SerialError);
+}
+
+}  // namespace
+}  // namespace ss::util

@@ -12,12 +12,15 @@
 #          against accidental threading being introduced)
 #   tidy   clang-tidy over src/ (skipped with a notice if clang-tidy is not
 #          installed; the gcc toolchain image does not ship it)
+#   bench  data-path smoke test: builds and runs bench_msg_path once; the
+#          binary self-asserts the zero-copy contract (0 payload copies per
+#          local multicast, <= 1 across daemons) and exits nonzero on drift
 set -u
 
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(plain asan tsan tidy)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(plain asan tsan tidy bench)
 FAILED=()
 
 run_stage() {
@@ -63,8 +66,19 @@ for stage in "${STAGES[@]}"; do
         echo "==== stage tidy: SKIPPED (clang-tidy not installed) ===="
       fi
       ;;
+    bench)
+      echo "==== stage: bench ===="
+      if cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null \
+          && cmake --build build-check --target bench_msg_path -j "$JOBS" \
+          && ./build-check/bench/bench_msg_path > /dev/null; then
+        echo "==== stage bench: OK ===="
+      else
+        echo "==== stage bench: FAILED ===="
+        FAILED+=(bench)
+      fi
+      ;;
     *)
-      echo "unknown stage: $stage (expected plain|asan|tsan|tidy)" >&2
+      echo "unknown stage: $stage (expected plain|asan|tsan|tidy|bench)" >&2
       exit 2
       ;;
   esac
