@@ -63,13 +63,13 @@ Result run(const std::string& cipher, int messages, std::size_t payload_size) {
       sched.now() + 10 * sim::kSecond);
 
   const ss::util::Bytes payload(payload_size, 0x77);
-  const double cpu0 = bench::cpu_seconds();
+  const ss::obs::CpuStopwatch sw;
   const sim::Time t0 = sched.now();
   for (int i = 0; i < messages; ++i) a.send("room", payload);
   sched.run_until_condition([&] { return received == messages; },
                             sched.now() + 60 * sim::kSecond);
   Result r;
-  r.cpu_per_msg_us = (bench::cpu_seconds() - cpu0) * 1e6 / messages;
+  r.cpu_per_msg_us = sw.seconds() * 1e6 / messages;
   r.latency_ms = static_cast<double>(sched.now() - t0) / 1000.0 / messages;
   return r;
 }

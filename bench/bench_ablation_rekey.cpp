@@ -70,7 +70,7 @@ Result run(sim::Time refresh_interval, const crypto::DhGroup& dh, sim::Time dura
       },
       20 * sim::kSecond);
 
-  const double cpu0 = bench::cpu_seconds();
+  const ss::obs::CpuStopwatch sw;
   const sim::Time end = sched.now() + duration;
   const ss::util::Bytes payload(256, 0x11);
   std::function<void()> tick = [&] {
@@ -81,7 +81,7 @@ Result run(sim::Time refresh_interval, const crypto::DhGroup& dh, sim::Time dura
   tick();
   sched.run_until(end);
   sched.run_for(200 * sim::kMillisecond);  // drain
-  r.cpu_seconds = bench::cpu_seconds() - cpu0;
+  r.cpu_seconds = sw.seconds();
   r.rekeys = members[1]->group_stats("room").rekeys;
   return r;
 }

@@ -20,9 +20,9 @@ double measure_exp_ms(const DhGroup& dh) {
   ss::crypto::Bignum x = dh.random_share(rnd);
   ss::crypto::Bignum y = dh.exp_g(x);
   const int iters = 64;
-  const double t0 = cpu_seconds();
+  const ss::obs::CpuStopwatch sw;
   for (int i = 0; i < iters; ++i) y = dh.exp(y, x);
-  return (cpu_seconds() - t0) * 1000.0 / iters;
+  return sw.seconds() * 1000.0 / iters;
 }
 
 }  // namespace

@@ -16,15 +16,20 @@
 // Output: one JSON object on stdout (BENCH_msgpath.json records the
 // baseline). Self-asserting: exits nonzero if copies-per-multicast exceeds
 // the contract (0 local, 1 daemons), so CI can run it as a smoke test.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "gcs/daemon.h"
 #include "gcs/mailbox.h"
 #include "gcs/trace.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
 #include "util/bytes.h"
@@ -43,6 +48,8 @@ struct ScenarioResult {
   std::uint64_t multicasts = 0;
   std::uint64_t delivered_msgs = 0;
   std::uint64_t delivered_bytes = 0;
+  /// Real CPU time of the steady-state section (the overhead A/B metric).
+  double cpu_seconds = 0;
   util::MsgPathStats stats;
 
   double copies_per_multicast() const {
@@ -56,8 +63,21 @@ struct ScenarioResult {
 
 ScenarioResult run_scenario(const std::string& name, std::size_t n_daemons,
                             std::size_t clients_per_daemon, gcs::ServiceType service,
-                            std::size_t payload_size = kPayloadSize, int burst = 1) {
+                            std::size_t payload_size = kPayloadSize, int burst = 1,
+                            bool traced = false, int multicasts = kMulticasts) {
   sim::Scheduler sched;
+  // Each scenario gets its own registry — and with it its own msgpath
+  // counter block — so runs cannot bleed counters into each other or into
+  // the process defaults. `traced` additionally installs a live TraceSink
+  // (the metrics-on arm of the overhead check).
+  obs::MetricsRegistry registry;
+  obs::RegistryScope metrics_scope(registry);
+  obs::TraceSink trace;
+  std::optional<obs::TraceScope> trace_scope;
+  if (traced) {
+    trace.set_clock([&sched] { return sched.now(); });
+    trace_scope.emplace(trace);
+  }
   sim::SimNetwork net(sched, 42);
   std::vector<gcs::DaemonId> ids;
   for (std::size_t i = 0; i < n_daemons; ++i) ids.push_back(static_cast<gcs::DaemonId>(i));
@@ -95,9 +115,10 @@ ScenarioResult run_scenario(const std::string& name, std::size_t n_daemons,
   // Steady state: count only the data path.
   gcs::ClientTrace::reset_data_path();
   const util::Bytes payload(payload_size, 0x5A);
-  for (int i = 0; i < kMulticasts; i += burst) {
+  const obs::CpuStopwatch sw;
+  for (int i = 0; i < multicasts; i += burst) {
     // A burst lands in one instant: small messages to the same peer pack.
-    for (int k = 0; k < burst && i + k < kMulticasts; ++k) {
+    for (int k = 0; k < burst && i + k < multicasts; ++k) {
       clients.front()->multicast(service, "bench", payload);
     }
     sched.run_for(50 * sim::kMillisecond);
@@ -107,10 +128,14 @@ ScenarioResult run_scenario(const std::string& name, std::size_t n_daemons,
   ScenarioResult r;
   r.name = name;
   r.payload_size = payload_size;
-  r.multicasts = kMulticasts;
+  r.multicasts = static_cast<std::uint64_t>(multicasts);
   r.delivered_msgs = delivered_msgs;
   r.delivered_bytes = delivered_bytes;
+  r.cpu_seconds = sw.seconds();
   r.stats = gcs::ClientTrace::data_path();
+  if (traced && std::getenv("SS_BENCH_DEBUG") != nullptr) {
+    std::fprintf(stderr, "debug: traced run recorded %zu events\n", trace.size());
+  }
   return r;
 }
 
@@ -141,6 +166,22 @@ void print_json(const ScenarioResult& r, bool last) {
   std::printf("  }%s\n", last ? "" : ",");
 }
 
+/// One overhead-arm run: the daemons topology with 8x the multicast count,
+/// so the steady-state section is long enough (~100 ms CPU) for thread-CPU
+/// readings to be stable on a shared box.
+double overhead_run(bool traced) {
+  return run_scenario("daemons", 4, 2, gcs::ServiceType::kAgreed, kPayloadSize, 1, traced,
+                      kMulticasts * 8)
+      .cpu_seconds;
+}
+
+double env_double(const char* name, double def) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return def;
+  const double v = std::atof(env);
+  return v > 0 ? v : def;
+}
+
 }  // namespace
 
 int main() {
@@ -155,10 +196,32 @@ int main() {
   const ScenarioResult packed =
       run_scenario("packed", 4, 2, gcs::ServiceType::kAgreed, 64, 8);
 
+  // Overhead A/B: the observability hooks on the hot path (registry
+  // counters, gated trace points) must stay within a few percent of the
+  // untraced path. Min-of-N thread-CPU runs of the daemons scenario;
+  // tunable for noisy CI boxes.
+  const int reps = static_cast<int>(env_double("SS_BENCH_OVERHEAD_REPS", 3));
+  const double max_ratio = env_double("SS_BENCH_OVERHEAD_MAX", 1.05);
+  overhead_run(true);  // warm-up: page in both arms' code paths
+  double cpu_off = 1e300;
+  double cpu_on = 1e300;
+  for (int i = 0; i < reps; ++i) {  // interleaved, min rejects noise
+    cpu_off = std::min(cpu_off, overhead_run(false));
+    cpu_on = std::min(cpu_on, overhead_run(true));
+  }
+  const double ratio = cpu_off > 0 ? cpu_on / cpu_off : 1.0;
+
   std::printf("{\n");
   print_json(local, false);
   print_json(wide, false);
-  print_json(packed, true);
+  print_json(packed, false);
+  std::printf("  \"overhead\": {\n");
+  std::printf("    \"reps\": %d,\n", reps);
+  std::printf("    \"cpu_off_ms\": %.3f,\n", cpu_off * 1e3);
+  std::printf("    \"cpu_on_ms\": %.3f,\n", cpu_on * 1e3);
+  std::printf("    \"ratio\": %.4f,\n", ratio);
+  std::printf("    \"max_ratio\": %.4f\n", max_ratio);
+  std::printf("  }\n");
   std::printf("}\n");
 
   bool ok = true;
@@ -203,13 +266,21 @@ int main() {
     std::fprintf(stderr, "FAIL: packed scenario packed no messages\n");
     ok = false;
   }
+  // Observability contract: metrics + tracing enabled must stay within
+  // max_ratio (default 5%) of the bare hot path.
+  if (ratio > max_ratio) {
+    std::fprintf(stderr, "FAIL: metrics-on/off cpu ratio = %.4f, want <= %.4f\n", ratio,
+                 max_ratio);
+    ok = false;
+  }
   if (!ok) return 1;
   std::fprintf(stderr,
                "bench_msg_path: OK (local %.2f, daemons %.2f, packed %.2f "
-               "copies/multicast; %llu msgs packed into %llu frames)\n",
+               "copies/multicast; %llu msgs packed into %llu frames; "
+               "obs overhead x%.3f)\n",
                local.copies_per_multicast(), wide.copies_per_multicast(),
                packed.copies_per_multicast(),
                static_cast<unsigned long long>(packed.stats.messages_packed),
-               static_cast<unsigned long long>(packed.stats.frames_packed));
+               static_cast<unsigned long long>(packed.stats.frames_packed), ratio);
   return 0;
 }

@@ -7,7 +7,6 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <ctime>
 #include <map>
 #include <memory>
 #include <optional>
@@ -18,6 +17,7 @@
 #include "cliques/clq.h"
 #include "crypto/drbg.h"
 #include "crypto/exp_counter.h"
+#include "obs/stopwatch.h"
 
 namespace ss::bench {
 
@@ -26,12 +26,6 @@ using crypto::DhGroup;
 using crypto::ExpTally;
 
 inline MemberId mid(std::uint32_t i) { return MemberId{i, 1}; }
-
-inline double cpu_seconds() {
-  timespec ts{};
-  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
-  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
-}
 
 /// Cost of one membership operation, per protocol role.
 struct OpCost {
@@ -79,21 +73,21 @@ class ClqDriver {
 
     OpCost cost;
     crypto::reset_exp_tally();
-    double t0 = cpu_seconds();
+    obs::CpuStopwatch sw;
     const cliques::ClqHandoffMsg handoff = controller.join_handoff(joiner);
-    cost.controller_cpu = cpu_seconds() - t0;
+    cost.controller_cpu = sw.seconds();
     cost.controller_exps = crypto::exp_tally();
 
     crypto::reset_exp_tally();
-    t0 = cpu_seconds();
+    sw.restart();
     const cliques::ClqBroadcastMsg bc = jc->join_finalize(handoff, final_members);
-    cost.second_cpu = cpu_seconds() - t0;
+    cost.second_cpu = sw.seconds();
     cost.second_exps = crypto::exp_tally();
 
     ctxs_.emplace(joiner, std::move(jc));
-    const double t1 = cpu_seconds();
+    sw.restart();
     for (const auto& m : members_) ctxs_.at(m)->process_broadcast(bc, final_members);
-    cost.total_cpu = cost.controller_cpu + cost.second_cpu + (cpu_seconds() - t1);
+    cost.total_cpu = cost.controller_cpu + cost.second_cpu + sw.seconds();
     members_ = final_members;
     crypto::reset_exp_tally();
     return cost;
@@ -115,14 +109,14 @@ class ClqDriver {
 
     OpCost cost;
     crypto::reset_exp_tally();
-    double t0 = cpu_seconds();
+    obs::CpuStopwatch sw;
     const cliques::ClqBroadcastMsg bc = controller.leave({leaver});
-    cost.controller_cpu = cpu_seconds() - t0;
+    cost.controller_cpu = sw.seconds();
     cost.controller_exps = crypto::exp_tally();
 
-    const double t1 = cpu_seconds();
+    sw.restart();
     for (const auto& m : remaining) ctxs_.at(m)->process_broadcast(bc, remaining);
-    cost.total_cpu = cost.controller_cpu + (cpu_seconds() - t1);
+    cost.total_cpu = cost.controller_cpu + sw.seconds();
     members_ = remaining;
     crypto::reset_exp_tally();
     return cost;
@@ -165,29 +159,29 @@ class CkdDriver {
 
     OpCost cost;
     crypto::reset_exp_tally();
-    double t0 = cpu_seconds();
+    obs::CpuStopwatch sw;
     auto round1s = controller.pairwise_begin(final_members);
-    cost.controller_cpu += cpu_seconds() - t0;
+    cost.controller_cpu += sw.seconds();
     cost.controller_exps += crypto::exp_tally();
 
     for (auto& [target, r1] : round1s) {
       crypto::reset_exp_tally();
-      t0 = cpu_seconds();
+      sw.restart();
       const ckd::CkdRound2Msg r2 = jc->pairwise_respond(r1);
-      cost.second_cpu += cpu_seconds() - t0;
+      cost.second_cpu += sw.seconds();
       cost.second_exps += crypto::exp_tally();
 
       crypto::reset_exp_tally();
-      t0 = cpu_seconds();
+      sw.restart();
       controller.pairwise_complete(r2);
-      cost.controller_cpu += cpu_seconds() - t0;
+      cost.controller_cpu += sw.seconds();
       cost.controller_exps += crypto::exp_tally();
     }
 
     crypto::reset_exp_tally();
-    t0 = cpu_seconds();
+    sw.restart();
     const ckd::CkdKeyDistMsg dist = controller.distribute(final_members);
-    cost.controller_cpu += cpu_seconds() - t0;
+    cost.controller_cpu += sw.seconds();
     cost.controller_exps += crypto::exp_tally();
 
     ctxs_.emplace(joiner, std::move(jc));
@@ -195,9 +189,9 @@ class CkdDriver {
     for (const auto& m : final_members) {
       if (m == members_.front()) continue;
       crypto::reset_exp_tally();
-      t0 = cpu_seconds();
+      sw.restart();
       ctxs_.at(m)->process_key_dist(dist, final_members);
-      const double dt = cpu_seconds() - t0;
+      const double dt = sw.seconds();
       if (m == joiner) {
         cost.second_cpu += dt;
         cost.second_exps += crypto::exp_tally();
@@ -224,14 +218,14 @@ class CkdDriver {
 
     OpCost cost;
     crypto::reset_exp_tally();
-    double t0 = cpu_seconds();
+    obs::CpuStopwatch sw;
     const ckd::CkdKeyDistMsg dist = controller.distribute(remaining);
-    cost.controller_cpu = cpu_seconds() - t0;
+    cost.controller_cpu = sw.seconds();
     cost.controller_exps = crypto::exp_tally();
 
-    const double t1 = cpu_seconds();
+    sw.restart();
     for (const auto& m : remaining) ctxs_.at(m)->process_key_dist(dist, remaining);
-    cost.total_cpu = cost.controller_cpu + (cpu_seconds() - t1);
+    cost.total_cpu = cost.controller_cpu + sw.seconds();
     members_ = remaining;
     crypto::reset_exp_tally();
     return cost;
@@ -246,31 +240,31 @@ class CkdDriver {
 
     OpCost cost;
     crypto::reset_exp_tally();
-    double t0 = cpu_seconds();
+    obs::CpuStopwatch sw;
     auto round1s = nc.pairwise_begin(remaining);
-    cost.controller_cpu += cpu_seconds() - t0;
+    cost.controller_cpu += sw.seconds();
     cost.controller_exps += crypto::exp_tally();
 
     double others = 0;
     for (auto& [target, r1] : round1s) {
-      const double ta = cpu_seconds();
+      sw.restart();
       const ckd::CkdRound2Msg r2 = ctxs_.at(target)->pairwise_respond(r1);
-      others += cpu_seconds() - ta;
+      others += sw.seconds();
       crypto::reset_exp_tally();
-      t0 = cpu_seconds();
+      sw.restart();
       nc.pairwise_complete(r2);
-      cost.controller_cpu += cpu_seconds() - t0;
+      cost.controller_cpu += sw.seconds();
       cost.controller_exps += crypto::exp_tally();
     }
     crypto::reset_exp_tally();
-    t0 = cpu_seconds();
+    sw.restart();
     const ckd::CkdKeyDistMsg dist = nc.distribute(remaining);
-    cost.controller_cpu += cpu_seconds() - t0;
+    cost.controller_cpu += sw.seconds();
     cost.controller_exps += crypto::exp_tally();
 
-    const double t1 = cpu_seconds();
+    sw.restart();
     for (const auto& m : remaining) ctxs_.at(m)->process_key_dist(dist, remaining);
-    cost.total_cpu = cost.controller_cpu + others + (cpu_seconds() - t1);
+    cost.total_cpu = cost.controller_cpu + others + sw.seconds();
     members_ = remaining;
     crypto::reset_exp_tally();
     return cost;

@@ -1,6 +1,7 @@
 #include "flush/flush.h"
 
 #include "gcs/trace.h"
+#include "obs/metrics.h"
 #include "util/serial.h"
 
 namespace ss::flush {
@@ -104,6 +105,11 @@ void FlushMailbox::handle_raw_view(const gcs::GroupView& view) {
   }
   st.buffered.clear();
   st.is_flushing = true;
+  // One lane per (client, group): a cascade ends the superseded round's
+  // span and opens a fresh one in place.
+  st.round_span.begin("flush", "flush_round", mbox_.id().daemon,
+                      obs::trace_lane(1, mbox_.id().client, view.group),
+                      {{"group", view.group}, {"members", view.members.size()}});
   st.sent_ok = false;
   st.pending = view;
   st.oks.clear();
@@ -184,6 +190,10 @@ void FlushMailbox::maybe_install(const gcs::GroupName& group) {
     if (!st.oks.contains(m)) return;
   }
   st.is_flushing = false;
+  st.round_span.end({{"members", st.pending.members.size()}});
+  obs::MetricsRegistry::current()
+      .counter("flush.rounds_completed", {{"member", mbox_.id().to_string()}})
+      .inc();
   st.has_view = true;
   st.current = st.pending;
   st.oks.clear();

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "gcs/mailbox.h"
+#include "obs/trace.h"
 
 namespace ss::flush {
 
@@ -90,6 +91,9 @@ class FlushMailbox {
     gcs::GroupView pending;
     std::set<gcs::MemberId> oks;
     std::vector<gcs::Message> buffered;  // data tagged with the pending view
+    // Open while the group is between views; closes on install, restarts on
+    // cascades, and the destructor closes it on self-leave/teardown.
+    obs::SpanHandle round_span;
   };
 
   void handle_raw_view(const gcs::GroupView& view);

@@ -57,6 +57,7 @@ void Daemon::start() {
 void Daemon::stop() {
   if (state_ == DState::kDown) return;
   state_ = DState::kDown;
+  obs_close_membership_spans();
   if (hb_timer_ != 0) sched_.cancel(hb_timer_);
   if (stable_timer_armed_) sched_.cancel(gather_stable_timer_);
   if (timeout_timer_armed_) sched_.cancel(gather_timeout_timer_);
@@ -80,8 +81,31 @@ void Daemon::stop() {
 }
 
 void Daemon::crash() {
+  if (obs::TraceSink* s = obs::sink()) s->instant("gcs", "daemon.crash", self_, 0);
   net_.crash(self_);
   stop();
+}
+
+Daemon::ObsHandles& Daemon::obs_handles() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::current();
+  if (obs_.generation != reg.generation()) {
+    const obs::Labels labels{{"daemon", std::to_string(self_)}};
+    obs_.generation = reg.generation();
+    obs_.views_installed = &reg.counter("gcs.daemon.views_installed", labels);
+    obs_.gathers_started = &reg.counter("gcs.daemon.gathers_started", labels);
+    obs_.messages_delivered = &reg.counter("gcs.daemon.messages_delivered", labels);
+    obs_.control_changes = &reg.counter("gcs.daemon.control_changes", labels);
+    obs_.recovered_messages = &reg.counter("gcs.daemon.recovered_messages", labels);
+    obs_.retrans_served = &reg.counter("gcs.daemon.retrans_served", labels);
+    obs_.delivery_latency_us =
+        &reg.histogram("gcs.delivery.latency_us", obs::latency_buckets_us(), labels);
+  }
+  return obs_;
+}
+
+void Daemon::obs_close_membership_spans() {
+  phase_span_.end();
+  view_change_span_.end();
 }
 
 void Daemon::on_packet(sim::NodeId from, const util::Frame& payload) {

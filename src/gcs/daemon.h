@@ -38,6 +38,8 @@
 #include "gcs/link_crypto.h"
 #include "gcs/types.h"
 #include "gcs/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
@@ -223,6 +225,26 @@ class Daemon : public sim::NetNode {
                           const std::vector<MemberId>& joined, const std::vector<MemberId>& left,
                           const std::optional<MemberId>& self_leaver);
 
+  // --- observability (daemon.cpp) -------------------------------------------
+  /// Registry-backed mirrors of DaemonStats plus the delivery-latency
+  /// histogram. Handles are cached and re-resolved whenever a different
+  /// registry is installed (per-test scopes), so the hot path pays one
+  /// integer compare per lookup. The plain DaemonStats fields stay
+  /// authoritative for the stats() accessor.
+  struct ObsHandles {
+    std::uint64_t generation = 0;  // 0 = never resolved
+    obs::Counter* views_installed = nullptr;
+    obs::Counter* gathers_started = nullptr;
+    obs::Counter* messages_delivered = nullptr;
+    obs::Counter* control_changes = nullptr;
+    obs::Counter* recovered_messages = nullptr;
+    obs::Counter* retrans_served = nullptr;
+    obs::Histogram* delivery_latency_us = nullptr;
+  };
+  ObsHandles& obs_handles();
+  /// Closes any open membership phase span, then the view-change span.
+  void obs_close_membership_spans();
+
   // --- plumbing (daemon.cpp) ------------------------------------------------
   void handle_message(DaemonId from, const util::SharedBytes& msg);
   void send_heartbeats();
@@ -291,6 +313,12 @@ class Daemon : public sim::NetNode {
   std::deque<PendingSend> pending_sends_;
 
   DaemonStats stats_;
+  ObsHandles obs_;
+  // Membership protocol spans (lane tid=0 of this daemon's trace track).
+  // view_change_span_ wraps the whole change; exactly one phase span
+  // (gather/exchange/recover) nests inside it at a time.
+  obs::SpanHandle view_change_span_;
+  obs::SpanHandle phase_span_;
 };
 
 }  // namespace ss::gcs

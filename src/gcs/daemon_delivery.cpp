@@ -30,6 +30,9 @@ void Daemon::multicast_data(PendingSend ps) {
   m.origin = ps.origin;
   m.msg_type = ps.msg_type;
   m.payload = std::move(ps.payload);
+  if (obs::TraceSink* s = obs::sink()) {
+    s->note_send(obs::trace_msg_key(m.view.round, m.view.coordinator, m.sender, m.seq));
+  }
   if (m.service == ServiceType::kCausal) {
     // BSS timestamp: what I have delivered, plus this send of mine.
     for (DaemonId d : ctx.members) {
@@ -210,6 +213,16 @@ void Daemon::deliver_now(ViewContext& ctx, StoredMsg& sm) {
     ctx.delivered_gseq = sit->second;
   }
   ++stats_.messages_delivered;
+  obs_handles().messages_delivered->inc();
+  if (obs::TraceSink* s = obs::sink()) {
+    const std::uint64_t key =
+        obs::trace_msg_key(m.view.round, m.view.coordinator, m.sender, m.seq);
+    if (const auto latency = s->latency_since_send(key)) {
+      obs_handles().delivery_latency_us->observe(static_cast<double>(*latency));
+      s->instant("gcs", "msg.delivered", self_, 0,
+                 {{"latency_us", *latency}, {"sender", m.sender}, {"seq", m.seq}});
+    }
+  }
   if (m.control) {
     apply_group_change(m);
   } else {
@@ -226,6 +239,7 @@ void Daemon::apply_group_change(const DataMsg& m) {
     return;
   }
   ++stats_.control_changes;
+  obs_handles().control_changes->inc();
   auto ctx_it = contexts_.find(m.view);
   ViewContext& ctx = ctx_it->second;
 

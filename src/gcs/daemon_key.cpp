@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/serial.h"
 
@@ -68,6 +70,12 @@ void DaemonKeyAgent::install_key(const ViewId& view, util::Bytes key) {
   key_ = std::move(key);
   key_view_ = view;
   ++rekeys_;
+  obs::MetricsRegistry::current()
+      .counter("gcs.daemon_key.rekeys", {{"daemon", std::to_string(self_)}})
+      .inc();
+  if (obs::TraceSink* s = obs::sink()) {
+    s->instant("gcs", "daemon_key.rekey", self_, 0, {{"view", view.to_string()}});
+  }
   SS_LOG_DEBUG("daemon-key", "d", self_, " daemon group key for ", view.to_string());
 }
 

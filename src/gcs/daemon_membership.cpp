@@ -33,6 +33,14 @@ void Daemon::trigger_gather() {
     return;
   }
   ++stats_.gathers_started;
+  obs_handles().gathers_started->inc();
+  // A regather from exchange/recover is a cascade: the phase span restarts
+  // but the enclosing view-change span keeps running from the first gather.
+  if (!view_change_span_.open()) {
+    view_change_span_.begin("evs", "view_change", self_, 0,
+                            {{"from_view", view_id_.to_string()}});
+  }
+  phase_span_.begin("evs", "gather", self_, 0);
   state_ = DState::kGather;
   gather_round_ = std::max(max_round_seen_, view_id_.round) + 1;
   max_round_seen_ = gather_round_;
@@ -143,6 +151,8 @@ void Daemon::on_proposal(DaemonId from, const ProposalMsg& m) {
   if (std::find(m.members.begin(), m.members.end(), self_) == m.members.end()) return;
 
   state_ = DState::kExchange;
+  phase_span_.begin("evs", "exchange", self_, 0,
+                    {{"proposed", m.view.to_string()}, {"members", m.members.size()}});
   proposed_view_ = m.view;
   proposed_coordinator_ = from;
   proposed_members_ = m.members;
@@ -253,6 +263,7 @@ void Daemon::on_install(DaemonId from, const InstallMsg& m) {
   if (m.view != proposed_view_ || from != proposed_view_.coordinator) return;
 
   state_ = DState::kRecover;
+  phase_span_.begin("evs", "recover", self_, 0);
   pending_install_ = m;
   recovery_requested_.clear();
   if (timeout_timer_armed_) {
@@ -334,6 +345,7 @@ void Daemon::on_retrans_req(DaemonId from, const RetransReqMsg& m) {
   }
   if (!reply.msgs.empty()) {
     stats_.retrans_served += reply.msgs.size();
+    obs_handles().retrans_served->inc(reply.msgs.size());
     links_->send(from, frame(MsgType::kRetransData, reply.encode()));
   }
 }
@@ -375,6 +387,7 @@ void Daemon::finish_recovery_and_install() {
       ctx.stamp_of[{s.sender, s.seq}] = s.gseq;
       deliver_now(ctx, sit->second);
       ++stats_.recovered_messages;
+      obs_handles().recovered_messages->inc();
     }
     // 2. Deliver the unstamped remainder below the cut in deterministic
     //    (sender, seq) order — identical at every member of the plan.
@@ -383,6 +396,7 @@ void Daemon::finish_recovery_and_install() {
       if (key.second > cut_of(key.first)) continue;
       deliver_now(ctx, sm);
       ++stats_.recovered_messages;
+      obs_handles().recovered_messages->inc();
     }
   }
 
@@ -415,6 +429,15 @@ void Daemon::install_view(const ViewId& id, const std::vector<DaemonId>& members
   std::sort(view_members_.begin(), view_members_.end());
   max_round_seen_ = std::max(max_round_seen_, id.round);
   ++stats_.views_installed;
+  obs_handles().views_installed->inc();
+  // Close the phase + view-change spans (no-ops on the singleton boot view,
+  // which installs without a preceding gather) and mark the installation.
+  phase_span_.end();
+  view_change_span_.end({{"view", id.to_string()}, {"members", members.size()}});
+  if (obs::TraceSink* s = obs::sink()) {
+    s->instant("evs", "view_installed", self_, 0,
+               {{"view", id.to_string()}, {"members", members.size()}});
+  }
 
   ViewContext ctx;
   ctx.id = id;

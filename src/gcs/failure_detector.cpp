@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace ss::gcs {
 
 FailureDetector::FailureDetector(sim::Scheduler& sched, TimingConfig timing, DaemonId self,
@@ -38,7 +40,12 @@ void FailureDetector::heard_from(DaemonId peer) {
   if (it == up_.end()) return;  // unconfigured daemon: ignore
   if (!it->second) {
     it->second = true;
-    if (running_ && on_change_) on_change_();
+    if (running_) {
+      if (obs::TraceSink* s = obs::sink()) {
+        s->instant("gcs", "fd.peer_up", self_, 0, {{"peer", peer}});
+      }
+      if (on_change_) on_change_();
+    }
   }
 }
 
@@ -69,6 +76,9 @@ void FailureDetector::check() {
     if (now - last > timing_.fail_timeout) {
       alive = false;
       changed = true;
+      if (obs::TraceSink* s = obs::sink()) {
+        s->instant("gcs", "fd.peer_down", self_, 0, {{"peer", peer}});
+      }
     }
   }
   timer_ = sched_.after(timing_.fd_check_interval, [this] { check(); });

@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/msgpath.h"
 #include "util/serial.h"
 
@@ -113,6 +115,9 @@ void LinkManager::flush_pack(DaemonId to) {
   util::MsgPathStats& mp = util::msgpath();
   ++mp.frames_packed;
   mp.messages_packed += batch.size();
+  if (obs::TraceSink* s = obs::sink()) {
+    s->instant("link", "link.pack", self_, 0, {{"peer", to}, {"msgs", batch.size()}});
+  }
   ship(to, util::Frame{w.take_shared()});
 }
 
@@ -176,8 +181,24 @@ void LinkManager::on_timeout(DaemonId peer) {
     ++retransmissions_;
     transmit(peer, seq, msg);
   }
+  obs::MetricsRegistry::current()
+      .counter("gcs.link.retransmissions", {{"daemon", std::to_string(self_)}})
+      .inc(st.unacked.size());
+  if (obs::TraceSink* s = obs::sink()) {
+    s->instant("link", "link.retransmit", self_, 0,
+               {{"peer", peer}, {"msgs", st.unacked.size()}});
+  }
   if (st.backoff_shift < kMaxBackoffShift) ++st.backoff_shift;
   arm_timer(peer);
+}
+
+void LinkManager::note_frame_rejected(DaemonId from) {
+  obs::MetricsRegistry::current()
+      .counter("gcs.link.frames_rejected", {{"daemon", std::to_string(self_)}})
+      .inc();
+  if (obs::TraceSink* s = obs::sink()) {
+    s->instant("link", "link.reject", self_, 0, {{"peer", from}});
+  }
 }
 
 void LinkManager::send_ack(DaemonId to, std::uint64_t echo_boot, std::uint64_t cum_seq) {
@@ -197,6 +218,7 @@ void LinkManager::on_packet(DaemonId from, const util::Frame& raw) {
       f = util::Frame{util::SharedBytes(crypto_->open(from, raw.to_bytes()))};
     } catch (const std::exception&) {
       ++frames_rejected_;  // forged/corrupt/unauthorized: drop
+      note_frame_rejected(from);
       return;
     }
   }
@@ -204,6 +226,7 @@ void LinkManager::on_packet(DaemonId from, const util::Frame& raw) {
     dispatch_frame(from, f);
   } catch (const util::SerialError&) {
     ++frames_rejected_;  // malformed/truncated frame: drop, stream intact
+    note_frame_rejected(from);
   }
 }
 

@@ -99,6 +99,8 @@ class LinkManager {
   /// Sends the queued small messages to `to` as one pack frame (or a plain
   /// frame if only one survived). No-op when the queue is empty.
   void flush_pack(DaemonId to);
+  /// Registry dual-write + trace instant for a rejected frame.
+  void note_frame_rejected(DaemonId from);
   void send_ack(DaemonId to, std::uint64_t boot_id, std::uint64_t cum_seq);
 
   sim::Scheduler& sched_;

@@ -1,0 +1,20 @@
+// The observability subsystem's CPU-time source.
+//
+// The paper's measurements use two clocks: virtual (simulated) time for
+// protocol latency and real thread CPU time for cryptographic cost. This is
+// the single definition of the CPU clock; sim::ComputeTimer and the bench
+// drivers both read it from here so every layer measures the same thing.
+#pragma once
+
+#include <ctime>
+
+namespace ss::obs {
+
+/// Thread CPU seconds (getrusage-equivalent, as the paper measured).
+inline double cpu_now_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace ss::obs

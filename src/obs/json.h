@@ -1,0 +1,50 @@
+// Minimal JSON: escaping for the trace exporters and a small recursive-
+// descent parser for the trace checker/report tool. Covers the full JSON
+// grammar (objects, arrays, strings with escapes, numbers, literals); no
+// external dependency, which keeps the toolchain constraint (nothing
+// installed beyond the compiler) intact.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ss::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct JsonValue {
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                                // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;      // kObject, in order
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses one JSON document; throws JsonError on malformed input or
+/// trailing garbage.
+JsonValue json_parse(std::string_view text);
+
+}  // namespace ss::obs

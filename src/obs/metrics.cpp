@@ -1,0 +1,201 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ss::obs {
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0) return min_;
+  if (p >= 100) return max_;
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const std::uint64_t next = cum + buckets_[i];
+    if (static_cast<double>(next) >= rank) {
+      // Interpolate within bucket i, clamped to the observed range so the
+      // first and last populated buckets do not report impossible values.
+      double lo = i == 0 ? min_ : bounds_[i - 1];
+      double hi = i < bounds_.size() ? bounds_[i] : max_;
+      lo = std::max(lo, min_);
+      hi = std::min(hi, max_);
+      if (hi < lo) hi = lo;
+      const double frac = (rank - static_cast<double>(cum)) /
+                          static_cast<double>(buckets_[i]);
+      return lo + (hi - lo) * frac;
+    }
+    cum = next;
+  }
+  return max_;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0;
+}
+
+const std::vector<double>& latency_buckets_us() {
+  static const std::vector<double> kBounds = {
+      10,      20,      50,      100,      200,      500,       1000,      2000,
+      5000,    10000,   20000,   50000,    100000,   200000,    500000,    1000000,
+      2000000, 5000000, 10000000, 20000000, 50000000, 100000000};
+  return kBounds;
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+MetricsRegistry* MetricsRegistry::current_ = nullptr;
+
+namespace {
+MetricsRegistry& default_registry() {
+  static MetricsRegistry reg;
+  return reg;
+}
+std::uint64_t next_generation() {
+  static std::uint64_t gen = 0;
+  return ++gen;
+}
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : generation_(next_generation()) {}
+
+MetricsRegistry::~MetricsRegistry() {
+  // A scope should have restored the previous registry already; if someone
+  // destroys the current registry without popping its scope, fall back to
+  // the default rather than leaving a dangling current pointer.
+  if (current_ == this) current_ = nullptr;
+}
+
+std::string MetricsRegistry::key_of(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i != 0) key += ',';
+    key += sorted[i].first;
+    key += '=';
+    key += sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
+  std::unique_ptr<Counter>& slot = counters_[key_of(name, labels)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  std::unique_ptr<Gauge>& slot = gauges_[key_of(name, labels)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& bounds,
+                                      const Labels& labels) {
+  std::unique_ptr<Histogram>& slot = histograms_[key_of(name, labels)];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name,
+                                             const Labels& labels) const {
+  const auto it = counters_.find(key_of(name, labels));
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::uint64_t MetricsRegistry::counter_sum(const std::string& name) const {
+  std::uint64_t total = 0;
+  const std::string prefix = name + "{";
+  for (const auto& [key, c] : counters_) {
+    if (key == name || key.compare(0, prefix.size(), prefix) == 0) total += c->value();
+  }
+  return total;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name,
+                                                 const Labels& labels) const {
+  const auto it = histograms_.find(key_of(name, labels));
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [key, c] : counters_) c->reset();
+  for (auto& [key, g] : gauges_) g->reset();
+  for (auto& [key, h] : histograms_) h->reset();
+  data_path_ = util::MsgPathStats{};
+}
+
+std::string MetricsRegistry::render_text() const {
+  std::string out;
+  char buf[160];
+  for (const auto& [key, c] : counters_) {
+    std::snprintf(buf, sizeof buf, " %llu\n",
+                  static_cast<unsigned long long>(c->value()));
+    out += key;
+    out += buf;
+  }
+  for (const auto& [key, g] : gauges_) {
+    std::snprintf(buf, sizeof buf, " %g\n", g->value());
+    out += key;
+    out += buf;
+  }
+  for (const auto& [key, h] : histograms_) {
+    std::snprintf(buf, sizeof buf,
+                  " count=%llu sum=%g min=%g p50=%g p99=%g max=%g\n",
+                  static_cast<unsigned long long>(h->count()), h->sum(), h->min(),
+                  h->percentile(50), h->percentile(99), h->max());
+    out += key;
+    out += buf;
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::current() {
+  return current_ != nullptr ? *current_ : default_registry();
+}
+
+MetricsRegistry* MetricsRegistry::set_current(MetricsRegistry* r) {
+  MetricsRegistry* prev = current_;
+  current_ = r;
+  return prev;
+}
+
+// --- RegistryScope -----------------------------------------------------------
+
+RegistryScope::RegistryScope(MetricsRegistry& r)
+    : prev_registry_(MetricsRegistry::set_current(&r)),
+      prev_data_path_(util::msgpath_install(&r.data_path())) {}
+
+RegistryScope::~RegistryScope() {
+  util::msgpath_install(prev_data_path_);
+  MetricsRegistry::set_current(prev_registry_);
+}
+
+}  // namespace ss::obs

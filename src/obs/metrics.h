@@ -1,0 +1,170 @@
+// MetricsRegistry: named counters, gauges and fixed-bucket histograms with
+// label scoping.
+//
+// Every protocol layer reports through one registry instead of ad-hoc
+// per-class counters. Metrics follow the naming convention
+// `layer.object.metric` (e.g. "gcs.daemon.views_installed") and carry a
+// label set identifying the reporting entity ({daemon=3}, {member=2:1},
+// {group=chat}). The registry is a process-wide *current* pointer with an
+// RAII scope (RegistryScope), so each test or benchmark epoch gets a fresh
+// registry and nothing bleeds between epochs — including the data-path
+// counters of util/msgpath.h, which the scope routes into the registry's
+// own block.
+//
+// The simulation is single-threaded (one scheduler drives everything), so
+// metric updates are plain integer operations; a counter increment through
+// a cached handle costs the same as the struct fields it replaced.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/msgpath.h"
+
+namespace ss::obs {
+
+/// Metric labels: (key, value) pairs, e.g. {{"daemon", "3"}}. Order given
+/// by the caller is irrelevant; the registry canonicalizes by sorting.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper bucket bounds in
+/// ascending order; values above the last bound land in an overflow bucket.
+/// Tracks exact min/max/sum/count alongside the buckets, so percentile
+/// estimates are exact at the tails and linearly interpolated inside the
+/// bucket that crosses the requested rank.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return count_ == 0 ? 0 : max_; }
+
+  /// Percentile estimate for p in [0, 100]. p=0 returns min, p=100 max.
+  double percentile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Default bucket bounds for latency histograms, in microseconds: roughly
+/// logarithmic from 10us to 100s (virtual time; sim ticks are us).
+const std::vector<double>& latency_buckets_us();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the metric for (name, labels). References stay valid
+  /// for the registry's lifetime (node-stable storage).
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const std::vector<double>& bounds,
+                       const Labels& labels = {});
+
+  /// Value of a counter, 0 if it was never touched.
+  std::uint64_t counter_value(const std::string& name, const Labels& labels = {}) const;
+  /// Sums a counter across every label set it was recorded under.
+  std::uint64_t counter_sum(const std::string& name) const;
+  /// nullptr if the histogram was never created.
+  const Histogram* find_histogram(const std::string& name, const Labels& labels = {}) const;
+
+  /// Zeroes every metric and the registry's data-path block. Metric handles
+  /// stay valid (reset does not deallocate).
+  void reset();
+
+  /// The data-path counter block (util/msgpath.h) this registry owns.
+  /// RegistryScope routes the process-wide msgpath() accessor here.
+  util::MsgPathStats& data_path() { return data_path_; }
+  const util::MsgPathStats& data_path() const { return data_path_; }
+
+  /// One "name{k=v,...} value" line per metric, sorted by key; histograms
+  /// render count/sum/min/p50/p99/max. For humans and golden tests.
+  std::string render_text() const;
+
+  /// Unique id of this registry instance; never reused within a process.
+  /// Cached metric handles compare this against current_generation() to
+  /// detect that a different registry was installed (per-test scopes).
+  std::uint64_t generation() const { return generation_; }
+
+  /// The current registry (a process default when no scope is active).
+  static MetricsRegistry& current();
+  static std::uint64_t current_generation() { return current().generation(); }
+  /// Installs `r` as current (nullptr restores the process default);
+  /// returns the previous pointer (nullptr if it was the default).
+  static MetricsRegistry* set_current(MetricsRegistry* r);
+
+ private:
+  static std::string key_of(const std::string& name, const Labels& labels);
+
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  util::MsgPathStats data_path_;
+  std::uint64_t generation_;
+
+  static MetricsRegistry* current_;
+};
+
+/// RAII: installs a registry as current and routes the process-wide
+/// data-path counters into its block; restores both on destruction. Used by
+/// the test cluster fixture and the benchmarks, so a failed test cannot
+/// corrupt the next test's data_path() assertions.
+class RegistryScope {
+ public:
+  explicit RegistryScope(MetricsRegistry& r);
+  ~RegistryScope();
+
+  RegistryScope(const RegistryScope&) = delete;
+  RegistryScope& operator=(const RegistryScope&) = delete;
+
+ private:
+  MetricsRegistry* prev_registry_;
+  util::MsgPathStats* prev_data_path_;
+};
+
+}  // namespace ss::obs

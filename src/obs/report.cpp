@@ -1,0 +1,180 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace ss::obs {
+
+namespace {
+
+constexpr std::size_t kMaxErrors = 20;
+
+void add_error(TraceCheck& check, std::string msg) {
+  check.ok = false;
+  if (check.errors.size() < kMaxErrors) check.errors.push_back(std::move(msg));
+}
+
+const JsonValue* required(TraceCheck& check, const JsonValue& ev, std::size_t idx,
+                          const char* key, JsonValue::Type type) {
+  const JsonValue* v = ev.find(key);
+  if (v == nullptr || v->type != type) {
+    add_error(check, "event " + std::to_string(idx) + ": missing or mistyped \"" +
+                         key + "\"");
+    return nullptr;
+  }
+  return v;
+}
+
+double arg_number(const JsonValue& ev, const char* key) {
+  const JsonValue* args = ev.find("args");
+  if (args == nullptr) return 0;
+  const JsonValue* v = args->find(key);
+  return v != nullptr && v->is_number() ? v->number : 0;
+}
+
+double sample_percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+TraceCheck check_chrome_trace(const JsonValue& doc) {
+  TraceCheck check;
+  if (!doc.is_object()) {
+    add_error(check, "document is not a JSON object");
+    return check;
+  }
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    add_error(check, "missing \"traceEvents\" array");
+    return check;
+  }
+
+  // Per-lane stack of open span names for B/E balance.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<std::string>> open;
+  for (std::size_t i = 0; i < events->items.size(); ++i) {
+    const JsonValue& ev = events->items[i];
+    if (!ev.is_object()) {
+      add_error(check, "event " + std::to_string(i) + ": not an object");
+      continue;
+    }
+    const JsonValue* ph = required(check, ev, i, "ph", JsonValue::Type::kString);
+    const JsonValue* name = required(check, ev, i, "name", JsonValue::Type::kString);
+    const JsonValue* pid = required(check, ev, i, "pid", JsonValue::Type::kNumber);
+    const JsonValue* tid = required(check, ev, i, "tid", JsonValue::Type::kNumber);
+    if (ph == nullptr || name == nullptr || pid == nullptr || tid == nullptr) continue;
+    if (ph->str.size() != 1 ||
+        std::string("BEiMXC").find(ph->str[0]) == std::string::npos) {
+      add_error(check, "event " + std::to_string(i) + ": unknown ph \"" + ph->str + "\"");
+      continue;
+    }
+    const char kind = ph->str[0];
+    if (kind == 'M') continue;  // metadata: no ts required
+    ++check.events;
+    const JsonValue* ts = required(check, ev, i, "ts", JsonValue::Type::kNumber);
+    if (ts != nullptr && ts->number < 0) {
+      add_error(check, "event " + std::to_string(i) + ": negative ts");
+    }
+    const auto lane = std::make_pair(static_cast<std::uint64_t>(pid->number),
+                                     static_cast<std::uint64_t>(tid->number));
+    if (kind == 'B') {
+      open[lane].push_back(name->str);
+    } else if (kind == 'E') {
+      std::vector<std::string>& stack = open[lane];
+      if (stack.empty()) {
+        add_error(check, "event " + std::to_string(i) + ": E \"" + name->str +
+                             "\" with no open span on its lane");
+      } else if (stack.back() != name->str) {
+        add_error(check, "event " + std::to_string(i) + ": E \"" + name->str +
+                             "\" does not match open span \"" + stack.back() + "\"");
+        stack.pop_back();
+      } else {
+        stack.pop_back();
+        ++check.spans;
+      }
+    }
+  }
+  for (const auto& [lane, stack] : open) {
+    for (const std::string& name : stack) {
+      add_error(check, "span \"" + name + "\" on pid " + std::to_string(lane.first) +
+                           " never ended");
+    }
+  }
+  return check;
+}
+
+TraceSummary summarize_trace(const JsonValue& doc) {
+  TraceSummary s;
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) return s;
+  for (const JsonValue& ev : events->items) {
+    const JsonValue* ph = ev.find("ph");
+    const JsonValue* name = ev.find("name");
+    if (ph == nullptr || name == nullptr || !ph->is_string() || !name->is_string()) {
+      continue;
+    }
+    const JsonValue* cat = ev.find("cat");
+    const std::string& category = cat != nullptr && cat->is_string() ? cat->str : "";
+    if (ph->str == "i") {
+      if (name->str == "view_installed") ++s.views_installed;
+      if (name->str == "link.retransmit") {
+        ++s.retransmit_events;
+        s.retransmit_msgs += static_cast<std::uint64_t>(arg_number(ev, "msgs"));
+      }
+      if (name->str == "msg.delivered") {
+        s.delivery_latency_us.push_back(arg_number(ev, "latency_us"));
+      }
+    } else if (ph->str == "E") {
+      if (name->str == "view_change") ++s.view_changes;
+      if (name->str == "flush_round") ++s.flush_rounds;
+      if (name->str == "rekey") ++s.rekeys;
+      if (category == "secure.ka") {
+        s.mod_exps += static_cast<std::uint64_t>(arg_number(ev, "mod_exps"));
+        s.ka_cpu_us += static_cast<std::uint64_t>(arg_number(ev, "cpu_us"));
+      }
+    }
+  }
+  std::vector<double> sorted = s.delivery_latency_us;
+  std::sort(sorted.begin(), sorted.end());
+  s.latency_p50 = sample_percentile(sorted, 50);
+  s.latency_p99 = sample_percentile(sorted, 99);
+  return s;
+}
+
+std::string render_summary(const TraceSummary& s) {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "views installed:      %llu (%llu full view-change spans)\n",
+                static_cast<unsigned long long>(s.views_installed),
+                static_cast<unsigned long long>(s.view_changes));
+  out += buf;
+  std::snprintf(buf, sizeof buf, "flush rounds:         %llu\n",
+                static_cast<unsigned long long>(s.flush_rounds));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "rekeys:               %llu (%llu mod-exps, %.1f ms KA cpu)\n",
+                static_cast<unsigned long long>(s.rekeys),
+                static_cast<unsigned long long>(s.mod_exps),
+                static_cast<double>(s.ka_cpu_us) / 1000.0);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "link retransmits:     %llu events, %llu messages\n",
+                static_cast<unsigned long long>(s.retransmit_events),
+                static_cast<unsigned long long>(s.retransmit_msgs));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "delivery latency:     %zu samples, p50 %.0f us, p99 %.0f us\n",
+                s.delivery_latency_us.size(), s.latency_p50, s.latency_p99);
+  out += buf;
+  return out;
+}
+
+}  // namespace ss::obs

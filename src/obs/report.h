@@ -1,0 +1,48 @@
+// Trace validation and summarization, shared by tools/obs_report and the
+// golden-trace test.
+//
+// check_chrome_trace is the in-repo schema check: the document must be a
+// chrome trace-event object, every event must carry the required fields
+// with sane types, and B/E span events must balance as a stack per
+// (pid, tid) lane with matching names — the property chrome://tracing
+// silently "repairs" but which indicates an instrumentation bug (a span
+// begun and never ended, or ended twice).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace ss::obs {
+
+struct TraceCheck {
+  bool ok = true;
+  std::size_t events = 0;  // non-metadata events
+  std::size_t spans = 0;   // balanced B/E pairs
+  std::vector<std::string> errors;
+};
+
+TraceCheck check_chrome_trace(const JsonValue& doc);
+
+/// What the paper's experiments care about, extracted from one trace.
+struct TraceSummary {
+  std::uint64_t views_installed = 0;   // "view_installed" instants
+  std::uint64_t view_changes = 0;      // completed "view_change" spans
+  std::uint64_t flush_rounds = 0;      // completed "flush_round" spans
+  std::uint64_t rekeys = 0;            // completed "rekey" spans
+  std::uint64_t mod_exps = 0;          // summed "mod_exps" args of KA phases
+  std::uint64_t ka_cpu_us = 0;         // summed "cpu_us" args of KA phases
+  std::uint64_t retransmit_events = 0; // "link.retransmit" instants
+  std::uint64_t retransmit_msgs = 0;   // their summed "msgs" args
+  std::vector<double> delivery_latency_us;  // one sample per delivery instant
+  double latency_p50 = 0;
+  double latency_p99 = 0;
+};
+
+TraceSummary summarize_trace(const JsonValue& doc);
+
+std::string render_summary(const TraceSummary& s);
+
+}  // namespace ss::obs

@@ -1,0 +1,153 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <set>
+
+#include "obs/json.h"
+
+namespace ss::obs {
+
+TraceSink* TraceSink::current_ = nullptr;
+
+namespace {
+constexpr std::size_t kMaxPendingSends = 1u << 16;
+
+void append_event_json(std::string& out, const TraceEvent& ev) {
+  char buf[96];
+  out += "{\"ph\":\"";
+  out += ev.ph;
+  out += "\",\"cat\":\"";
+  out += json_escape(ev.cat);
+  out += "\",\"name\":\"";
+  out += json_escape(ev.name);
+  out += '"';
+  std::snprintf(buf, sizeof buf, ",\"ts\":%llu,\"pid\":%lu,\"tid\":%llu",
+                static_cast<unsigned long long>(ev.ts),
+                static_cast<unsigned long>(ev.pid),
+                static_cast<unsigned long long>(ev.tid));
+  out += buf;
+  if (ev.ph == 'i') out += ",\"s\":\"t\"";  // instant scope: thread
+  if (!ev.args.empty()) {
+    out += ",\"args\":{";
+    for (std::size_t i = 0; i < ev.args.size(); ++i) {
+      const TraceArg& a = ev.args[i];
+      if (i != 0) out += ',';
+      out += '"';
+      out += json_escape(a.key);
+      out += "\":";
+      if (a.kind == TraceArg::Kind::kInt) {
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(a.ival));
+        out += buf;
+      } else {
+        out += '"';
+        out += json_escape(a.sval);
+        out += '"';
+      }
+    }
+    out += '}';
+  }
+  out += '}';
+}
+}  // namespace
+
+void TraceSink::push(TraceEvent ev) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+void TraceSink::begin(const char* cat, const char* name, std::uint32_t pid,
+                      std::uint64_t tid, TraceArgs args) {
+  push(TraceEvent{'B', cat, name, now(), pid, tid, std::move(args)});
+}
+
+void TraceSink::end(const char* cat, const char* name, std::uint32_t pid,
+                    std::uint64_t tid, TraceArgs args) {
+  push(TraceEvent{'E', cat, name, now(), pid, tid, std::move(args)});
+}
+
+void TraceSink::instant(const char* cat, const char* name, std::uint32_t pid,
+                        std::uint64_t tid, TraceArgs args) {
+  push(TraceEvent{'i', cat, name, now(), pid, tid, std::move(args)});
+}
+
+void TraceSink::note_send(std::uint64_t key) {
+  const auto [it, inserted] = send_ts_.insert_or_assign(key, now());
+  (void)it;
+  if (inserted) {
+    send_order_.push_back(key);
+    while (send_order_.size() > kMaxPendingSends) {
+      send_ts_.erase(send_order_.front());
+      send_order_.pop_front();
+    }
+  }
+}
+
+std::optional<std::uint64_t> TraceSink::latency_since_send(std::uint64_t key) const {
+  const auto it = send_ts_.find(key);
+  if (it == send_ts_.end()) return std::nullopt;
+  const std::uint64_t t = now();
+  return t >= it->second ? t - it->second : 0;
+}
+
+void TraceSink::clear() {
+  events_.clear();
+  dropped_ = 0;
+  send_ts_.clear();
+  send_order_.clear();
+}
+
+std::string TraceSink::chrome_json() const {
+  std::string out = "{\"traceEvents\":[";
+  // Metadata: name each daemon's process track.
+  std::set<std::uint32_t> pids;
+  for (const TraceEvent& ev : events_) pids.insert(ev.pid);
+  bool first = true;
+  char buf[96];
+  for (const std::uint32_t pid : pids) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%lu,\"tid\":0,"
+                  "\"args\":{\"name\":\"daemon %lu\"}}",
+                  static_cast<unsigned long>(pid), static_cast<unsigned long>(pid));
+    out += buf;
+  }
+  for (const TraceEvent& ev : events_) {
+    if (!first) out += ',';
+    first = false;
+    append_event_json(out, ev);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string TraceSink::jsonl() const {
+  std::string out;
+  for (const TraceEvent& ev : events_) {
+    append_event_json(out, ev);
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+}  // namespace
+
+bool TraceSink::write_chrome(const std::string& path) const {
+  return write_file(path, chrome_json());
+}
+
+bool TraceSink::write_jsonl(const std::string& path) const {
+  return write_file(path, jsonl());
+}
+
+}  // namespace ss::obs

@@ -1,0 +1,230 @@
+// TraceSink: protocol span and event recording with chrome-trace export.
+//
+// Protocol layers record *spans* (begin/end pairs: an EVS view change and
+// its gather/exchange/recover phases, a flush round, a secure-layer rekey
+// with its key-agreement phases) and *instants* (view installed, message
+// delivered, link retransmit) against virtual sim time. The sink exports
+// the Chrome trace-event JSON format — load the file in chrome://tracing
+// or Perfetto to see the protocol timeline per daemon — plus a flat JSONL
+// for scripts.
+//
+// Conventions:
+//   pid  = daemon id (each daemon renders as one process track),
+//   tid  = actor lane within the daemon: 0 for the daemon's own membership
+//          engine, trace_lane(...) for per-(client, group) protocol actors,
+//   ts   = sim::Scheduler virtual time (already microseconds, which is the
+//          unit the chrome trace format expects).
+//
+// The sink is a process-wide *current* pointer (TraceScope RAII), nullptr
+// by default: with no sink installed every trace point costs one branch on
+// a plain pointer, mirroring gcs::ClientTrace. The sink does not depend on
+// the scheduler; whoever installs it provides the clock via set_clock, so
+// layers without a scheduler reference can still stamp events.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace ss::obs {
+
+/// One span/instant argument; renders into the event's "args" object.
+struct TraceArg {
+  std::string key;
+  enum class Kind : std::uint8_t { kInt, kStr } kind;
+  std::int64_t ival = 0;
+  std::string sval;
+
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+  TraceArg(std::string k, T v)
+      : key(std::move(k)), kind(Kind::kInt), ival(static_cast<std::int64_t>(v)) {}
+  TraceArg(std::string k, std::string v)
+      : key(std::move(k)), kind(Kind::kStr), sval(std::move(v)) {}
+  TraceArg(std::string k, const char* v)
+      : key(std::move(k)), kind(Kind::kStr), sval(v) {}
+};
+
+using TraceArgs = std::vector<TraceArg>;
+
+struct TraceEvent {
+  char ph = 'i';            // 'B' begin, 'E' end, 'i' instant
+  const char* cat = "";     // string literals only (never freed)
+  const char* name = "";
+  std::uint64_t ts = 0;     // virtual time, microseconds
+  std::uint32_t pid = 0;    // daemon id
+  std::uint64_t tid = 0;    // actor lane within the daemon
+  TraceArgs args;
+};
+
+/// Deterministic chrome-trace thread id for a per-(layer, client, group)
+/// protocol actor: spans of the same actor nest on one lane, different
+/// actors land on different lanes. FNV-1a over the group name folded with
+/// the layer and client ids; collisions are astronomically unlikely.
+inline std::uint64_t trace_lane(std::uint64_t layer, std::uint64_t client,
+                                std::string_view name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h ^= layer * 0x9E3779B97F4A7C15ULL;
+  h *= 1099511628211ULL;
+  h ^= client + 0x165667B19E3779F9ULL;
+  h *= 1099511628211ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Mixes a message identity (view round/coordinator, sender, seq) into the
+/// 64-bit key the send/deliver latency pairing uses.
+inline std::uint64_t trace_msg_key(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                                   std::uint64_t d) {
+  std::uint64_t h = a * 0x9E3779B97F4A7C15ULL;
+  h = (h ^ b) * 0xC2B2AE3D27D4EB4FULL;
+  h = (h ^ c) * 0x165667B19E3779F9ULL;
+  h = (h ^ d) * 0x27D4EB2F165667C5ULL;
+  return h ^ (h >> 29);
+}
+
+class TraceSink {
+ public:
+  using ClockFn = std::function<std::uint64_t()>;
+
+  /// Installs the virtual-time source (typically [&s]{ return s.now(); }).
+  /// Without a clock events are stamped 0.
+  void set_clock(ClockFn clock) { clock_ = std::move(clock); }
+  std::uint64_t now() const { return clock_ ? clock_() : 0; }
+
+  void begin(const char* cat, const char* name, std::uint32_t pid, std::uint64_t tid,
+             TraceArgs args = {});
+  void end(const char* cat, const char* name, std::uint32_t pid, std::uint64_t tid,
+           TraceArgs args = {});
+  void instant(const char* cat, const char* name, std::uint32_t pid, std::uint64_t tid,
+               TraceArgs args = {});
+
+  /// Send/deliver latency pairing: the sender notes a message key at send
+  /// time; each delivering daemon asks for the elapsed virtual time. The
+  /// table is bounded (oldest keys pruned), so lookups can miss under
+  /// sustained load — callers must tolerate nullopt.
+  void note_send(std::uint64_t key);
+  std::optional<std::uint64_t> latency_since_send(std::uint64_t key) const;
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  /// Events discarded after the buffer cap was reached.
+  std::uint64_t dropped() const { return dropped_; }
+  void set_max_events(std::size_t cap) { max_events_ = cap; }
+  void clear();
+
+  /// Chrome trace-event document: {"traceEvents":[...]} with one metadata
+  /// record naming each daemon's process track.
+  std::string chrome_json() const;
+  /// One flat JSON object per line (no surrounding document); for scripts.
+  std::string jsonl() const;
+  bool write_chrome(const std::string& path) const;
+  bool write_jsonl(const std::string& path) const;
+
+  /// Process-wide current sink (nullptr = tracing off).
+  static TraceSink* current() { return current_; }
+  static TraceSink* set_current(TraceSink* s) {
+    TraceSink* prev = current_;
+    current_ = s;
+    return prev;
+  }
+
+ private:
+  void push(TraceEvent ev);
+
+  ClockFn clock_;
+  std::vector<TraceEvent> events_;
+  std::size_t max_events_ = 1u << 20;
+  std::uint64_t dropped_ = 0;
+  std::map<std::uint64_t, std::uint64_t> send_ts_;
+  std::deque<std::uint64_t> send_order_;
+
+  static TraceSink* current_;
+};
+
+/// The current sink, nullptr when tracing is off. Trace points are gated on
+/// this: `if (obs::TraceSink* s = obs::sink()) s->instant(...)`.
+inline TraceSink* sink() { return TraceSink::current(); }
+
+/// RAII: installs a sink as current, restores the previous on destruction.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceSink& s) : prev_(TraceSink::set_current(&s)) {}
+  ~TraceScope() { TraceSink::set_current(prev_); }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceSink* prev_;
+};
+
+/// A protocol span that stays open across scheduler events (a view change
+/// spans many message handlers). The handle remembers which sink it began
+/// on: end() is a no-op if tracing was off at begin time or the sink was
+/// swapped since, and the destructor closes the span on owner teardown, so
+/// B/E events always balance. Move-only: protocol state structs hold these
+/// by value inside containers.
+class SpanHandle {
+ public:
+  SpanHandle() = default;
+  ~SpanHandle() { end(); }
+
+  SpanHandle(SpanHandle&& other) noexcept { *this = std::move(other); }
+  SpanHandle& operator=(SpanHandle&& other) noexcept {
+    if (this != &other) {
+      end();
+      sink_ = other.sink_;
+      cat_ = other.cat_;
+      name_ = other.name_;
+      pid_ = other.pid_;
+      tid_ = other.tid_;
+      other.sink_ = nullptr;
+    }
+    return *this;
+  }
+  SpanHandle(const SpanHandle&) = delete;
+  SpanHandle& operator=(const SpanHandle&) = delete;
+
+  bool open() const { return sink_ != nullptr; }
+
+  /// Opens the span on the current sink (no-op while tracing is off). An
+  /// already-open handle is closed first, so cascaded restarts of the same
+  /// protocol phase stay balanced.
+  void begin(const char* cat, const char* name, std::uint32_t pid, std::uint64_t tid,
+             TraceArgs args = {}) {
+    end();
+    TraceSink* s = TraceSink::current();
+    if (s == nullptr) return;
+    sink_ = s;
+    cat_ = cat;
+    name_ = name;
+    pid_ = pid;
+    tid_ = tid;
+    s->begin(cat, name, pid, tid, std::move(args));
+  }
+
+  /// Closes the span if open (and the sink it began on is still current).
+  void end(TraceArgs args = {}) {
+    if (sink_ == nullptr) return;
+    if (sink_ == TraceSink::current()) sink_->end(cat_, name_, pid_, tid_, std::move(args));
+    sink_ = nullptr;
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  const char* cat_ = nullptr;
+  const char* name_ = nullptr;
+  std::uint32_t pid_ = 0;
+  std::uint64_t tid_ = 0;
+};
+
+}  // namespace ss::obs

@@ -36,6 +36,23 @@ enum class KaMsgType : std::int16_t {
   kRefreshRequest = -31021,
 };
 
+/// Stable span name for a key-agreement protocol message (trace phase
+/// labels, e.g. "ka.clq_broadcast"); "ka.message" for unknown types.
+inline const char* ka_phase_name(std::int16_t msg_type) {
+  switch (static_cast<KaMsgType>(msg_type)) {
+    case KaMsgType::kClqHandoff: return "ka.clq_handoff";
+    case KaMsgType::kClqBroadcast: return "ka.clq_broadcast";
+    case KaMsgType::kClqMergeChain: return "ka.clq_merge_chain";
+    case KaMsgType::kClqMergePartial: return "ka.clq_merge_partial";
+    case KaMsgType::kClqFactorOut: return "ka.clq_factor_out";
+    case KaMsgType::kCkdRound1: return "ka.ckd_round1";
+    case KaMsgType::kCkdRound2: return "ka.ckd_round2";
+    case KaMsgType::kCkdKeyDist: return "ka.ckd_key_dist";
+    case KaMsgType::kRefreshRequest: return "ka.refresh_request";
+  }
+  return "ka.message";
+}
+
 /// What a module wants done after handling an event.
 struct KaActions {
   struct Unicast {

@@ -129,8 +129,11 @@ void SecureGroupClient::refresh_key(const gcs::GroupName& group) {
     st.rekey_start = sched_.now();
     st.cpu_acc = 0;
     st.exp_acc = crypto::ExpTally{};
+    begin_rekey_span(group, st);
   }
-  dispatch(group, st, run_module(st, [&] { return st.ka->request_refresh(); }));
+  dispatch(group, st,
+           run_module(st, group, "ka.refresh_request",
+                      [&] { return st.ka->request_refresh(); }));
 }
 
 bool SecureGroupClient::has_key(const gcs::GroupName& group) const {
@@ -163,9 +166,14 @@ const std::optional<RekeyStats>& SecureGroupClient::last_rekey(
   return it != groups_.end() ? it->second.last_rekey : kNone;
 }
 
-KaActions SecureGroupClient::run_module(GroupState& st, const std::function<KaActions()>& call) {
+KaActions SecureGroupClient::run_module(GroupState& st, const gcs::GroupName& group,
+                                        const char* phase,
+                                        const std::function<KaActions()>& call) {
   const crypto::ExpTally before = crypto::exp_tally();
+  obs::SpanHandle span;
+  span.begin("secure.ka", phase, fm_.id().daemon, rekey_lane(group));
   KaActions actions;
+  sim::Time cpu_us = 0;
   {
     sim::ComputeTimer timer(sched_, charge_crypto_time_);
     try {
@@ -176,10 +184,34 @@ KaActions SecureGroupClient::run_module(GroupState& st, const std::function<KaAc
       SS_LOG_WARN("secure", "key agreement step failed: ", e.what());
       actions = KaActions{};
     }
-    st.cpu_acc += static_cast<double>(timer.elapsed_us()) * 1e-6;
+    cpu_us = timer.elapsed_us();
+    st.cpu_acc += static_cast<double>(cpu_us) * 1e-6;
   }
-  st.exp_acc += crypto::exp_tally() - before;
+  const crypto::ExpTally delta = crypto::exp_tally() - before;
+  st.exp_acc += delta;
+  if (span.open()) {
+    obs::TraceArgs args{{"cpu_us", cpu_us}, {"mod_exps", delta.total()}};
+    for (std::size_t i = 0; i < crypto::kExpPurposeCount; ++i) {
+      const auto p = static_cast<crypto::ExpPurpose>(i);
+      const std::uint64_t n = delta.count(p);
+      if (n != 0) args.emplace_back(crypto::exp_purpose_name(p), n);
+    }
+    span.end(std::move(args));
+  }
+  if (delta.total() != 0) {
+    obs::MetricsRegistry::current()
+        .counter("secure.ka.mod_exps",
+                 {{"member", fm_.id().to_string()}, {"module", st.config.ka_module}})
+        .inc(delta.total());
+  }
   return actions;
+}
+
+void SecureGroupClient::begin_rekey_span(const gcs::GroupName& group, GroupState& st) {
+  st.rekey_span.begin("secure", "rekey", fm_.id().daemon, rekey_lane(group),
+                      {{"group", group},
+                       {"module", st.config.ka_module},
+                       {"group_size", st.view.members.size()}});
 }
 
 void SecureGroupClient::handle_view(const gcs::GroupView& view) {
@@ -206,9 +238,11 @@ void SecureGroupClient::handle_view(const gcs::GroupView& view) {
   st.rekey_start = sched_.now();
   st.cpu_acc = 0;
   st.exp_acc = crypto::ExpTally{};
+  begin_rekey_span(view.group, st);
 
   if (on_view_) on_view_(view);
-  dispatch(view.group, st, run_module(st, [&] { return st.ka->on_view(view); }));
+  dispatch(view.group, st,
+           run_module(st, view.group, "ka.on_view", [&] { return st.ka->on_view(view); }));
 }
 
 void SecureGroupClient::handle_message(const gcs::Message& msg) {
@@ -239,7 +273,9 @@ void SecureGroupClient::handle_message(const gcs::Message& msg) {
     } else if (msg.view_id != st.view.view_id) {
       return;
     }
-    dispatch(msg.group, st, run_module(st, [&] { return st.ka->on_message(inner); }));
+    dispatch(msg.group, st,
+             run_module(st, msg.group, ka_phase_name(msg.msg_type),
+                        [&] { return st.ka->on_message(inner); }));
   }
 }
 
@@ -298,6 +334,13 @@ void SecureGroupClient::apply_new_key(const gcs::GroupName& group, GroupState& s
     stats.exps = st.exp_acc;
     st.last_rekey = stats;
     st.in_rekey = false;
+    st.rekey_span.end({{"epoch", st.epoch},
+                       {"group_size", stats.group_size},
+                       {"mod_exps", stats.exps.total()},
+                       {"cpu_us", static_cast<std::uint64_t>(stats.cpu_seconds * 1e6)}});
+    obs::MetricsRegistry::current()
+        .counter("secure.rekeys", {{"member", fm_.id().to_string()}})
+        .inc();
     if (on_rekey_) on_rekey_(group, stats);
   }
 

@@ -31,6 +31,7 @@
 #include "crypto/drbg.h"
 #include "crypto/exp_counter.h"
 #include "flush/flush.h"
+#include "obs/trace.h"
 #include "secure/cipher.h"
 #include "secure/ka_module.h"
 #include "sim/compute_timer.h"
@@ -161,6 +162,10 @@ class SecureGroupClient {
     double cpu_acc = 0;
     crypto::ExpTally exp_acc;
     std::optional<RekeyStats> last_rekey;
+    // Open from agreement (re)start to key installation; KA phase spans
+    // nest inside it on the same lane. Cascades restart it, the destructor
+    // closes it on leave/teardown.
+    obs::SpanHandle rekey_span;
 
     SecureGroupStats stats;
     sim::EventId refresh_timer = 0;
@@ -175,8 +180,17 @@ class SecureGroupClient {
 
   void handle_view(const gcs::GroupView& view);
   void handle_message(const gcs::Message& msg);
-  /// Runs a module call with CPU/exponentiation instrumentation.
-  KaActions run_module(GroupState& st, const std::function<KaActions()>& call);
+  /// Runs a module call with CPU/exponentiation instrumentation. `phase`
+  /// names the trace span recorded for the call (e.g. "ka.clq_broadcast");
+  /// its end event carries the call's CPU time and per-purpose mod-exps.
+  KaActions run_module(GroupState& st, const gcs::GroupName& group, const char* phase,
+                       const std::function<KaActions()>& call);
+  /// (Re)opens the rekey span for `group` (cascade restarts included).
+  void begin_rekey_span(const gcs::GroupName& group, GroupState& st);
+  /// Trace lane shared by this member's rekey + KA phase spans for `group`.
+  std::uint64_t rekey_lane(const gcs::GroupName& group) const {
+    return obs::trace_lane(2, fm_.id().client, group);
+  }
   void dispatch(const gcs::GroupName& group, GroupState& st, KaActions actions);
   void apply_new_key(const gcs::GroupName& group, GroupState& st);
   void flush_outbox(const gcs::GroupName& group, GroupState& st);

@@ -8,8 +8,7 @@
 // end-to-end virtual latencies include cryptographic cost.
 #pragma once
 
-#include <ctime>
-
+#include "obs/clock.h"
 #include "sim/scheduler.h"
 
 namespace ss::sim {
@@ -33,12 +32,9 @@ class ComputeTimer {
     return sec <= 0 ? 0 : static_cast<Time>(sec * 1e6);
   }
 
-  /// Thread CPU seconds (getrusage-equivalent, as the paper measured).
-  static double cpu_now() {
-    timespec ts{};
-    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
-    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
-  }
+  /// Thread CPU seconds; the single process-wide definition lives in
+  /// obs/clock.h so benchmarks and instrumentation share it.
+  static double cpu_now() { return obs::cpu_now_seconds(); }
 
  private:
   Scheduler& sched_;

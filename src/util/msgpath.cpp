@@ -2,11 +2,19 @@
 
 namespace ss::util {
 
-MsgPathStats& msgpath() {
-  static MsgPathStats stats;
-  return stats;
-}
+namespace {
+MsgPathStats default_block;
+MsgPathStats* current_block = &default_block;
+}  // namespace
 
-void msgpath_reset() { msgpath() = MsgPathStats{}; }
+MsgPathStats& msgpath() { return *current_block; }
+
+void msgpath_reset() { *current_block = MsgPathStats{}; }
+
+MsgPathStats* msgpath_install(MsgPathStats* block) {
+  MsgPathStats* prev = current_block;
+  current_block = block != nullptr ? block : &default_block;
+  return prev;
+}
 
 }  // namespace ss::util

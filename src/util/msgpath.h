@@ -11,6 +11,11 @@
 // The counters are process-wide plain integers. The simulation is
 // single-threaded by design (one scheduler drives everything), so no
 // atomics are needed; the tsan stage runs the same single-threaded suite.
+//
+// The accessor indirects through a current-block pointer so that a metrics
+// registry scope (obs::RegistryScope) can route the counters into its own
+// per-epoch block: tests and benchmarks get isolated counters without the
+// increment sites knowing anything about the registry.
 #pragma once
 
 #include <cstdint>
@@ -29,10 +34,15 @@ struct MsgPathStats {
   std::uint64_t messages_packed = 0; // messages that rode inside pack frames
 };
 
-/// The process-wide counter set.
+/// The current process-wide counter set (the built-in block unless a
+/// registry scope installed its own).
 MsgPathStats& msgpath();
 
-/// Zeroes all counters (benchmark / test epochs).
+/// Zeroes all counters of the current block (benchmark / test epochs).
 void msgpath_reset();
+
+/// Redirects msgpath() to `block` (nullptr restores the built-in block);
+/// returns the previously installed block so scopes can nest.
+MsgPathStats* msgpath_install(MsgPathStats* block);
 
 }  // namespace ss::util

@@ -6,6 +6,10 @@
 // (RecordingClient, FlushMailbox, SecureGroupClient — in any test) have the
 // EVS/VS/key-consistency protocol invariants enforced automatically. The
 // checker's verdict is asserted in the Cluster destructor.
+//
+// Each Cluster also installs its own obs::MetricsRegistry (which carries the
+// process-wide msgpath counter block), so metrics recorded by one test can
+// never bleed into another's assertions.
 #pragma once
 
 #include <gtest/gtest.h>
@@ -17,6 +21,7 @@
 #include "check/invariant_checker.h"
 #include "gcs/daemon.h"
 #include "gcs/mailbox.h"
+#include "obs/metrics.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
 
@@ -62,7 +67,7 @@ class Cluster {
  public:
   explicit Cluster(std::size_t n, std::uint64_t seed = 42,
                    gcs::TimingConfig timing = {}, sim::LinkModel link = {})
-      : net(sched, seed, link), trace_scope_(checker) {
+      : net(sched, seed, link), trace_scope_(checker), metrics_scope_(metrics) {
     std::vector<gcs::DaemonId> ids;
     for (std::size_t i = 0; i < n; ++i) ids.push_back(static_cast<gcs::DaemonId>(i));
     for (std::size_t i = 0; i < n; ++i) {
@@ -122,12 +127,16 @@ class Cluster {
 
   sim::Scheduler sched;
   sim::SimNetwork net;
+  /// Per-cluster metrics registry, installed process-wide for the cluster's
+  /// lifetime (tests assert on `metrics` without cross-test bleed).
+  obs::MetricsRegistry metrics;
   /// Protocol invariant checker fed by every client of this cluster.
   check::InvariantChecker checker;
   std::vector<std::unique_ptr<gcs::Daemon>> daemons;
 
  private:
   check::TraceScope trace_scope_;
+  obs::RegistryScope metrics_scope_;
 };
 
 }  // namespace ss::testing

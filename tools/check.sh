@@ -15,12 +15,15 @@
 #   bench  data-path smoke test: builds and runs bench_msg_path once; the
 #          binary self-asserts the zero-copy contract (0 payload copies per
 #          local multicast, <= 1 across daemons) and exits nonzero on drift
+#   obs    observability gate: runs the Obs* test suites (metrics math,
+#          trace span balance, golden cluster trace), then captures a live
+#          bench_fig3 trace and validates it with obs_report --check
 set -u
 
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(plain asan tsan tidy bench)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(plain asan tsan tidy bench obs)
 FAILED=()
 
 run_stage() {
@@ -77,8 +80,25 @@ for stage in "${STAGES[@]}"; do
         FAILED+=(bench)
       fi
       ;;
+    obs)
+      echo "==== stage: obs ===="
+      TRACE=build-check/fig3_trace.json
+      if cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null \
+          && cmake --build build-check \
+              --target ss_tests obs_report bench_fig3_membership_time -j "$JOBS" \
+          && ctest --test-dir build-check --output-on-failure -R '^Obs' -j "$JOBS" \
+          && SS_TRACE="$TRACE" SS_BENCH_SIZES=2,3 SS_BENCH_BATCH=1 \
+              SS_BENCH_GROUP=tiny64 \
+              ./build-check/bench/bench_fig3_membership_time > /dev/null \
+          && ./build-check/tools/obs_report --check "$TRACE"; then
+        echo "==== stage obs: OK ===="
+      else
+        echo "==== stage obs: FAILED ===="
+        FAILED+=(obs)
+      fi
+      ;;
     *)
-      echo "unknown stage: $stage (expected plain|asan|tsan|tidy|bench)" >&2
+      echo "unknown stage: $stage (expected plain|asan|tsan|tidy|bench|obs)" >&2
       exit 2
       ;;
   esac

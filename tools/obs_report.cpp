@@ -1,0 +1,105 @@
+// obs_report: validate and summarize a protocol trace.
+//
+//   obs_report trace.json           print the experiment summary
+//   obs_report --check trace.json   also fail (exit 1) on schema errors
+//
+// Accepts the chrome trace-event document written by TraceSink::write_chrome
+// (load the same file in chrome://tracing or Perfetto) or the flat JSONL
+// written by write_jsonl.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace {
+
+bool read_file(const char* path, std::string& out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+/// Wraps JSONL (one event object per line) into a chrome trace document so
+/// both export formats go through the same checker.
+std::string wrap_jsonl(const std::string& text) {
+  std::string doc = "{\"traceEvents\":[";
+  bool first = true;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::size_t a = start, b = end;
+    while (a < b && (text[a] == ' ' || text[a] == '\t' || text[a] == '\r')) ++a;
+    while (b > a && (text[b - 1] == ' ' || text[b - 1] == '\t' || text[b - 1] == '\r')) --b;
+    if (b > a) {
+      if (!first) doc += ',';
+      first = false;
+      doc.append(text, a, b - a);
+    }
+    start = end + 1;
+  }
+  doc += "]}";
+  return doc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: obs_report [--check] <trace.json|trace.jsonl>\n");
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: obs_report [--check] <trace.json|trace.jsonl>\n");
+    return 2;
+  }
+
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "obs_report: cannot read %s\n", path);
+    return 2;
+  }
+
+  ss::obs::JsonValue doc;
+  try {
+    doc = ss::obs::json_parse(text);
+  } catch (const ss::obs::JsonError&) {
+    // Not one JSON document; try the JSONL export format.
+    try {
+      doc = ss::obs::json_parse(wrap_jsonl(text));
+    } catch (const ss::obs::JsonError& e) {
+      std::fprintf(stderr, "obs_report: %s: %s\n", path, e.what());
+      return 2;
+    }
+  }
+
+  const ss::obs::TraceCheck tc = ss::obs::check_chrome_trace(doc);
+  std::printf("%s: %zu events, %zu spans\n", path, tc.events, tc.spans);
+  if (!tc.ok) {
+    for (const std::string& err : tc.errors) std::printf("  schema error: %s\n", err.c_str());
+  }
+
+  const ss::obs::TraceSummary summary = ss::obs::summarize_trace(doc);
+  std::printf("%s", ss::obs::render_summary(summary).c_str());
+
+  if (check && !tc.ok) {
+    std::fprintf(stderr, "obs_report: %s failed the trace schema check\n", path);
+    return 1;
+  }
+  return 0;
+}
