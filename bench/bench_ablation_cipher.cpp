@@ -29,7 +29,7 @@ Result run(const std::string& cipher, int messages, std::size_t payload_size) {
   std::vector<gcs::DaemonId> ids = {0, 1};
   std::vector<std::unique_ptr<gcs::Daemon>> daemons;
   for (gcs::DaemonId id : ids) {
-    daemons.push_back(std::make_unique<gcs::Daemon>(sched, net, id, ids, gcs::TimingConfig{},
+    daemons.push_back(std::make_unique<gcs::Daemon>(ss::runtime::Env{&sched, &net, id}, ids, gcs::TimingConfig{},
                                                     99 + id));
     net.add_node(daemons.back().get());
   }

@@ -35,7 +35,7 @@ Result run(sim::Time refresh_interval, const crypto::DhGroup& dh, sim::Time dura
   timing.heartbeat_interval = 500 * sim::kMillisecond;
   timing.fd_check_interval = 250 * sim::kMillisecond;
   for (gcs::DaemonId id : ids) {
-    daemons.push_back(std::make_unique<gcs::Daemon>(sched, net, id, ids, timing, 3 + id));
+    daemons.push_back(std::make_unique<gcs::Daemon>(ss::runtime::Env{&sched, &net, id}, ids, timing, 3 + id));
     net.add_node(daemons.back().get());
   }
   for (auto& d : daemons) d->start();

@@ -59,7 +59,7 @@ struct Stack {
     timing.fail_timeout = 2 * sim::kSecond;
     std::vector<gcs::DaemonId> ids = {0, 1, 2};
     for (gcs::DaemonId id : ids) {
-      daemons.push_back(std::make_unique<gcs::Daemon>(sched, net, id, ids, timing, 1000 + id));
+      daemons.push_back(std::make_unique<gcs::Daemon>(ss::runtime::Env{&sched, &net, id}, ids, timing, 1000 + id));
       net.add_node(daemons.back().get());
     }
     for (auto& d : daemons) d->start();

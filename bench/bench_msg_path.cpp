@@ -84,7 +84,7 @@ ScenarioResult run_scenario(const std::string& name, std::size_t n_daemons,
   std::vector<std::unique_ptr<gcs::Daemon>> daemons;
   for (gcs::DaemonId id : ids) {
     daemons.push_back(
-        std::make_unique<gcs::Daemon>(sched, net, id, ids, gcs::TimingConfig{}, 5 + id));
+        std::make_unique<gcs::Daemon>(ss::runtime::Env{&sched, &net, id}, ids, gcs::TimingConfig{}, 5 + id));
     net.add_node(daemons.back().get());
   }
   for (auto& d : daemons) d->start();

@@ -65,7 +65,7 @@ int main() {
   std::vector<gcs::DaemonId> ids = {0, 1, 2};
   std::vector<std::unique_ptr<gcs::Daemon>> daemons;
   for (gcs::DaemonId id : ids) {
-    daemons.push_back(std::make_unique<gcs::Daemon>(sched, net, id, ids, gcs::TimingConfig{},
+    daemons.push_back(std::make_unique<gcs::Daemon>(ss::runtime::Env{&sched, &net, id}, ids, gcs::TimingConfig{},
                                                     9090 + id));
     net.add_node(daemons.back().get());
   }

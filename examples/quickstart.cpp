@@ -30,7 +30,7 @@ int main() {
   std::vector<std::unique_ptr<gcs::Daemon>> daemons;
   for (gcs::DaemonId id : daemon_ids) {
     daemons.push_back(
-        std::make_unique<gcs::Daemon>(sched, net, id, daemon_ids, gcs::TimingConfig{}, id + 1));
+        std::make_unique<gcs::Daemon>(ss::runtime::Env{&sched, &net, id}, daemon_ids, gcs::TimingConfig{}, id + 1));
     net.add_node(daemons.back().get());
   }
   for (auto& d : daemons) d->start();

@@ -1,27 +1,29 @@
 // Timing knobs for the daemon stack (the simulated spread.conf).
+// Times are runtime::Time microseconds: virtual under the sim backend,
+// wall-clock under the realtime backend — the same config drives both.
 #pragma once
 
 #include <cstddef>
 
-#include "sim/scheduler.h"
+#include "runtime/clock.h"
 
 namespace ss::gcs {
 
 struct TimingConfig {
-  sim::Time heartbeat_interval = 5 * sim::kMillisecond;
-  sim::Time fd_check_interval = 5 * sim::kMillisecond;
+  runtime::Time heartbeat_interval = 5 * runtime::kMillisecond;
+  runtime::Time fd_check_interval = 5 * runtime::kMillisecond;
   /// A silent peer is declared unreachable after this long.
-  sim::Time fail_timeout = 20 * sim::kMillisecond;
+  runtime::Time fail_timeout = 20 * runtime::kMillisecond;
   /// Link retransmission timeout.
-  sim::Time link_rto = 2 * sim::kMillisecond;
+  runtime::Time link_rto = 2 * runtime::kMillisecond;
   /// Quiet period of candidate-set stability before the coordinator proposes.
-  sim::Time gather_stable = 6 * sim::kMillisecond;
+  runtime::Time gather_stable = 6 * runtime::kMillisecond;
   /// Non-coordinators regather if no proposal/install arrives in time.
-  sim::Time gather_timeout = 60 * sim::kMillisecond;
+  runtime::Time gather_timeout = 60 * runtime::kMillisecond;
   /// Members regather if their recovery plan cannot be completed in time.
-  sim::Time recovery_timeout = 80 * sim::kMillisecond;
+  runtime::Time recovery_timeout = 80 * runtime::kMillisecond;
   /// Daemon <-> local client IPC latency.
-  sim::Time client_ipc_delay = 20 * sim::kMicrosecond;
+  runtime::Time client_ipc_delay = 20 * runtime::kMicrosecond;
   /// Reliable messages up to this size are coalesced per destination into
   /// one pack frame (Spread-style packing). The pack is flushed in the same
   /// scheduler instant, so packing adds no latency. 0 disables packing.

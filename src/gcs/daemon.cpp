@@ -9,15 +9,14 @@
 
 namespace ss::gcs {
 
-Daemon::Daemon(sim::Scheduler& sched, sim::SimNetwork& net, DaemonId self,
-               std::vector<DaemonId> configured, TimingConfig timing, std::uint64_t seed,
-               DaemonKeyStore* key_store)
-    : sched_(sched),
-      net_(net),
-      self_(self),
+Daemon::Daemon(const runtime::Env& env, std::vector<DaemonId> configured, TimingConfig timing,
+               std::uint64_t seed, DaemonKeyStore* key_store)
+    : clock_(*env.clock),
+      net_(*env.net),
+      self_(env.self),
       configured_(std::move(configured)),
       timing_(timing),
-      rng_(seed ^ (static_cast<std::uint64_t>(self) << 32)),
+      rng_(seed ^ (static_cast<std::uint64_t>(self_) << 32)),
       key_store_(key_store) {
   std::sort(configured_.begin(), configured_.end());
 }
@@ -30,7 +29,7 @@ void Daemon::start() {
   if (state_ != DState::kDown) return;
   boot_id_ = rng_.next() | 1;  // never 0 (0 means "unknown" in the link layer)
   links_ = std::make_unique<LinkManager>(
-      sched_, net_, self_, boot_id_, timing_,
+      env(), boot_id_, timing_,
       [this](DaemonId from, const util::SharedBytes& msg) { handle_message(from, msg); });
   if (key_store_ != nullptr) {
     crypto::HmacDrbg provision_rnd(rng_.next(), "daemon-lt-key");
@@ -42,7 +41,7 @@ void Daemon::start() {
           links_->send(to, frame(MsgType::kDaemonKeyDist, body));
         });
   }
-  fd_ = std::make_unique<FailureDetector>(sched_, timing_, self_, configured_,
+  fd_ = std::make_unique<FailureDetector>(clock_, timing_, self_, configured_,
                                           [this] { on_fd_change(); });
 
   // Boot into a singleton view; peers are discovered via heartbeats.
@@ -58,10 +57,10 @@ void Daemon::stop() {
   if (state_ == DState::kDown) return;
   state_ = DState::kDown;
   obs_close_membership_spans();
-  if (hb_timer_ != 0) sched_.cancel(hb_timer_);
-  if (stable_timer_armed_) sched_.cancel(gather_stable_timer_);
-  if (timeout_timer_armed_) sched_.cancel(gather_timeout_timer_);
-  if (recovery_timer_armed_) sched_.cancel(recovery_timer_);
+  if (hb_timer_ != 0) clock_.cancel(hb_timer_);
+  if (stable_timer_armed_) clock_.cancel(gather_stable_timer_);
+  if (timeout_timer_armed_) clock_.cancel(gather_timeout_timer_);
+  if (recovery_timer_armed_) clock_.cancel(recovery_timer_);
   stable_timer_armed_ = timeout_timer_armed_ = recovery_timer_armed_ = false;
   if (fd_) fd_->stop();
   if (links_) links_->shutdown();
@@ -108,7 +107,7 @@ void Daemon::obs_close_membership_spans() {
   view_change_span_.end();
 }
 
-void Daemon::on_packet(sim::NodeId from, const util::Frame& payload) {
+void Daemon::on_packet(runtime::NodeId from, const util::Frame& payload) {
   if (state_ == DState::kDown) return;
   if (fd_) fd_->heard_from(from);
   try {
@@ -199,7 +198,7 @@ void Daemon::send_heartbeats() {
   for (DaemonId peer : configured_) {
     if (peer != self_) links_->send_raw(peer, framed);
   }
-  hb_timer_ = sched_.after(timing_.heartbeat_interval, [this] { send_heartbeats(); });
+  hb_timer_ = clock_.after(timing_.heartbeat_interval, [this] { send_heartbeats(); });
 }
 
 void Daemon::broadcast_to(const std::vector<DaemonId>& daemons, MsgType type,
@@ -220,7 +219,7 @@ void Daemon::post_to_client(std::uint32_t client, const Message& msg) {
 
 void Daemon::schedule_client_delivery(std::function<void()> fn) {
   const std::uint64_t boot = boot_id_;
-  sched_.after(timing_.client_ipc_delay, [this, boot, fn = std::move(fn)] {
+  clock_.after(timing_.client_ipc_delay, [this, boot, fn = std::move(fn)] {
     if (state_ != DState::kDown && boot_id_ == boot) fn();
   });
 }

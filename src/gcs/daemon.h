@@ -40,8 +40,7 @@
 #include "gcs/wire.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "sim/network.h"
-#include "sim/scheduler.h"
+#include "runtime/env.h"
 #include "util/rng.h"
 
 namespace ss::gcs {
@@ -67,17 +66,17 @@ struct DaemonStats {
   std::uint64_t retrans_served = 0;
 };
 
-class Daemon : public sim::NetNode {
+class Daemon : public runtime::PacketSink {
  public:
-  /// `self` must be the NodeId this daemon registers as on `net`.
+  /// `env.self` must be the NodeId this daemon registers as on the
+  /// transport; the Env (clock + transport) must outlive the daemon.
   /// `configured` is the static daemon list (spread.conf equivalent).
   /// If `key_store` is non-null, all daemon-to-daemon traffic is sealed
   /// under pairwise static-DH keys (paper Section 5: the daemons protect
   /// their ordering/membership traffic from network attackers). The store
   /// must outlive the daemon; this daemon is provisioned automatically.
-  Daemon(sim::Scheduler& sched, sim::SimNetwork& net, DaemonId self,
-         std::vector<DaemonId> configured, TimingConfig timing, std::uint64_t seed,
-         DaemonKeyStore* key_store = nullptr);
+  Daemon(const runtime::Env& env, std::vector<DaemonId> configured, TimingConfig timing,
+         std::uint64_t seed, DaemonKeyStore* key_store = nullptr);
   ~Daemon() override;
 
   Daemon(const Daemon&) = delete;
@@ -93,8 +92,8 @@ class Daemon : public sim::NetNode {
   void crash();
   bool running() const { return state_ != DState::kDown; }
 
-  // --- sim::NetNode --------------------------------------------------------
-  void on_packet(sim::NodeId from, const util::Frame& payload) override;
+  // --- runtime::PacketSink -------------------------------------------------
+  void on_packet(runtime::NodeId from, const util::Frame& payload) override;
 
   // --- client interface (used by gcs::Mailbox) -----------------------------
   MemberId attach_client(ClientCallbacks* cb);
@@ -110,7 +109,9 @@ class Daemon : public sim::NetNode {
 
   // --- introspection -------------------------------------------------------
   DaemonId id() const { return self_; }
-  sim::Scheduler& scheduler() { return sched_; }
+  runtime::Clock& clock() { return clock_; }
+  /// The environment this daemon runs in (for co-located components).
+  runtime::Env env() { return runtime::Env{&clock_, &net_, self_}; }
   const ViewId& view() const { return view_id_; }
   const std::vector<DaemonId>& view_members() const { return view_members_; }
   bool is_operational() const { return state_ == DState::kOperational; }
@@ -147,7 +148,7 @@ class Daemon : public sim::NetNode {
   struct ViewContext {
     ViewId id;
     std::vector<DaemonId> members;
-    DaemonId sequencer = sim::kInvalidNode;
+    DaemonId sequencer = kInvalidDaemon;
 
     std::uint64_t my_next_seq = 1;  // next per-sender seq I assign
     std::map<DaemonId, std::uint64_t> recv_high;  // contiguous receipt per sender
@@ -256,8 +257,8 @@ class Daemon : public sim::NetNode {
   std::vector<MemberId> members_of(const GroupName& group) const;
   GroupViewId current_group_view_id(const GroupName& group) const;
 
-  sim::Scheduler& sched_;
-  sim::SimNetwork& net_;
+  runtime::Clock& clock_;
+  runtime::Transport& net_;
   DaemonId self_;
   std::vector<DaemonId> configured_;
   TimingConfig timing_;
@@ -270,7 +271,7 @@ class Daemon : public sim::NetNode {
   std::unique_ptr<DaemonKeyAgent> key_agent_;
   std::unique_ptr<LinkManager> links_;
   std::unique_ptr<FailureDetector> fd_;
-  sim::EventId hb_timer_ = 0;
+  runtime::TimerId hb_timer_ = 0;
 
   // Installed view.
   ViewId view_id_;
@@ -283,19 +284,19 @@ class Daemon : public sim::NetNode {
   std::uint64_t gather_round_ = 0;
   std::map<DaemonId, std::vector<DaemonId>> gather_announced_;  // round participants
   std::set<DaemonId> my_candidates_;
-  sim::EventId gather_stable_timer_ = 0;
-  sim::EventId gather_timeout_timer_ = 0;
+  runtime::TimerId gather_stable_timer_ = 0;
+  runtime::TimerId gather_timeout_timer_ = 0;
   bool stable_timer_armed_ = false;
   bool timeout_timer_armed_ = false;
 
   // Exchange / install state.
   ViewId proposed_view_;
-  DaemonId proposed_coordinator_ = sim::kInvalidNode;
+  DaemonId proposed_coordinator_ = kInvalidDaemon;
   std::vector<DaemonId> proposed_members_;
   std::map<DaemonId, StateExchangeMsg> collected_states_;  // coordinator only
   std::optional<InstallMsg> pending_install_;
   std::map<std::pair<DaemonId, std::uint64_t>, bool> recovery_requested_;
-  sim::EventId recovery_timer_ = 0;
+  runtime::TimerId recovery_timer_ = 0;
   bool recovery_timer_armed_ = false;
 
   // Buffered traffic for views not yet installed (refcounted re-encodings).

@@ -59,7 +59,7 @@ void Daemon::multicast_data(PendingSend ps) {
   // Self receipt through the same path (self-delivery), asynchronously so a
   // client API call never re-enters delivery code that is on the stack.
   const std::uint64_t boot = boot_id_;
-  sched_.after(1, [this, boot, m = std::move(m)] {
+  clock_.after(1, [this, boot, m = std::move(m)] {
     if (state_ != DState::kDown && boot_id_ == boot) on_data(m);
   });
 }

@@ -49,12 +49,12 @@ void Daemon::trigger_gather() {
   pending_install_.reset();
   recovery_requested_.clear();
   if (recovery_timer_armed_) {
-    sched_.cancel(recovery_timer_);
+    clock_.cancel(recovery_timer_);
     recovery_timer_armed_ = false;
   }
-  if (timeout_timer_armed_) sched_.cancel(gather_timeout_timer_);
+  if (timeout_timer_armed_) clock_.cancel(gather_timeout_timer_);
   timeout_timer_armed_ = true;
-  gather_timeout_timer_ = sched_.after(timing_.gather_timeout, [this] {
+  gather_timeout_timer_ = clock_.after(timing_.gather_timeout, [this] {
     timeout_timer_armed_ = false;
     if (state_ == DState::kGather || state_ == DState::kExchange) {
       // No proposal/install materialized: restart with a fresh round.
@@ -82,9 +82,9 @@ void Daemon::announce_gather() {
     if (d != self_) links_->send(d, framed);
   }
   // (Re)arm the stabilization timer: propose once the set is quiet.
-  if (stable_timer_armed_) sched_.cancel(gather_stable_timer_);
+  if (stable_timer_armed_) clock_.cancel(gather_stable_timer_);
   stable_timer_armed_ = true;
-  gather_stable_timer_ = sched_.after(timing_.gather_stable, [this] {
+  gather_stable_timer_ = clock_.after(timing_.gather_stable, [this] {
     stable_timer_armed_ = false;
     maybe_propose();
   });
@@ -110,8 +110,8 @@ void Daemon::on_gather_announce(DaemonId from, const GatherAnnounceMsg& m) {
     if (!my_candidates_.contains(from)) {
       announce_gather();
     } else if (stable_timer_armed_) {
-      sched_.cancel(gather_stable_timer_);
-      gather_stable_timer_ = sched_.after(timing_.gather_stable, [this] {
+      clock_.cancel(gather_stable_timer_);
+      gather_stable_timer_ = clock_.after(timing_.gather_stable, [this] {
         stable_timer_armed_ = false;
         maybe_propose();
       });
@@ -129,7 +129,7 @@ void Daemon::maybe_propose() {
   for (DaemonId c : my_candidates_) {
     if (!gather_announced_.contains(c)) {
       stable_timer_armed_ = true;
-      gather_stable_timer_ = sched_.after(timing_.gather_stable, [this] {
+      gather_stable_timer_ = clock_.after(timing_.gather_stable, [this] {
         stable_timer_armed_ = false;
         maybe_propose();
       });
@@ -267,11 +267,11 @@ void Daemon::on_install(DaemonId from, const InstallMsg& m) {
   pending_install_ = m;
   recovery_requested_.clear();
   if (timeout_timer_armed_) {
-    sched_.cancel(gather_timeout_timer_);
+    clock_.cancel(gather_timeout_timer_);
     timeout_timer_armed_ = false;
   }
   recovery_timer_armed_ = true;
-  recovery_timer_ = sched_.after(timing_.recovery_timeout, [this] {
+  recovery_timer_ = clock_.after(timing_.recovery_timeout, [this] {
     recovery_timer_armed_ = false;
     if (state_ == DState::kRecover) {
       // Plan not satisfiable (holders vanished): regather.
@@ -309,7 +309,7 @@ void Daemon::continue_recovery() {
       missing_any = true;
       if (recovery_requested_.contains(key)) continue;
       // Pick the lowest-id participant whose receipt vector covers seq.
-      DaemonId holder = sim::kInvalidNode;
+      DaemonId holder = kInvalidDaemon;
       for (const auto& [p, vec] : plan->holder_vecs) {
         if (p == self_) continue;
         for (const auto& [s, high] : vec) {
@@ -319,7 +319,7 @@ void Daemon::continue_recovery() {
           }
         }
       }
-      if (holder != sim::kInvalidNode) {
+      if (holder != kInvalidDaemon) {
         requests[holder].emplace_back(sender, seq);
         recovery_requested_[key] = true;
       }
@@ -363,7 +363,7 @@ void Daemon::finish_recovery_and_install() {
   InstallMsg inst = std::move(*pending_install_);
   pending_install_.reset();
   if (recovery_timer_armed_) {
-    sched_.cancel(recovery_timer_);
+    clock_.cancel(recovery_timer_);
     recovery_timer_armed_ = false;
   }
 

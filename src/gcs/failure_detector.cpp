@@ -6,9 +6,9 @@
 
 namespace ss::gcs {
 
-FailureDetector::FailureDetector(sim::Scheduler& sched, TimingConfig timing, DaemonId self,
+FailureDetector::FailureDetector(runtime::Clock& clock, TimingConfig timing, DaemonId self,
                                  std::vector<DaemonId> peers, ChangeFn on_change)
-    : sched_(sched),
+    : clock_(clock),
       timing_(timing),
       self_(self),
       peers_(std::move(peers)),
@@ -24,18 +24,18 @@ FailureDetector::~FailureDetector() { stop(); }
 void FailureDetector::start() {
   if (running_) return;
   running_ = true;
-  timer_ = sched_.after(timing_.fd_check_interval, [this] { check(); });
+  timer_ = clock_.after(timing_.fd_check_interval, [this] { check(); });
 }
 
 void FailureDetector::stop() {
   if (!running_) return;
   running_ = false;
-  sched_.cancel(timer_);
+  clock_.cancel(timer_);
 }
 
 void FailureDetector::heard_from(DaemonId peer) {
   if (peer == self_) return;
-  last_heard_[peer] = sched_.now();
+  last_heard_[peer] = clock_.now();
   auto it = up_.find(peer);
   if (it == up_.end()) return;  // unconfigured daemon: ignore
   if (!it->second) {
@@ -68,11 +68,11 @@ std::vector<DaemonId> FailureDetector::reachable_set() const {
 void FailureDetector::check() {
   if (!running_) return;
   bool changed = false;
-  const sim::Time now = sched_.now();
+  const runtime::Time now = clock_.now();
   for (auto& [peer, alive] : up_) {
     if (!alive) continue;
     auto it = last_heard_.find(peer);
-    const sim::Time last = it == last_heard_.end() ? 0 : it->second;
+    const runtime::Time last = it == last_heard_.end() ? 0 : it->second;
     if (now - last > timing_.fail_timeout) {
       alive = false;
       changed = true;
@@ -81,7 +81,7 @@ void FailureDetector::check() {
       }
     }
   }
-  timer_ = sched_.after(timing_.fd_check_interval, [this] { check(); });
+  timer_ = clock_.after(timing_.fd_check_interval, [this] { check(); });
   if (changed && on_change_) on_change_();
 }
 

@@ -15,7 +15,7 @@
 
 #include "gcs/config.h"
 #include "gcs/types.h"
-#include "sim/scheduler.h"
+#include "runtime/clock.h"
 
 namespace ss::gcs {
 
@@ -23,7 +23,7 @@ class FailureDetector {
  public:
   using ChangeFn = std::function<void()>;
 
-  FailureDetector(sim::Scheduler& sched, TimingConfig timing, DaemonId self,
+  FailureDetector(runtime::Clock& clock, TimingConfig timing, DaemonId self,
                   std::vector<DaemonId> peers, ChangeFn on_change);
   ~FailureDetector();
 
@@ -43,14 +43,14 @@ class FailureDetector {
  private:
   void check();
 
-  sim::Scheduler& sched_;
+  runtime::Clock& clock_;
   TimingConfig timing_;
   DaemonId self_;
   std::vector<DaemonId> peers_;
   ChangeFn on_change_;
-  std::map<DaemonId, sim::Time> last_heard_;
+  std::map<DaemonId, runtime::Time> last_heard_;
   std::map<DaemonId, bool> up_;
-  sim::EventId timer_ = 0;
+  runtime::TimerId timer_ = 0;
   bool running_ = false;
 };
 

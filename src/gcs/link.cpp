@@ -32,11 +32,11 @@ util::SharedBytes read_msg(util::Reader& r, const util::Frame& f) {
 }
 }  // namespace
 
-LinkManager::LinkManager(sim::Scheduler& sched, sim::SimNetwork& net, DaemonId self,
-                         std::uint64_t boot_id, TimingConfig timing, DeliverFn deliver)
-    : sched_(sched),
-      net_(net),
-      self_(self),
+LinkManager::LinkManager(const runtime::Env& env, std::uint64_t boot_id, TimingConfig timing,
+                         DeliverFn deliver)
+    : clock_(*env.clock),
+      net_(*env.net),
+      self_(env.self),
       boot_id_(boot_id),
       timing_(timing),
       deliver_(std::move(deliver)) {}
@@ -47,9 +47,9 @@ void LinkManager::shutdown() {
   if (shutdown_) return;
   shutdown_ = true;
   for (auto& [peer, st] : send_) {
-    if (st.timer_armed) sched_.cancel(st.rto_timer);
+    if (st.timer_armed) clock_.cancel(st.rto_timer);
     st.timer_armed = false;
-    if (st.pack_armed) sched_.cancel(st.pack_timer);
+    if (st.pack_armed) clock_.cancel(st.pack_timer);
     st.pack_armed = false;
   }
 }
@@ -86,7 +86,7 @@ void LinkManager::flush_pack(DaemonId to) {
   if (sit == send_.end()) return;
   SendState& st = sit->second;
   if (st.pack_armed) {
-    sched_.cancel(st.pack_timer);  // no-op when called from the timer itself
+    clock_.cancel(st.pack_timer);  // no-op when called from the timer itself
     st.pack_armed = false;
   }
   if (st.pack_queue.empty()) return;
@@ -126,7 +126,7 @@ void LinkManager::send(DaemonId to, util::SharedBytes msg) {
   if (to == self_) {
     // Local loopback: asynchronous, like a kernel socket to ourselves.
     // The capture shares the payload block; no bytes are copied.
-    sched_.after(1, [this, msg = std::move(msg)] {
+    clock_.after(1, [this, msg = std::move(msg)] {
       if (!shutdown_) deliver_(self_, msg);
     });
     return;
@@ -140,7 +140,7 @@ void LinkManager::send(DaemonId to, util::SharedBytes msg) {
     st.pack_queue.push_back(seq);
     if (!st.pack_armed) {
       st.pack_armed = true;
-      st.pack_timer = sched_.after(0, [this, to] { flush_pack(to); });
+      st.pack_timer = clock_.after(0, [this, to] { flush_pack(to); });
     }
   } else {
     // Big message: flush queued smalls first so wire order matches seq
@@ -164,8 +164,8 @@ void LinkManager::arm_timer(DaemonId peer) {
   SendState& st = send_[peer];
   if (st.timer_armed || st.unacked.empty()) return;
   st.timer_armed = true;
-  const sim::Time rto = timing_.link_rto << st.backoff_shift;
-  st.rto_timer = sched_.after(rto, [this, peer] { on_timeout(peer); });
+  const runtime::Time rto = timing_.link_rto << st.backoff_shift;
+  st.rto_timer = clock_.after(rto, [this, peer] { on_timeout(peer); });
 }
 
 void LinkManager::on_timeout(DaemonId peer) {
@@ -251,7 +251,7 @@ void LinkManager::dispatch_frame(DaemonId from, const util::Frame& f) {
       st.peer_boot = peer_boot;
       st.pack_queue.clear();  // queued seqs are about to be renumbered
       if (st.pack_armed) {
-        sched_.cancel(st.pack_timer);
+        clock_.cancel(st.pack_timer);
         st.pack_armed = false;
       }
       std::deque<util::SharedBytes> backlog;
@@ -265,7 +265,7 @@ void LinkManager::dispatch_frame(DaemonId from, const util::Frame& f) {
         transmit(from, seq, msg);
       }
       if (st.timer_armed) {
-        sched_.cancel(st.rto_timer);
+        clock_.cancel(st.rto_timer);
         st.timer_armed = false;
       }
       arm_timer(from);
@@ -278,7 +278,7 @@ void LinkManager::dispatch_frame(DaemonId from, const util::Frame& f) {
     }
     if (progressed) st.backoff_shift = 0;
     if (st.unacked.empty() && st.timer_armed) {
-      sched_.cancel(st.rto_timer);
+      clock_.cancel(st.rto_timer);
       st.timer_armed = false;
     }
     return;
@@ -344,8 +344,8 @@ void LinkManager::dispatch_frame(DaemonId from, const util::Frame& f) {
 void LinkManager::reset_peer(DaemonId peer) {
   auto it = send_.find(peer);
   if (it != send_.end()) {
-    if (it->second.timer_armed) sched_.cancel(it->second.rto_timer);
-    if (it->second.pack_armed) sched_.cancel(it->second.pack_timer);
+    if (it->second.timer_armed) clock_.cancel(it->second.rto_timer);
+    if (it->second.pack_armed) clock_.cancel(it->second.pack_timer);
     send_.erase(it);
   }
   recv_.erase(peer);

@@ -25,8 +25,7 @@
 #include "gcs/config.h"
 #include "gcs/link_crypto.h"
 #include "gcs/types.h"
-#include "sim/network.h"
-#include "sim/scheduler.h"
+#include "runtime/env.h"
 #include "util/frame.h"
 #include "util/shared_bytes.h"
 
@@ -36,8 +35,9 @@ class LinkManager {
  public:
   using DeliverFn = std::function<void(DaemonId from, const util::SharedBytes& msg)>;
 
-  LinkManager(sim::Scheduler& sched, sim::SimNetwork& net, DaemonId self,
-              std::uint64_t boot_id, TimingConfig timing, DeliverFn deliver);
+  /// `env` must outlive the manager; env.self is this daemon's address.
+  LinkManager(const runtime::Env& env, std::uint64_t boot_id, TimingConfig timing,
+              DeliverFn deliver);
   ~LinkManager();
 
   LinkManager(const LinkManager&) = delete;
@@ -76,12 +76,12 @@ class LinkManager {
     std::uint64_t next_seq = 1;
     std::uint64_t peer_boot = 0;  // last boot id seen in the peer's acks
     std::map<std::uint64_t, util::SharedBytes> unacked;  // seq -> unframed message
-    sim::EventId rto_timer = 0;
+    runtime::TimerId rto_timer = 0;
     bool timer_armed = false;
     std::uint32_t backoff_shift = 0;
     // Small messages queued for packing; flushed in the same instant.
     std::vector<std::uint64_t> pack_queue;
-    sim::EventId pack_timer = 0;
+    runtime::TimerId pack_timer = 0;
     bool pack_armed = false;
   };
   struct RecvState {
@@ -103,8 +103,8 @@ class LinkManager {
   void note_frame_rejected(DaemonId from);
   void send_ack(DaemonId to, std::uint64_t boot_id, std::uint64_t cum_seq);
 
-  sim::Scheduler& sched_;
-  sim::SimNetwork& net_;
+  runtime::Clock& clock_;
+  runtime::Transport& net_;
   DaemonId self_;
   std::uint64_t boot_id_;
   TimingConfig timing_;

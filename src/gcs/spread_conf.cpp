@@ -50,26 +50,26 @@ SpreadConf SpreadConf::parse(const std::string& text) {
 
     if (key == "daemon") {
       const std::uint64_t id = parse_number(line_no, value);
-      if (id >= sim::kInvalidNode) fail(line_no, "daemon id out of range");
+      if (id >= kInvalidDaemon) fail(line_no, "daemon id out of range");
       const DaemonId did = static_cast<DaemonId>(id);
       if (std::find(conf.daemons.begin(), conf.daemons.end(), did) != conf.daemons.end()) {
         fail(line_no, "duplicate daemon id " + value);
       }
       conf.daemons.push_back(did);
     } else if (key == "heartbeat_ms") {
-      conf.timing.heartbeat_interval = parse_number(line_no, value) * sim::kMillisecond;
+      conf.timing.heartbeat_interval = parse_number(line_no, value) * runtime::kMillisecond;
     } else if (key == "fail_timeout_ms") {
-      conf.timing.fail_timeout = parse_number(line_no, value) * sim::kMillisecond;
+      conf.timing.fail_timeout = parse_number(line_no, value) * runtime::kMillisecond;
     } else if (key == "fd_check_ms") {
-      conf.timing.fd_check_interval = parse_number(line_no, value) * sim::kMillisecond;
+      conf.timing.fd_check_interval = parse_number(line_no, value) * runtime::kMillisecond;
     } else if (key == "link_rto_ms") {
-      conf.timing.link_rto = parse_number(line_no, value) * sim::kMillisecond;
+      conf.timing.link_rto = parse_number(line_no, value) * runtime::kMillisecond;
     } else if (key == "gather_stable_ms") {
-      conf.timing.gather_stable = parse_number(line_no, value) * sim::kMillisecond;
+      conf.timing.gather_stable = parse_number(line_no, value) * runtime::kMillisecond;
     } else if (key == "gather_timeout_ms") {
-      conf.timing.gather_timeout = parse_number(line_no, value) * sim::kMillisecond;
+      conf.timing.gather_timeout = parse_number(line_no, value) * runtime::kMillisecond;
     } else if (key == "recovery_timeout_ms") {
-      conf.timing.recovery_timeout = parse_number(line_no, value) * sim::kMillisecond;
+      conf.timing.recovery_timeout = parse_number(line_no, value) * runtime::kMillisecond;
     } else if (key == "secure_links") {
       if (value == "on") {
         conf.secure_links = true;
@@ -101,13 +101,13 @@ std::string SpreadConf::to_string() const {
   std::ostringstream out;
   out << "# generated spread configuration\n";
   for (DaemonId d : daemons) out << "daemon " << d << "\n";
-  out << "heartbeat_ms " << timing.heartbeat_interval / sim::kMillisecond << "\n";
-  out << "fail_timeout_ms " << timing.fail_timeout / sim::kMillisecond << "\n";
-  out << "fd_check_ms " << timing.fd_check_interval / sim::kMillisecond << "\n";
-  out << "link_rto_ms " << timing.link_rto / sim::kMillisecond << "\n";
-  out << "gather_stable_ms " << timing.gather_stable / sim::kMillisecond << "\n";
-  out << "gather_timeout_ms " << timing.gather_timeout / sim::kMillisecond << "\n";
-  out << "recovery_timeout_ms " << timing.recovery_timeout / sim::kMillisecond << "\n";
+  out << "heartbeat_ms " << timing.heartbeat_interval / runtime::kMillisecond << "\n";
+  out << "fail_timeout_ms " << timing.fail_timeout / runtime::kMillisecond << "\n";
+  out << "fd_check_ms " << timing.fd_check_interval / runtime::kMillisecond << "\n";
+  out << "link_rto_ms " << timing.link_rto / runtime::kMillisecond << "\n";
+  out << "gather_stable_ms " << timing.gather_stable / runtime::kMillisecond << "\n";
+  out << "gather_timeout_ms " << timing.gather_timeout / runtime::kMillisecond << "\n";
+  out << "recovery_timeout_ms " << timing.recovery_timeout / runtime::kMillisecond << "\n";
   out << "secure_links " << (secure_links ? "on" : "off") << "\n";
   return out.str();
 }

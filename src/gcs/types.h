@@ -7,18 +7,21 @@
 #include <string>
 #include <vector>
 
-#include "sim/network.h"
+#include "runtime/transport.h"
 #include "util/serial.h"
 
 namespace ss::gcs {
 
-using DaemonId = sim::NodeId;
+/// A daemon's identity doubles as its transport address, exactly like the
+/// paper's spread.conf segments mapping daemons to LAN addresses.
+using DaemonId = runtime::NodeId;
+inline constexpr DaemonId kInvalidDaemon = runtime::kInvalidNode;
 using GroupName = std::string;
 
 /// A connected client process: (daemon it connects through, local index).
 /// Equivalent to Spread's private group name "#user#daemon".
 struct MemberId {
-  DaemonId daemon = sim::kInvalidNode;
+  DaemonId daemon = kInvalidDaemon;
   std::uint32_t client = 0;
 
   friend auto operator<=>(const MemberId&, const MemberId&) = default;
@@ -33,7 +36,7 @@ struct MemberId {
 /// breaks ties between concurrent components.
 struct ViewId {
   std::uint64_t round = 0;
-  DaemonId coordinator = sim::kInvalidNode;
+  DaemonId coordinator = kInvalidDaemon;
 
   friend auto operator<=>(const ViewId&, const ViewId&) = default;
 

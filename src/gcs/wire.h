@@ -84,7 +84,7 @@ struct GroupTable {
 /// control). `seq` is per-sender within the view.
 struct DataMsg {
   ViewId view;
-  DaemonId sender = sim::kInvalidNode;
+  DaemonId sender = kInvalidDaemon;
   std::uint64_t seq = 0;
   ServiceType service = ServiceType::kFifo;
   bool control = false;  // true: payload is a GroupChange, not client data
@@ -108,7 +108,7 @@ struct DataMsg {
 struct OrderStampMsg {
   ViewId view;
   std::uint64_t gseq = 0;
-  DaemonId sender = sim::kInvalidNode;
+  DaemonId sender = kInvalidDaemon;
   std::uint64_t seq = 0;
 
   util::Bytes encode() const;
@@ -131,7 +131,7 @@ struct GroupChangeMsg {
 /// Membership, phase 3: each proposed member reports its old-view state.
 struct StateExchangeMsg {
   ViewId proposed;
-  DaemonId from = sim::kInvalidNode;
+  DaemonId from = kInvalidDaemon;
   ViewId old_view;
   std::vector<DaemonId> old_members;
   /// Highest (contiguous) per-sender sequence received in the old view.

@@ -11,7 +11,7 @@
 #include <cstdint>
 
 #include "obs/clock.h"
-#include "sim/scheduler.h"
+#include "runtime/clock.h"
 
 namespace ss::obs {
 
@@ -33,19 +33,21 @@ class CpuStopwatch {
   double start_;
 };
 
-/// Elapsed virtual (simulated) time since construction/restart. Header-only
-/// on top of the inline sim::Scheduler::now(); obs does not link ss_sim.
+/// Elapsed protocol time since construction/restart, measured on any
+/// runtime::Clock — virtual time under the sim backend (sim::Scheduler
+/// IS-A Clock), wall-clock under realtime. Header-only; obs links neither
+/// ss_sim nor ss_runtime.
 class SimStopwatch {
  public:
-  explicit SimStopwatch(const sim::Scheduler& sched) : sched_(sched), start_(sched.now()) {}
+  explicit SimStopwatch(const runtime::Clock& clock) : clock_(clock), start_(clock.now()) {}
 
-  void restart() { start_ = sched_.now(); }
+  void restart() { start_ = clock_.now(); }
 
-  sim::Time elapsed_us() const { return sched_.now() - start_; }
+  runtime::Time elapsed_us() const { return clock_.now() - start_; }
 
  private:
-  const sim::Scheduler& sched_;
-  sim::Time start_;
+  const runtime::Clock& clock_;
+  runtime::Time start_;
 };
 
 }  // namespace ss::obs

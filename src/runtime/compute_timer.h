@@ -1,0 +1,47 @@
+// Charges real CPU time of a computation into the runtime clock.
+//
+// The paper's Figure 3 reports the *total* latency of a join/leave including
+// both network rounds and the dominant modular-exponentiation work. In a
+// discrete-event simulation computation normally happens "for free" at one
+// instant; ComputeTimer closes that gap by measuring the real CPU time a
+// protocol step took and asking the clock to account for it. The sim
+// backend advances virtual time by that amount; the realtime backend
+// ignores the charge because the wall clock already ticked while the
+// computation ran — the same code path is correct under both.
+#pragma once
+
+#include "obs/clock.h"
+#include "runtime/clock.h"
+
+namespace ss::runtime {
+
+/// Measures thread CPU time of the enclosed scope and, if enabled, charges
+/// it to the clock on destruction.
+class ComputeTimer {
+ public:
+  ComputeTimer(Clock& clock, bool charge)
+      : clock_(clock), charge_(charge), start_(cpu_now()) {}
+
+  ~ComputeTimer() {
+    if (charge_) clock_.charge_time(elapsed_us());
+  }
+
+  ComputeTimer(const ComputeTimer&) = delete;
+  ComputeTimer& operator=(const ComputeTimer&) = delete;
+
+  Time elapsed_us() const {
+    const double sec = cpu_now() - start_;
+    return sec <= 0 ? 0 : static_cast<Time>(sec * 1e6);
+  }
+
+  /// Thread CPU seconds; the single process-wide definition lives in
+  /// obs/clock.h so benchmarks and instrumentation share it.
+  static double cpu_now() { return obs::cpu_now_seconds(); }
+
+ private:
+  Clock& clock_;
+  bool charge_;
+  double start_;
+};
+
+}  // namespace ss::runtime

@@ -1,0 +1,192 @@
+#include "runtime/realtime_env.h"
+
+#include <chrono>
+#include <future>
+
+namespace ss::runtime {
+
+namespace {
+std::chrono::microseconds us(Time t) { return std::chrono::microseconds(t); }
+}  // namespace
+
+RealtimeEnv::RealtimeEnv(Options opts)
+    : opts_(opts), epoch_(std::chrono::steady_clock::now()) {}
+
+RealtimeEnv::~RealtimeEnv() { stop(); }
+
+Time RealtimeEnv::now() const {
+  const auto d = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<Time>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+TimerId RealtimeEnv::schedule_locked(Time t, TimerFn fn) {
+  const TimerId id = next_id_++;
+  timers_.emplace(std::make_pair(t, id), std::move(fn));
+  cv_.notify_all();
+  return id;
+}
+
+TimerId RealtimeEnv::at(Time t, TimerFn fn) {
+  const Time floor = now();
+  if (t < floor) t = floor;
+  std::lock_guard<std::mutex> lk(mu_);
+  return schedule_locked(t, std::move(fn));
+}
+
+void RealtimeEnv::cancel(TimerId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Keyed by (deadline, id): a cancel must scan, like sim::Scheduler. A
+  // currently-firing timer was already popped, so cancelling it (or an
+  // already-fired id) finds nothing — a no-op, per the Clock contract.
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->first.second == id) {
+      timers_.erase(it);
+      return;
+    }
+  }
+}
+
+NodeId RealtimeEnv::add_node() {
+  std::lock_guard<std::mutex> lk(mu_);
+  sinks_.push_back(nullptr);
+  up_.push_back(true);
+  return static_cast<NodeId>(sinks_.size() - 1);
+}
+
+void RealtimeEnv::bind(NodeId id, PacketSink* sink) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (id < sinks_.size()) sinks_[id] = sink;
+}
+
+void RealtimeEnv::crash(NodeId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (id < up_.size()) up_[id] = false;
+}
+
+void RealtimeEnv::recover(NodeId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (id < up_.size()) up_[id] = true;
+}
+
+void RealtimeEnv::send(NodeId from, NodeId to, util::Frame payload) {
+  const Time deliver_at = now() + opts_.delivery_delay;
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.packets_sent;
+  if (from >= up_.size() || to >= up_.size() || !up_[from] || !up_[to]) {
+    ++stats_.packets_dropped_down;
+    return;
+  }
+  // Delivery is a loop timer: the frame's shared body rides along uncopied.
+  schedule_locked(deliver_at, [this, from, to, payload = std::move(payload)] {
+    PacketSink* sink = nullptr;
+    {
+      std::lock_guard<std::mutex> lk2(mu_);
+      // Re-check at delivery: the destination may have crashed in flight.
+      if (to >= up_.size() || !up_[to] || !up_[from]) {
+        ++stats_.packets_dropped_down;
+        return;
+      }
+      sink = sinks_[to];
+      if (sink == nullptr) {
+        ++stats_.packets_dropped_down;
+        return;
+      }
+      ++stats_.packets_delivered;
+    }
+    sink->on_packet(from, payload);
+  });
+}
+
+void RealtimeEnv::start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { loop(); });
+  loop_tid_ = thread_.get_id();
+}
+
+void RealtimeEnv::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!started_) return;
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  thread_.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  started_ = false;
+}
+
+bool RealtimeEnv::running() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return started_ && !stopping_;
+}
+
+void RealtimeEnv::loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stopping_) {
+    if (timers_.empty()) {
+      cv_.wait(lk);
+      continue;
+    }
+    const auto due = timers_.begin()->first.first;
+    if (due > now()) {
+      // Wake early on new-timer/stop notifications; spurious wakes re-check.
+      cv_.wait_until(lk, epoch_ + us(due));
+      continue;
+    }
+    TimerFn fn = std::move(timers_.begin()->second);
+    timers_.erase(timers_.begin());
+    ++stats_.timers_fired;
+    lk.unlock();
+    fn();  // protocol code: may call at()/cancel()/send(), which re-lock
+    lk.lock();
+  }
+}
+
+void RealtimeEnv::post(TimerFn fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  schedule_locked(now(), std::move(fn));
+}
+
+void RealtimeEnv::run_on_loop(const std::function<void()>& fn) {
+  bool inline_run = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Before start() (single-threaded setup) or from the loop thread itself
+    // (nested use), running inline is both safe and required — posting
+    // would deadlock.
+    inline_run = !started_ || stopping_ || std::this_thread::get_id() == loop_tid_;
+  }
+  if (inline_run) {
+    fn();
+    return;
+  }
+  std::promise<void> done;
+  post([&] {
+    fn();
+    done.set_value();
+  });
+  done.get_future().wait();
+}
+
+bool RealtimeEnv::wait_until(const std::function<bool()>& pred, Time timeout) {
+  const Time deadline = now() + timeout;
+  bool ok = false;
+  for (;;) {
+    run_on_loop([&] { ok = pred(); });
+    if (ok || now() >= deadline) return ok;
+    std::this_thread::sleep_for(us(kMillisecond));
+  }
+}
+
+void RealtimeEnv::sleep_for(Time d) { std::this_thread::sleep_for(us(d)); }
+
+RealtimeEnv::Stats RealtimeEnv::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace ss::runtime

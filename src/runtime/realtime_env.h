@@ -1,0 +1,123 @@
+// Real-time backend for runtime::Env: a threaded event loop with a
+// monotonic wall clock and an in-process queue-based datagram transport.
+//
+// One loop thread owns all protocol execution — timers and packet
+// deliveries fire there, exactly as the single-threaded simulator fires
+// them, so protocol code needs no locking of its own. External threads
+// (a demo's main thread, tests) interact through run_on_loop()/post() and
+// never touch protocol state directly.
+//
+// Clock: microseconds of std::chrono::steady_clock since env creation.
+// charge_time() is a no-op — real computation already advanced the wall
+// clock while it ran.
+//
+// Transport: datagrams are enqueued as loop timers at now()+delivery_delay
+// and handed to the destination's PacketSink on the loop thread. Frames
+// keep their scatter structure (shared body blocks are never copied).
+// crash(id) models fail-stop exactly like sim::SimNetwork: traffic to and
+// from a crashed node is dropped until recover(id).
+//
+// This is the gateway backend: replacing the in-process queue with a UDP
+// socket pair is a Transport-only change (see DESIGN.md §9).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/env.h"
+
+namespace ss::runtime {
+
+class RealtimeEnv : public Clock, public Transport {
+ public:
+  struct Options {
+    /// Artificial one-way packet delay (0 = deliver on the next loop turn).
+    /// Lets demos approximate the paper's LAN latencies under wall clock.
+    Time delivery_delay = 0;
+  };
+
+  RealtimeEnv() : RealtimeEnv(Options{}) {}
+  explicit RealtimeEnv(Options opts);
+  ~RealtimeEnv() override;
+
+  RealtimeEnv(const RealtimeEnv&) = delete;
+  RealtimeEnv& operator=(const RealtimeEnv&) = delete;
+
+  /// Allocates the next transport address.
+  NodeId add_node();
+
+  Env env(NodeId self) { return Env{this, this, self}; }
+
+  /// Starts the loop thread. Timers scheduled before start() are retained
+  /// and fire once the loop runs. stop() drains nothing: pending timers are
+  /// simply dropped. Both are idempotent.
+  void start();
+  void stop();
+  bool running() const;
+
+  /// Enqueues fn on the loop thread (fire-and-forget).
+  void post(TimerFn fn);
+
+  /// Runs fn on the loop thread and blocks until it returns. Safe to call
+  /// from the loop thread itself (runs inline). This is the only sanctioned
+  /// way for outside threads to touch protocol state.
+  void run_on_loop(const std::function<void()>& fn);
+
+  /// Polls pred on the loop thread every millisecond until it holds or
+  /// `timeout` of wall time passes. Returns pred's final value.
+  bool wait_until(const std::function<bool()>& pred, Time timeout);
+
+  /// Blocks the calling thread for d of wall time (convenience mirror of
+  /// SimEnv::sleep_for; the loop keeps running meanwhile).
+  void sleep_for(Time d);
+
+  // --- Clock ---------------------------------------------------------------
+  Time now() const override;
+  TimerId at(Time t, TimerFn fn) override;
+  void cancel(TimerId id) override;
+  /// Wall clock already advanced while the computation ran.
+  void charge_time(Time) override {}
+
+  // --- Transport -----------------------------------------------------------
+  void send(NodeId from, NodeId to, util::Frame payload) override;
+  void bind(NodeId id, PacketSink* sink) override;
+  void crash(NodeId id) override;
+  void recover(NodeId id) override;
+
+  struct Stats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t packets_dropped_down = 0;
+    std::uint64_t timers_fired = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void loop();
+  TimerId schedule_locked(Time t, TimerFn fn);
+
+  const Options opts_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // Keyed by (deadline, id): ids are monotonic, so equal-deadline timers
+  // fire in scheduling order — the same FIFO guarantee sim::Scheduler gives.
+  std::map<std::pair<Time, TimerId>, TimerFn> timers_;
+  TimerId next_id_ = 1;
+  std::vector<PacketSink*> sinks_;
+  std::vector<bool> up_;
+  Stats stats_;
+  bool started_ = false;
+  bool stopping_ = false;
+  std::thread thread_;
+  std::thread::id loop_tid_;
+};
+
+}  // namespace ss::runtime

@@ -1,0 +1,52 @@
+// Runtime transport abstraction: unreliable datagrams between nodes.
+//
+// Mirrors what the Spread daemons get from UDP on a LAN: addressed,
+// unordered-across-pairs, lossy datagrams. Reliability, FIFO and crypto all
+// live above this (gcs/link.h). Datagrams are scatter-gather util::Frames,
+// preserving the zero-copy fan-out path end to end: a backend must treat
+// the frame as immutable shared bytes, never copy the body to enqueue it.
+//
+// Backends: sim::SimNetwork (latency/jitter/loss models, partitions) and
+// the in-process queue transport inside runtime::RealtimeEnv. A real UDP
+// transport slots in here later without touching protocol code.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/frame.h"
+
+namespace ss::runtime {
+
+/// Transport address of a node. Dense small integers (the daemon id
+/// doubles as the address, exactly like the paper's spread.conf segments).
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Receiver interface for raw datagrams. In-flight copies of a Frame share
+/// the body block, so a multicast fan-out never duplicates payload bytes
+/// inside the transport.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void on_packet(NodeId from, const util::Frame& payload) = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends a datagram. May be lost, never duplicated or corrupted.
+  virtual void send(NodeId from, NodeId to, util::Frame payload) = 0;
+
+  /// Attaches (or replaces) the receiver for an address. The transport does
+  /// not own the sink; pass nullptr to detach.
+  virtual void bind(NodeId id, PacketSink* sink) = 0;
+
+  /// Takes a node off the network (fail-stop: its traffic is dropped both
+  /// ways) / brings it back. Used by daemon crash/recover.
+  virtual void crash(NodeId id) = 0;
+  virtual void recover(NodeId id) = 0;
+};
+
+}  // namespace ss::runtime

@@ -17,6 +17,7 @@
 #include "cliques/key_directory.h"
 #include "crypto/dh.h"
 #include "gcs/types.h"
+#include "runtime/clock.h"
 #include "util/bytes.h"
 
 namespace ss::secure {
@@ -110,6 +111,10 @@ struct KaModuleEnv {
   const crypto::DhGroup* dh = nullptr;
   cliques::KeyDirectory* directory = nullptr;
   crypto::RandomSource* rnd = nullptr;
+  /// Host clock (may be null in unit harnesses). Modules that timestamp or
+  /// pace protocol rounds read it; the built-in modules run round-for-round
+  /// off membership events and never block on it.
+  const runtime::Clock* clock = nullptr;
   gcs::MemberId self;
 };
 

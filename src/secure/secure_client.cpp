@@ -50,7 +50,7 @@ SecureGroupClient::SecureGroupClient(gcs::Daemon& daemon, cliques::KeyDirectory&
     : fm_(daemon),
       directory_(directory),
       rnd_(seed, "secure-client"),
-      sched_(daemon.scheduler()),
+      clock_(daemon.clock()),
       charge_crypto_time_(charge_crypto_time) {
   fm_.on_view([this](const gcs::GroupView& v) { handle_view(v); });
   fm_.on_message([this](const gcs::Message& m) { handle_message(m); });
@@ -71,6 +71,7 @@ void SecureGroupClient::join(const gcs::GroupName& group, SecureGroupConfig conf
   env.dh = config.dh;
   env.directory = &directory_;
   env.rnd = &rnd_;
+  env.clock = &clock_;
   env.self = fm_.id();
   st.ka = KaRegistry::instance().create(config.ka_module, env);
   st.cipher = CipherRegistry::instance().create(config.cipher);
@@ -82,7 +83,7 @@ void SecureGroupClient::join(const gcs::GroupName& group, SecureGroupConfig conf
 void SecureGroupClient::leave(const gcs::GroupName& group) {
   auto it = groups_.find(group);
   if (it != groups_.end() && it->second.refresh_timer_armed) {
-    sched_.cancel(it->second.refresh_timer);
+    clock_.cancel(it->second.refresh_timer);
     it->second.refresh_timer_armed = false;
   }
   fm_.leave(group);
@@ -91,7 +92,7 @@ void SecureGroupClient::leave(const gcs::GroupName& group) {
 void SecureGroupClient::arm_refresh_timer(const gcs::GroupName& group, GroupState& st) {
   if (st.config.auto_refresh_interval == 0 || st.refresh_timer_armed) return;
   st.refresh_timer_armed = true;
-  st.refresh_timer = sched_.after(st.config.auto_refresh_interval, [this, group] {
+  st.refresh_timer = clock_.after(st.config.auto_refresh_interval, [this, group] {
     auto it = groups_.find(group);
     if (it == groups_.end()) return;
     it->second.refresh_timer_armed = false;
@@ -126,7 +127,7 @@ void SecureGroupClient::refresh_key(const gcs::GroupName& group) {
   GroupState& st = it->second;
   if (!st.in_rekey) {
     st.in_rekey = true;
-    st.rekey_start = sched_.now();
+    st.rekey_start = clock_.now();
     st.cpu_acc = 0;
     st.exp_acc = crypto::ExpTally{};
     begin_rekey_span(group, st);
@@ -173,9 +174,9 @@ KaActions SecureGroupClient::run_module(GroupState& st, const gcs::GroupName& gr
   obs::SpanHandle span;
   span.begin("secure.ka", phase, fm_.id().daemon, rekey_lane(group));
   KaActions actions;
-  sim::Time cpu_us = 0;
+  runtime::Time cpu_us = 0;
   {
-    sim::ComputeTimer timer(sched_, charge_crypto_time_);
+    runtime::ComputeTimer timer(clock_, charge_crypto_time_);
     try {
       actions = call();
     } catch (const std::exception& e) {
@@ -235,7 +236,7 @@ void SecureGroupClient::handle_view(const gcs::GroupView& view) {
   // A view change (re)starts the agreement — this is the cascading-events
   // rule: whatever was in flight is abandoned for the newest membership.
   st.in_rekey = true;
-  st.rekey_start = sched_.now();
+  st.rekey_start = clock_.now();
   st.cpu_acc = 0;
   st.exp_acc = crypto::ExpTally{};
   begin_rekey_span(view.group, st);
@@ -329,7 +330,7 @@ void SecureGroupClient::apply_new_key(const gcs::GroupName& group, GroupState& s
     stats.reason = st.view.reason;
     stats.group_size = st.view.members.size();
     stats.started_at = st.rekey_start;
-    stats.completed_at = sched_.now();
+    stats.completed_at = clock_.now();
     stats.cpu_seconds = st.cpu_acc;
     stats.exps = st.exp_acc;
     st.last_rekey = stats;

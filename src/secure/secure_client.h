@@ -34,7 +34,7 @@
 #include "obs/trace.h"
 #include "secure/cipher.h"
 #include "secure/ka_module.h"
-#include "sim/compute_timer.h"
+#include "runtime/compute_timer.h"
 
 namespace ss::secure {
 
@@ -54,7 +54,7 @@ struct SecureGroupConfig {
   /// If nonzero, this member periodically triggers a key refresh (the
   /// paper's "refresh their key occasionally", Section 5). Typically
   /// enabled on one member per group.
-  sim::Time auto_refresh_interval = 0;
+  runtime::Time auto_refresh_interval = 0;
   /// Per-member sender authentication (paper Section 2, third goal): each
   /// message carries a Schnorr signature under the sender's secret
   /// contribution to the group key; the public commitments g^{N_i} are
@@ -79,8 +79,8 @@ struct RekeyStats {
   std::uint64_t epoch = 0;
   gcs::MembershipReason reason = gcs::MembershipReason::kNetwork;
   std::size_t group_size = 0;
-  sim::Time started_at = 0;
-  sim::Time completed_at = 0;
+  runtime::Time started_at = 0;
+  runtime::Time completed_at = 0;
   /// This member's crypto CPU seconds during the agreement.
   double cpu_seconds = 0;
   /// This member's exponentiations during the agreement.
@@ -158,7 +158,7 @@ class SecureGroupClient {
 
     // Rekey instrumentation.
     bool in_rekey = false;
-    sim::Time rekey_start = 0;
+    runtime::Time rekey_start = 0;
     double cpu_acc = 0;
     crypto::ExpTally exp_acc;
     std::optional<RekeyStats> last_rekey;
@@ -168,7 +168,7 @@ class SecureGroupClient {
     obs::SpanHandle rekey_span;
 
     SecureGroupStats stats;
-    sim::EventId refresh_timer = 0;
+    runtime::TimerId refresh_timer = 0;
     bool refresh_timer_armed = false;
 
     /// Sender-authentication state (authenticate_senders mode): announced
@@ -201,7 +201,7 @@ class SecureGroupClient {
   flush::FlushMailbox fm_;
   cliques::KeyDirectory& directory_;
   crypto::HmacDrbg rnd_;
-  sim::Scheduler& sched_;
+  runtime::Clock& clock_;
   bool charge_crypto_time_;
   std::map<gcs::GroupName, GroupState> groups_;
   MessageFn on_message_;

@@ -1,45 +1,14 @@
-// Charges real CPU time of a computation into virtual time.
-//
-// The paper's Figure 3 reports the *total* latency of a join/leave including
-// both network rounds and the dominant modular-exponentiation work. In a
-// discrete-event simulation computation normally happens "for free" at one
-// instant; ComputeTimer closes that gap by measuring the real CPU time a
-// protocol step took and advancing the virtual clock by the same amount, so
-// end-to-end virtual latencies include cryptographic cost.
+// Historical home of ComputeTimer; the implementation moved to
+// runtime/compute_timer.h when the protocol stack was decoupled from the
+// simulator (it charges into any runtime::Clock now — Scheduler included).
+// This alias keeps sim-side harness code and older call sites compiling.
 #pragma once
 
-#include "obs/clock.h"
+#include "runtime/compute_timer.h"
 #include "sim/scheduler.h"
 
 namespace ss::sim {
 
-/// Measures thread CPU time of the enclosed scope and, if enabled, charges
-/// it to the scheduler's virtual clock on destruction.
-class ComputeTimer {
- public:
-  ComputeTimer(Scheduler& sched, bool charge)
-      : sched_(sched), charge_(charge), start_(cpu_now()) {}
-
-  ~ComputeTimer() {
-    if (charge_) sched_.charge_time(elapsed_us());
-  }
-
-  ComputeTimer(const ComputeTimer&) = delete;
-  ComputeTimer& operator=(const ComputeTimer&) = delete;
-
-  Time elapsed_us() const {
-    const double sec = cpu_now() - start_;
-    return sec <= 0 ? 0 : static_cast<Time>(sec * 1e6);
-  }
-
-  /// Thread CPU seconds; the single process-wide definition lives in
-  /// obs/clock.h so benchmarks and instrumentation share it.
-  static double cpu_now() { return obs::cpu_now_seconds(); }
-
- private:
-  Scheduler& sched_;
-  bool charge_;
-  double start_;
-};
+using ComputeTimer = runtime::ComputeTimer;
 
 }  // namespace ss::sim

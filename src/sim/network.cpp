@@ -64,6 +64,10 @@ void SimNetwork::send(NodeId from, NodeId to, util::Frame payload) {
       ++stats_.packets_dropped_partition;
       return;
     }
+    if (nodes_[to] == nullptr) {  // address reserved but no sink bound yet
+      ++stats_.packets_dropped_down;
+      return;
+    }
     ++stats_.packets_delivered;
     nodes_[to]->on_packet(from, payload);
   });

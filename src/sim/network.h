@@ -7,6 +7,11 @@
 // loss, plus crash/recover of nodes and arbitrary partition layouts that can
 // change at any instant. Reliability is built above this (gcs/link.h), as in
 // the real system.
+//
+// SimNetwork implements runtime::Transport (and NetNode is the transport's
+// PacketSink), so the protocol stack reaches it only through runtime::Env;
+// the fault-injection surface (partitions, link models, wiretaps) stays
+// sim-specific and is driven by harnesses directly.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +20,7 @@
 #include <map>
 #include <vector>
 
+#include "runtime/transport.h"
 #include "sim/scheduler.h"
 #include "util/bytes.h"
 #include "util/frame.h"
@@ -22,17 +28,13 @@
 
 namespace ss::sim {
 
-using NodeId = std::uint32_t;
-constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+using NodeId = runtime::NodeId;
+using runtime::kInvalidNode;
 
 /// Receiver interface for raw datagrams. Datagrams are scatter-gather
 /// Frames (util/frame.h): in-flight copies of a Frame share the body block,
 /// so a multicast fan-out never duplicates payload bytes inside the network.
-class NetNode {
- public:
-  virtual ~NetNode() = default;
-  virtual void on_packet(NodeId from, const util::Frame& payload) = 0;
-};
+using NetNode = runtime::PacketSink;
 
 /// Per-link timing/loss model.
 struct LinkModel {
@@ -53,23 +55,26 @@ struct NetworkStats {
 /// Datagram network over the scheduler. Per-pair delivery is FIFO (latency
 /// is clamped monotonic per direction), matching a switched LAN; the
 /// reliable-link layer above copes with losses.
-class SimNetwork {
+class SimNetwork : public runtime::Transport {
  public:
   SimNetwork(Scheduler& sched, std::uint64_t seed, LinkModel default_model = {});
 
   /// Registers a receiver; the network does not own it. Returns its address.
+  /// A nullptr receiver reserves the address; traffic to it is dropped
+  /// (counted as down) until a sink is bound.
   NodeId add_node(NetNode* node);
 
   /// Replaces the receiver for an id (daemon restart after crash).
   void rebind(NodeId id, NetNode* node);
+  void bind(NodeId id, NetNode* node) override { rebind(id, node); }
 
   /// Sends a datagram. May be lost, never duplicated or corrupted.
   /// Accepts a util::Frame; util::Bytes converts implicitly (bodyless frame).
-  void send(NodeId from, NodeId to, util::Frame payload);
+  void send(NodeId from, NodeId to, util::Frame payload) override;
 
   // --- fault injection ---
-  void crash(NodeId id);
-  void recover(NodeId id);
+  void crash(NodeId id) override;
+  void recover(NodeId id) override;
   bool is_up(NodeId id) const;
 
   /// Installs a partition: nodes can communicate iff they share a component.

@@ -49,6 +49,9 @@ void Scheduler::run_until(Time t) {
 }
 
 bool Scheduler::run_until_condition(const std::function<bool()>& pred, Time deadline) {
+  // Evaluate pred before touching the queue: an already-true condition must
+  // return immediately without executing (and thereby side-effecting) any
+  // pending event. The loop re-checks between events.
   while (!pred()) {
     if (events_.empty() || events_.begin()->first.first > deadline) {
       if (now_ < deadline && events_.empty()) now_ = deadline;

@@ -4,6 +4,10 @@
 // is event-driven: actors schedule callbacks, the scheduler executes them in
 // timestamp order. Time is virtual microseconds, so tests and benches are
 // deterministic and partitions/failures can be injected at exact instants.
+//
+// Scheduler implements runtime::Clock, so it plugs into runtime::Env
+// directly — the protocol stack depends only on the Clock interface and
+// this backend preserves the historical event ordering bit for bit.
 #pragma once
 
 #include <cstdint>
@@ -11,29 +15,29 @@
 #include <map>
 #include <queue>
 
+#include "runtime/clock.h"
+
 namespace ss::sim {
 
 /// Virtual time in microseconds since simulation start.
-using Time = std::uint64_t;
+using Time = runtime::Time;
 
-constexpr Time kMicrosecond = 1;
-constexpr Time kMillisecond = 1000;
-constexpr Time kSecond = 1000 * 1000;
+using runtime::kMicrosecond;
+using runtime::kMillisecond;
+using runtime::kSecond;
 
-using EventFn = std::function<void()>;
-using EventId = std::uint64_t;
+using EventFn = runtime::TimerFn;
+using EventId = runtime::TimerId;
 
-class Scheduler {
+class Scheduler : public runtime::Clock {
  public:
-  Time now() const { return now_; }
+  Time now() const override { return now_; }
 
   /// Schedules fn at absolute virtual time t (clamped to now).
-  EventId at(Time t, EventFn fn);
-  /// Schedules fn `delay` after now.
-  EventId after(Time delay, EventFn fn) { return at(now_ + delay, std::move(fn)); }
+  EventId at(Time t, EventFn fn) override;
 
   /// Cancels a pending event; no-op if already fired or cancelled.
-  void cancel(EventId id);
+  void cancel(EventId id) override;
 
   /// Runs one event; returns false if the queue is empty.
   bool step();
@@ -45,7 +49,9 @@ class Scheduler {
   void run_for(Time d) { run_until(now_ + d); }
 
   /// Runs events until pred() holds or the deadline passes or the queue
-  /// drains. Returns pred()'s final value. pred is checked between events.
+  /// drains. Returns pred()'s final value. pred is evaluated before any
+  /// event executes — an already-true condition returns immediately with
+  /// no side effects — and again between events.
   bool run_until_condition(const std::function<bool()>& pred, Time deadline);
 
   /// Drains the queue completely (use with care: periodic timers never end).
@@ -55,7 +61,7 @@ class Scheduler {
 
   /// Advances the clock without running events (used to charge measured
   /// CPU time of cryptographic work into virtual time; see ComputeTimer).
-  void charge_time(Time d) { now_ += d; }
+  void charge_time(Time d) override { now_ += d; }
 
  private:
   struct Event {

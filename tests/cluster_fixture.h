@@ -75,7 +75,7 @@ class Cluster {
       daemons.push_back(nullptr);
     }
     for (std::size_t i = 0; i < n; ++i) {
-      auto d = std::make_unique<gcs::Daemon>(sched, net, static_cast<gcs::DaemonId>(i), ids,
+      auto d = std::make_unique<gcs::Daemon>(ss::runtime::Env{&sched, &net, static_cast<gcs::DaemonId>(i)}, ids,
                                              timing, seed + i);
       const sim::NodeId node = net.add_node(d.get());
       (void)node;

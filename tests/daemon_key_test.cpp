@@ -19,7 +19,7 @@ struct KeyedStack {
     std::vector<DaemonId> ids;
     for (std::size_t i = 0; i < n; ++i) ids.push_back(static_cast<DaemonId>(i));
     for (DaemonId id : ids) {
-      daemons.push_back(std::make_unique<Daemon>(sched, net, id, ids, TimingConfig{}, 90 + id,
+      daemons.push_back(std::make_unique<Daemon>(ss::runtime::Env{&sched, &net, id}, ids, TimingConfig{}, 90 + id,
                                                  &store));
       net.add_node(daemons.back().get());
     }

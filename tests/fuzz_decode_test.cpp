@@ -118,7 +118,7 @@ TEST_P(FuzzDecode, PackedLinkFramesContained) {
   // peer ids) may legitimately parse and deliver — containment, not
   // rejection, is what is under test there.
   std::uint64_t delivered = 0;
-  gcs::LinkManager lm(sched, net, 0, 0xF00, gcs::TimingConfig{},
+  gcs::LinkManager lm(ss::runtime::Env{&sched, &net, 0}, 0xF00, gcs::TimingConfig{},
                       [&delivered](gcs::DaemonId from, const util::SharedBytes&) {
                         if (from == 5) ++delivered;
                       });
@@ -200,7 +200,9 @@ TEST_P(FuzzDecode, SharedBytesSliceBoundsContained) {
       // A successful slice must be a true in-bounds view of the block.
       ASSERT_LE(off + len, s.size());
       ASSERT_EQ(sub.size(), len);
-      if (len > 0) ASSERT_EQ(sub.data(), s.data() + off);
+      if (len > 0) {
+        ASSERT_EQ(sub.data(), s.data() + off);
+      }
     } catch (const std::out_of_range&) {
       ASSERT_GT(off + len, s.size());  // rejection only when truly out of bounds
     }

@@ -67,7 +67,7 @@ struct SecureLinkStack {
   SecureLinkStack() : net(sched, 21), store(DhGroup::ss256()) {
     std::vector<DaemonId> ids = {0, 1, 2};
     for (DaemonId id : ids) {
-      daemons.push_back(std::make_unique<Daemon>(sched, net, id, ids, TimingConfig{}, 60 + id,
+      daemons.push_back(std::make_unique<Daemon>(ss::runtime::Env{&sched, &net, id}, ids, TimingConfig{}, 60 + id,
                                                  &store));
       net.add_node(daemons.back().get());
     }
@@ -138,7 +138,7 @@ TEST(EncryptedLinks, PlainLinksDoLeak) {
   std::vector<DaemonId> ids = {0, 1};
   std::vector<std::unique_ptr<Daemon>> daemons;
   for (DaemonId id : ids) {
-    daemons.push_back(std::make_unique<Daemon>(sched, net, id, ids, TimingConfig{}, 80 + id));
+    daemons.push_back(std::make_unique<Daemon>(ss::runtime::Env{&sched, &net, id}, ids, TimingConfig{}, 80 + id));
     net.add_node(daemons.back().get());
   }
   bool seen = false;

@@ -21,11 +21,11 @@ struct LinkPair {
       : net(sched, 5, sim::LinkModel{150, 50, loss}) {
     node_a = net.add_node(&relay_a);
     node_b = net.add_node(&relay_b);
-    a = std::make_unique<LinkManager>(sched, net, node_a, boot_a, TimingConfig{},
+    a = std::make_unique<LinkManager>(ss::runtime::Env{&sched, &net, node_a}, boot_a, TimingConfig{},
                                       [this](DaemonId from, const util::SharedBytes& m) {
                                         a_received.emplace_back(from, string_of(m));
                                       });
-    b = std::make_unique<LinkManager>(sched, net, node_b, boot_b, TimingConfig{},
+    b = std::make_unique<LinkManager>(ss::runtime::Env{&sched, &net, node_b}, boot_b, TimingConfig{},
                                       [this](DaemonId from, const util::SharedBytes& m) {
                                         b_received.emplace_back(from, string_of(m));
                                       });
@@ -97,7 +97,7 @@ TEST(LinkTest, PeerRebootRenumbersStream) {
   ASSERT_EQ(lp.b_received.size(), 2u);
 
   // b "reboots": fresh LinkManager with a new boot id, same node address.
-  lp.b = std::make_unique<LinkManager>(lp.sched, lp.net, lp.node_b, 0xB2, TimingConfig{},
+  lp.b = std::make_unique<LinkManager>(ss::runtime::Env{&lp.sched, &lp.net, lp.node_b}, 0xB2, TimingConfig{},
                                        [&lp](DaemonId from, const util::SharedBytes& m) {
                                          lp.b_received.emplace_back(from, string_of(m));
                                        });
@@ -118,7 +118,7 @@ TEST(LinkTest, SenderRebootAcceptedAsFreshStream) {
   lp.a->send(lp.node_b, bytes_of("old-1"));
   lp.sched.run_for(50 * sim::kMillisecond);
   // a reboots with a new boot id.
-  lp.a = std::make_unique<LinkManager>(lp.sched, lp.net, lp.node_a, 0xA2, TimingConfig{},
+  lp.a = std::make_unique<LinkManager>(ss::runtime::Env{&lp.sched, &lp.net, lp.node_a}, 0xA2, TimingConfig{},
                                        [&lp](DaemonId from, const util::SharedBytes& m) {
                                          lp.a_received.emplace_back(from, string_of(m));
                                        });
@@ -215,8 +215,8 @@ TEST(LinkTest, PackingDisabledSendsPlainFrames) {
   const sim::NodeId na = net.add_node(&relay_a);
   const sim::NodeId nb = net.add_node(&relay_b);
   std::vector<std::string> got;
-  LinkManager a(sched, net, na, 0xA, timing, [](DaemonId, const util::SharedBytes&) {});
-  LinkManager b(sched, net, nb, 0xB, timing,
+  LinkManager a(ss::runtime::Env{&sched, &net, na}, 0xA, timing, [](DaemonId, const util::SharedBytes&) {});
+  LinkManager b(ss::runtime::Env{&sched, &net, nb}, 0xB, timing,
                 [&got](DaemonId, const util::SharedBytes& m) { got.push_back(string_of(m)); });
   relay_a.target = &a;
   relay_b.target = &b;

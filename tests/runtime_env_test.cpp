@@ -1,0 +1,228 @@
+// Contract tests for the runtime seam (runtime/clock.h, runtime/transport.h).
+//
+// The same clock-edge-case suite runs against both backends — SimEnv
+// (discrete-event, virtual time) and RealtimeEnv (threaded loop, wall
+// clock) — because protocol code sees only runtime::Clock and must get the
+// identical contract from either: cancel from inside a firing callback,
+// cancel of an already-fired id, charge_time with timers pending, FIFO
+// order among equal deadlines. Plus sim-only regressions for
+// Scheduler::run_until_condition's pred-before-events guarantee.
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/realtime_env.h"
+#include "runtime/sim_env.h"
+#include "sim/scheduler.h"
+#include "util/frame.h"
+
+namespace ss {
+namespace {
+
+// Backend adapters: one driving surface over both Envs so each contract
+// test below is written exactly once.
+class SimBackend {
+ public:
+  static constexpr bool kVirtualTime = true;
+
+  runtime::Clock& clock() { return env_.clock(); }
+  runtime::Transport& transport() { return env_.transport(); }
+  runtime::NodeId add_node() { return env_.add_node(); }
+  bool wait(const std::function<bool()>& pred, runtime::Time timeout) {
+    return env_.wait_until(pred, timeout);
+  }
+  void settle(runtime::Time d) { env_.sleep_for(d); }
+
+ private:
+  runtime::SimEnv env_;
+};
+
+class RealtimeBackend {
+ public:
+  static constexpr bool kVirtualTime = false;
+
+  RealtimeBackend() { env_.start(); }
+  ~RealtimeBackend() { env_.stop(); }
+
+  runtime::Clock& clock() { return env_; }
+  runtime::Transport& transport() { return env_; }
+  runtime::NodeId add_node() { return env_.add_node(); }
+  bool wait(const std::function<bool()>& pred, runtime::Time timeout) {
+    return env_.wait_until(pred, timeout);
+  }
+  void settle(runtime::Time d) { env_.sleep_for(d); }
+
+ private:
+  runtime::RealtimeEnv env_;
+};
+
+template <typename Backend>
+class ClockContract : public ::testing::Test {
+ protected:
+  Backend backend_;
+};
+
+using Backends = ::testing::Types<SimBackend, RealtimeBackend>;
+TYPED_TEST_SUITE(ClockContract, Backends);
+
+// Generous budgets: virtual time makes them free under SimBackend; under
+// RealtimeBackend they only bound how long a wedged loop can hang the test.
+constexpr runtime::Time kWaitBudget = 5 * runtime::kSecond;
+
+TYPED_TEST(ClockContract, NowIsMonotonic) {
+  auto& c = this->backend_.clock();
+  runtime::Time last = c.now();
+  for (int i = 0; i < 100; ++i) {
+    const runtime::Time t = c.now();
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+TYPED_TEST(ClockContract, SameDeadlineTimersFireInSchedulingOrder) {
+  auto& c = this->backend_.clock();
+  std::vector<int> order;  // loop-thread only; read after wait() syncs
+  const runtime::Time t = c.now() + 30 * runtime::kMillisecond;
+  c.at(t, [&] { order.push_back(1); });
+  c.at(t, [&] { order.push_back(2); });
+  c.at(t, [&] { order.push_back(3); });
+  ASSERT_TRUE(this->backend_.wait([&] { return order.size() == 3; }, kWaitBudget));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TYPED_TEST(ClockContract, CancelFromInsideFiringCallbackStopsPendingTimer) {
+  auto& c = this->backend_.clock();
+  std::atomic<bool> a_fired{false};
+  std::atomic<bool> b_fired{false};
+  const runtime::Time base = c.now();
+  const runtime::TimerId b = c.at(base + 80 * runtime::kMillisecond, [&] { b_fired = true; });
+  c.at(base + 20 * runtime::kMillisecond, [&] {
+    c.cancel(b);  // cancel a later timer from inside a firing callback
+    a_fired = true;
+  });
+  ASSERT_TRUE(this->backend_.wait([&] { return a_fired.load(); }, kWaitBudget));
+  this->backend_.settle(120 * runtime::kMillisecond);
+  EXPECT_FALSE(b_fired.load());
+}
+
+TYPED_TEST(ClockContract, CancelOfFiringOrFiredIdIsHarmless) {
+  auto& c = this->backend_.clock();
+  std::atomic<runtime::TimerId> self_id{0};
+  std::atomic<int> fired{0};
+  // Self-cancel of the currently-firing timer must be a no-op (the Clock
+  // contract: a firing timer was already popped from the queue).
+  self_id = c.at(c.now() + 30 * runtime::kMillisecond, [&] {
+    c.cancel(self_id.load());
+    ++fired;
+  });
+  ASSERT_TRUE(this->backend_.wait([&] { return fired.load() == 1; }, kWaitBudget));
+  // Cancel of the already-fired id: also a no-op, and must not disturb
+  // unrelated timers scheduled afterwards.
+  c.cancel(self_id.load());
+  c.after(10 * runtime::kMillisecond, [&] { ++fired; });
+  ASSERT_TRUE(this->backend_.wait([&] { return fired.load() == 2; }, kWaitBudget));
+}
+
+TYPED_TEST(ClockContract, ChargeTimeKeepsPendingTimers) {
+  auto& c = this->backend_.clock();
+  std::atomic<bool> fired{false};
+  const runtime::Time before = c.now();
+  c.at(before + 20 * runtime::kMillisecond, [&] { fired = true; });
+  c.charge_time(100 * runtime::kMillisecond);
+  EXPECT_GE(c.now(), before);
+  if (TypeParam::kVirtualTime) {
+    // The sim backend advances virtual time by the charged amount, past the
+    // pending deadline...
+    EXPECT_GE(c.now(), before + 100 * runtime::kMillisecond);
+  }
+  // ...and either way the pending timer still fires (late, never lost).
+  ASSERT_TRUE(this->backend_.wait([&] { return fired.load(); }, kWaitBudget));
+}
+
+class RecordingSink : public runtime::PacketSink {
+ public:
+  void on_packet(runtime::NodeId from, const util::Frame& f) override {
+    from_ = from;
+    bytes_ = f.to_bytes();
+    ++count_;
+  }
+  std::atomic<int> count_{0};
+  runtime::NodeId from_ = runtime::kInvalidNode;
+  util::Bytes bytes_;
+};
+
+TYPED_TEST(ClockContract, TransportDeliversFramesToBoundSinks) {
+  auto& net = this->backend_.transport();
+  const runtime::NodeId a = this->backend_.add_node();
+  const runtime::NodeId b = this->backend_.add_node();
+  RecordingSink sink_a, sink_b;
+  net.bind(a, &sink_a);
+  net.bind(b, &sink_b);
+  // Scatter frame: header segment + shared body segment.
+  net.send(a, b,
+           util::Frame{util::SharedBytes(util::Bytes{1, 2, 3}),
+                       util::SharedBytes(util::Bytes{4, 5, 6, 7})});
+  ASSERT_TRUE(this->backend_.wait([&] { return sink_b.count_.load() == 1; }, kWaitBudget));
+  EXPECT_EQ(sink_b.from_, a);
+  EXPECT_EQ(sink_b.bytes_, (util::Bytes{1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(sink_a.count_.load(), 0);
+}
+
+TYPED_TEST(ClockContract, CrashedNodeDropsTrafficUntilRecover) {
+  auto& net = this->backend_.transport();
+  const runtime::NodeId a = this->backend_.add_node();
+  const runtime::NodeId b = this->backend_.add_node();
+  RecordingSink sink_b;
+  net.bind(b, &sink_b);
+  net.crash(b);
+  net.send(a, b, util::Frame{util::SharedBytes(util::Bytes{9})});
+  this->backend_.settle(50 * runtime::kMillisecond);
+  EXPECT_EQ(sink_b.count_.load(), 0);
+  net.recover(b);
+  net.send(a, b, util::Frame{util::SharedBytes(util::Bytes{9})});
+  ASSERT_TRUE(this->backend_.wait([&] { return sink_b.count_.load() == 1; }, kWaitBudget));
+}
+
+// --- sim-only regressions ---------------------------------------------------
+
+TEST(SchedulerRunUntilCondition, EvaluatesPredBeforeExecutingAnyEvent) {
+  sim::Scheduler sched;
+  bool side_effect = false;
+  sched.at(5, [&] { side_effect = true; });
+  // An already-true condition returns immediately: no event may run.
+  EXPECT_TRUE(sched.run_until_condition([] { return true; }, 100));
+  EXPECT_FALSE(side_effect);
+  EXPECT_EQ(sched.pending(), 1u);
+  // The untouched event still runs normally afterwards.
+  sched.run_until(10);
+  EXPECT_TRUE(side_effect);
+}
+
+TEST(SchedulerRunUntilCondition, RechecksPredBetweenEvents) {
+  sim::Scheduler sched;
+  int ran = 0;
+  bool flag = false;
+  sched.at(5, [&] { ++ran; });
+  sched.at(6, [&] {
+    ++ran;
+    flag = true;
+  });
+  sched.at(7, [&] { ++ran; });  // must NOT run: pred holds after event 2
+  EXPECT_TRUE(sched.run_until_condition([&] { return flag; }, 100));
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sched.pending(), 1u);
+}
+
+TEST(RealtimeEnv, TimersScheduledBeforeStartFireAfterStart) {
+  runtime::RealtimeEnv env;
+  std::atomic<bool> fired{false};
+  env.after(1 * runtime::kMillisecond, [&] { fired = true; });
+  env.start();
+  EXPECT_TRUE(env.wait_until([&] { return fired.load(); }, 5 * runtime::kSecond));
+  env.stop();
+}
+
+}  // namespace
+}  // namespace ss

@@ -71,7 +71,7 @@ secure_links on
   DaemonKeyStore store(crypto::DhGroup::ss256());
   std::vector<std::unique_ptr<Daemon>> daemons;
   for (DaemonId id : conf.daemons) {
-    daemons.push_back(std::make_unique<Daemon>(sched, net, id, conf.daemons, conf.timing,
+    daemons.push_back(std::make_unique<Daemon>(ss::runtime::Env{&sched, &net, id}, conf.daemons, conf.timing,
                                                700 + id,
                                                conf.secure_links ? &store : nullptr));
     net.add_node(daemons.back().get());

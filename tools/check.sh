@@ -11,19 +11,27 @@
 #   tsan   ThreadSanitizer (the simulation is single-threaded; this guards
 #          against accidental threading being introduced)
 #   tidy   clang-tidy over src/ (skipped with a notice if clang-tidy is not
-#          installed; the gcc toolchain image does not ship it)
+#          installed locally; under CI (the CI env var is set) a missing
+#          clang-tidy is a hard failure so the stage can never silently
+#          degrade to a no-op)
 #   bench  data-path smoke test: builds and runs bench_msg_path once; the
 #          binary self-asserts the zero-copy contract (0 payload copies per
 #          local multicast, <= 1 across daemons) and exits nonzero on drift
 #   obs    observability gate: runs the Obs* test suites (metrics math,
 #          trace span balance, golden cluster trace), then captures a live
 #          bench_fig3 trace and validates it with obs_report --check
+#   rt     runtime-seam gate: asserts the protocol layers (src/gcs,
+#          src/flush, src/secure) include only runtime/ headers (never the
+#          simulator directly), then builds and runs examples/realtime_demo
+#          under a wall-clock budget; the demo self-asserts that the
+#          realtime backend reproduces the sim backend's membership and
+#          key-epoch transcript
 set -u
 
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(plain asan tsan tidy bench obs)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(plain asan tsan tidy bench obs rt)
 FAILED=()
 
 run_stage() {
@@ -65,6 +73,11 @@ for stage in "${STAGES[@]}"; do
           echo "==== stage tidy: FAILED ===="
           FAILED+=(tidy)
         fi
+      elif [ -n "${CI:-}" ]; then
+        # Under CI the image must provide clang-tidy; a silent skip would
+        # let lint regressions through unnoticed.
+        echo "==== stage tidy: FAILED (clang-tidy not installed but CI is set) ===="
+        FAILED+=(tidy)
       else
         echo "==== stage tidy: SKIPPED (clang-tidy not installed) ===="
       fi
@@ -97,8 +110,25 @@ for stage in "${STAGES[@]}"; do
         FAILED+=(obs)
       fi
       ;;
+    rt)
+      echo "==== stage: rt ===="
+      # Layering assert: protocol code may only see the runtime seam.
+      LEAKS=$(grep -rn '#include "sim/' src/gcs src/flush src/secure || true)
+      if [ -n "$LEAKS" ]; then
+        echo "$LEAKS"
+        echo "==== stage rt: FAILED (protocol layers include simulator headers) ===="
+        FAILED+=(rt)
+      elif cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null \
+          && cmake --build build-check --target realtime_demo -j "$JOBS" \
+          && timeout 120 ./build-check/examples/realtime_demo; then
+        echo "==== stage rt: OK ===="
+      else
+        echo "==== stage rt: FAILED ===="
+        FAILED+=(rt)
+      fi
+      ;;
     *)
-      echo "unknown stage: $stage (expected plain|asan|tsan|tidy|bench|obs)" >&2
+      echo "unknown stage: $stage (expected plain|asan|tsan|tidy|bench|obs|rt)" >&2
       exit 2
       ;;
   esac
