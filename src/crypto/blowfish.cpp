@@ -1,6 +1,5 @@
 #include "crypto/blowfish.h"
 
-#include <mutex>
 #include <stdexcept>
 #include <string>
 

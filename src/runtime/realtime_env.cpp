@@ -30,12 +30,12 @@ TimerId RealtimeEnv::schedule_locked(Time t, TimerFn fn) {
 TimerId RealtimeEnv::at(Time t, TimerFn fn) {
   const Time floor = now();
   if (t < floor) t = floor;
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   return schedule_locked(t, std::move(fn));
 }
 
 void RealtimeEnv::cancel(TimerId id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   // Keyed by (deadline, id): a cancel must scan, like sim::Scheduler. A
   // currently-firing timer was already popped, so cancelling it (or an
   // already-fired id) finds nothing — a no-op, per the Clock contract.
@@ -48,30 +48,30 @@ void RealtimeEnv::cancel(TimerId id) {
 }
 
 NodeId RealtimeEnv::add_node() {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   sinks_.push_back(nullptr);
   up_.push_back(true);
   return static_cast<NodeId>(sinks_.size() - 1);
 }
 
 void RealtimeEnv::bind(NodeId id, PacketSink* sink) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   if (id < sinks_.size()) sinks_[id] = sink;
 }
 
 void RealtimeEnv::crash(NodeId id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   if (id < up_.size()) up_[id] = false;
 }
 
 void RealtimeEnv::recover(NodeId id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   if (id < up_.size()) up_[id] = true;
 }
 
 void RealtimeEnv::send(NodeId from, NodeId to, util::Frame payload) {
   const Time deliver_at = now() + opts_.delivery_delay;
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   ++stats_.packets_sent;
   if (from >= up_.size() || to >= up_.size() || !up_[from] || !up_[to]) {
     ++stats_.packets_dropped_down;
@@ -81,7 +81,7 @@ void RealtimeEnv::send(NodeId from, NodeId to, util::Frame payload) {
   schedule_locked(deliver_at, [this, from, to, payload = std::move(payload)] {
     PacketSink* sink = nullptr;
     {
-      std::lock_guard<std::mutex> lk2(mu_);
+      util::MutexLock lk2(mu_);
       // Re-check at delivery: the destination may have crashed in flight.
       if (to >= up_.size() || !up_[to] || !up_[from]) {
         ++stats_.packets_dropped_down;
@@ -99,7 +99,7 @@ void RealtimeEnv::send(NodeId from, NodeId to, util::Frame payload) {
 }
 
 void RealtimeEnv::start() {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   if (started_) return;
   started_ = true;
   stopping_ = false;
@@ -109,32 +109,32 @@ void RealtimeEnv::start() {
 
 void RealtimeEnv::stop() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     if (!started_) return;
     stopping_ = true;
     cv_.notify_all();
   }
   thread_.join();
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   started_ = false;
 }
 
 bool RealtimeEnv::running() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   return started_ && !stopping_;
 }
 
 void RealtimeEnv::loop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   while (!stopping_) {
     if (timers_.empty()) {
-      cv_.wait(lk);
+      cv_.wait(mu_);
       continue;
     }
     const auto due = timers_.begin()->first.first;
     if (due > now()) {
       // Wake early on new-timer/stop notifications; spurious wakes re-check.
-      cv_.wait_until(lk, epoch_ + us(due));
+      cv_.wait_until(mu_, epoch_ + us(due));
       continue;
     }
     TimerFn fn = std::move(timers_.begin()->second);
@@ -147,14 +147,14 @@ void RealtimeEnv::loop() {
 }
 
 void RealtimeEnv::post(TimerFn fn) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   schedule_locked(now(), std::move(fn));
 }
 
 void RealtimeEnv::run_on_loop(const std::function<void()>& fn) {
   bool inline_run = false;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     // Before start() (single-threaded setup) or from the loop thread itself
     // (nested use), running inline is both safe and required — posting
     // would deadlock.
@@ -185,7 +185,7 @@ bool RealtimeEnv::wait_until(const std::function<bool()>& pred, Time timeout) {
 void RealtimeEnv::sleep_for(Time d) { std::this_thread::sleep_for(us(d)); }
 
 RealtimeEnv::Stats RealtimeEnv::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   return stats_;
 }
 

@@ -21,16 +21,16 @@
 // socket pair is a Transport-only change (see DESIGN.md §9).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "runtime/env.h"
+#include "util/mutex.h"
+#include "util/thread_safety.h"
 
 namespace ss::runtime {
 
@@ -50,28 +50,28 @@ class RealtimeEnv : public Clock, public Transport {
   RealtimeEnv& operator=(const RealtimeEnv&) = delete;
 
   /// Allocates the next transport address.
-  NodeId add_node();
+  NodeId add_node() SS_EXCLUDES(mu_);
 
   Env env(NodeId self) { return Env{this, this, self}; }
 
   /// Starts the loop thread. Timers scheduled before start() are retained
   /// and fire once the loop runs. stop() drains nothing: pending timers are
   /// simply dropped. Both are idempotent.
-  void start();
-  void stop();
-  bool running() const;
+  void start() SS_EXCLUDES(mu_);
+  void stop() SS_EXCLUDES(mu_);
+  bool running() const SS_EXCLUDES(mu_);
 
   /// Enqueues fn on the loop thread (fire-and-forget).
-  void post(TimerFn fn);
+  void post(TimerFn fn) SS_EXCLUDES(mu_);
 
   /// Runs fn on the loop thread and blocks until it returns. Safe to call
   /// from the loop thread itself (runs inline). This is the only sanctioned
   /// way for outside threads to touch protocol state.
-  void run_on_loop(const std::function<void()>& fn);
+  void run_on_loop(const std::function<void()>& fn) SS_EXCLUDES(mu_);
 
   /// Polls pred on the loop thread every millisecond until it holds or
   /// `timeout` of wall time passes. Returns pred's final value.
-  bool wait_until(const std::function<bool()>& pred, Time timeout);
+  bool wait_until(const std::function<bool()>& pred, Time timeout) SS_EXCLUDES(mu_);
 
   /// Blocks the calling thread for d of wall time (convenience mirror of
   /// SimEnv::sleep_for; the loop keeps running meanwhile).
@@ -79,16 +79,16 @@ class RealtimeEnv : public Clock, public Transport {
 
   // --- Clock ---------------------------------------------------------------
   Time now() const override;
-  TimerId at(Time t, TimerFn fn) override;
-  void cancel(TimerId id) override;
+  TimerId at(Time t, TimerFn fn) override SS_EXCLUDES(mu_);
+  void cancel(TimerId id) override SS_EXCLUDES(mu_);
   /// Wall clock already advanced while the computation ran.
   void charge_time(Time) override {}
 
   // --- Transport -----------------------------------------------------------
-  void send(NodeId from, NodeId to, util::Frame payload) override;
-  void bind(NodeId id, PacketSink* sink) override;
-  void crash(NodeId id) override;
-  void recover(NodeId id) override;
+  void send(NodeId from, NodeId to, util::Frame payload) override SS_EXCLUDES(mu_);
+  void bind(NodeId id, PacketSink* sink) override SS_EXCLUDES(mu_);
+  void crash(NodeId id) override SS_EXCLUDES(mu_);
+  void recover(NodeId id) override SS_EXCLUDES(mu_);
 
   struct Stats {
     std::uint64_t packets_sent = 0;
@@ -96,28 +96,33 @@ class RealtimeEnv : public Clock, public Transport {
     std::uint64_t packets_dropped_down = 0;
     std::uint64_t timers_fired = 0;
   };
-  Stats stats() const;
+  Stats stats() const SS_EXCLUDES(mu_);
 
  private:
-  void loop();
-  TimerId schedule_locked(Time t, TimerFn fn);
+  void loop() SS_EXCLUDES(mu_);
+  TimerId schedule_locked(Time t, TimerFn fn) SS_REQUIRES(mu_);
 
   const Options opts_;
   const std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  // mu_ guards every piece of loop/timer/transport state below. The
+  // annotations make the discipline compile-time checked (tsafety preset):
+  // touching lane-owned state without the capability is a build error.
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
   // Keyed by (deadline, id): ids are monotonic, so equal-deadline timers
   // fire in scheduling order — the same FIFO guarantee sim::Scheduler gives.
-  std::map<std::pair<Time, TimerId>, TimerFn> timers_;
-  TimerId next_id_ = 1;
-  std::vector<PacketSink*> sinks_;
-  std::vector<bool> up_;
-  Stats stats_;
-  bool started_ = false;
-  bool stopping_ = false;
+  std::map<std::pair<Time, TimerId>, TimerFn> timers_ SS_GUARDED_BY(mu_);
+  TimerId next_id_ SS_GUARDED_BY(mu_) = 1;
+  std::vector<PacketSink*> sinks_ SS_GUARDED_BY(mu_);
+  std::vector<bool> up_ SS_GUARDED_BY(mu_);
+  Stats stats_ SS_GUARDED_BY(mu_);
+  bool started_ SS_GUARDED_BY(mu_) = false;
+  bool stopping_ SS_GUARDED_BY(mu_) = false;
+  // Not guarded: thread_ is written once in start() and joined in stop()
+  // after the loop acknowledged stopping_; join must run unlocked.
   std::thread thread_;
-  std::thread::id loop_tid_;
+  std::thread::id loop_tid_ SS_GUARDED_BY(mu_);
 };
 
 }  // namespace ss::runtime

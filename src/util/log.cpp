@@ -9,7 +9,9 @@ namespace ss::util {
 
 namespace {
 LogLevel initial_level() {
-  const char* env = std::getenv("SS_LOG");
+  // Runs once during static init, before any runtime loop thread exists,
+  // and nothing in the tree calls setenv.
+  const char* env = std::getenv("SS_LOG");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return LogLevel::kOff;
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
   if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;

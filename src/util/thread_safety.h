@@ -1,0 +1,81 @@
+// Clang thread-safety capability annotations, no-ops elsewhere.
+//
+// The macros wrap Clang's `-Wthread-safety` attribute family
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so that locking
+// discipline is checked at compile time: a member annotated
+// SS_GUARDED_BY(mu_) cannot be read or written without holding mu_, a
+// function annotated SS_REQUIRES(mu_) cannot be called without it, and the
+// build fails (the `tsafety` preset promotes the analysis to an error)
+// instead of TSan hoping the racy schedule shows up in a test run.
+//
+// The analysis only understands lock types that are themselves annotated,
+// so raw std::mutex / std::lock_guard are banned in the tree (sslint rule
+// `raw-mutex`); use util::Mutex / util::MutexLock / util::CondVar from
+// util/mutex.h instead.
+//
+// Conventions (DESIGN.md §10):
+//   - every mutex-guarded member carries SS_GUARDED_BY(mu_),
+//   - private helpers that expect the lock held carry SS_REQUIRES(mu_),
+//   - public entry points that take the lock themselves carry
+//     SS_EXCLUDES(mu_) so a future caller holding it is rejected,
+//   - SS_NO_THREAD_SAFETY_ANALYSIS is a last resort and needs a comment.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SS_THREAD_ANNOTATION
+#define SS_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+/// Marks a type as a lockable capability (e.g. a mutex wrapper).
+#define SS_CAPABILITY(x) SS_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define SS_SCOPED_CAPABILITY SS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the capability.
+#define SS_GUARDED_BY(x) SS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability.
+#define SS_PT_GUARDED_BY(x) SS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: caller already holds the capability.
+#define SS_REQUIRES(...) SS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SS_REQUIRES_SHARED(...) \
+  SS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (held on return).
+#define SS_ACQUIRE(...) SS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SS_ACQUIRE_SHARED(...) \
+  SS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry).
+#define SS_RELEASE(...) SS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SS_RELEASE_SHARED(...) \
+  SS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define SS_TRY_ACQUIRE(...) SS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function precondition: caller must NOT hold the capability (deadlock
+/// guard for public entry points that lock internally).
+#define SS_EXCLUDES(...) SS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations between capabilities.
+#define SS_ACQUIRED_BEFORE(...) SS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SS_ACQUIRED_AFTER(...) SS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define SS_RETURN_CAPABILITY(x) SS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Runtime assertion that the capability is held (for call paths the
+/// static analysis cannot follow, e.g. callbacks re-entered on the owning
+/// loop thread).
+#define SS_ASSERT_CAPABILITY(x) SS_THREAD_ANNOTATION(assert_capability(x))
+
+/// Opts a function out of the analysis entirely. Needs a justifying
+/// comment at every use site.
+#define SS_NO_THREAD_SAFETY_ANALYSIS SS_THREAD_ANNOTATION(no_thread_safety_analysis)

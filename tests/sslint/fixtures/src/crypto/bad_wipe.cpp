@@ -1,0 +1,6 @@
+// Violation [secret-wipe] at line 5.
+#include "util/ok.h"
+#include <cstring>
+void wipe_key(unsigned char* key, unsigned long n) {
+  memset(key, 0, n);
+}

@@ -1,0 +1,5 @@
+// Violation [raw-mutex] at lines 2 and 4.
+#include <mutex>
+namespace fix {
+std::mutex raw_mu;
+}

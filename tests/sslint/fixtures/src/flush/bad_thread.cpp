@@ -1,0 +1,6 @@
+// Violation [raw-thread] at line 4.
+#include <thread>
+void spawn() {
+  std::thread t([] {});
+  t.join();
+}

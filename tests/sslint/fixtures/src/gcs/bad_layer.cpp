@@ -1,0 +1,4 @@
+// Violation [layer-dag] at line 3: gcs may not include sim directly.
+#include "util/ok.h"
+#include "sim/sched.h"
+int layered() { return 0; }

@@ -1,0 +1,4 @@
+// Violation [layer-reach] at line 3: runtime/sim_adapter.h is a legal
+// include for gcs, but it transitively drags in the sim layer.
+#include "runtime/sim_adapter.h"
+int reached() { return 0; }

@@ -1,0 +1,5 @@
+// Violation [wall-clock] at line 4.
+#include <ctime>
+long stamp() {
+  return time(nullptr);
+}

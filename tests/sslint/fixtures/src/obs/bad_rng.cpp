@@ -1,0 +1,5 @@
+// Violation [predictable-rng] at line 4.
+#include <cstdlib>
+int jitter() {
+  return rand() % 7;
+}

@@ -1,0 +1,5 @@
+// Fixture runtime seam.
+#pragma once
+namespace fix {
+int clock_now();
+}

@@ -1,0 +1,7 @@
+// Clean: the excepted runtime -> sim edge (mirrors runtime/sim_env.h).
+#pragma once
+#include "runtime/clock.h"
+#include "sim/sched.h"
+namespace fix {
+int adapted_now();
+}

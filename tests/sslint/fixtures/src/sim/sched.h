@@ -1,0 +1,5 @@
+// Fixture simulator layer; target of layering violations.
+#pragma once
+namespace fix {
+int sched_now();
+}

@@ -1,0 +1,4 @@
+// Violation [parent-include] at line 3.
+#include "util/ok.h"
+#include "../outside.h"
+int parent_user() { return 0; }

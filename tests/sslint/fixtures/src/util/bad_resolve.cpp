@@ -1,0 +1,4 @@
+// Violation [include-unresolved] at line 3.
+#include "util/ok.h"
+#include "util/does_not_exist.h"
+int resolve_user() { return 0; }

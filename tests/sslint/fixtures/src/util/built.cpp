@@ -1,0 +1,2 @@
+// Clean: listed in compile_commands.json.
+int built_fn() { return 2; }

@@ -1,0 +1,13 @@
+// Lexer test: banned tokens appear only in comments and string literals,
+// so this file must produce zero diagnostics.
+// A comment saying std::mutex and rand() and memset( changes nothing.
+#pragma once
+namespace fix {
+/* block comment: std::thread, time(nullptr), #include <mutex> */
+inline const char* docstring() {
+  return "call rand() and memset(buf, 0, n) under std::mutex";
+}
+inline char raw() {
+  return 'r';  // '\'' quoting: std::thread
+}
+}

@@ -1,0 +1,6 @@
+// Allow-listed: the one place std::mutex may appear (mirrors util/mutex.h).
+#pragma once
+#include <mutex>
+namespace fix {
+using RawMutex = std::mutex;
+}

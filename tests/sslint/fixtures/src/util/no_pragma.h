@@ -1,0 +1,4 @@
+// Violation [pragma-once]: header without #pragma once.
+namespace fix {
+int no_pragma();
+}

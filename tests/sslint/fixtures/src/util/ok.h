@@ -1,0 +1,5 @@
+// Clean header: referenced by other fixtures; produces no diagnostics.
+#pragma once
+namespace fix {
+int ok();
+}

@@ -1,0 +1,2 @@
+// Violation [orphan-source]: missing from compile_commands.json.
+int orphan_fn() { return 1; }

@@ -1,0 +1,640 @@
+#include "tools/sslint/sslint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace ss::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small string helpers
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// Splits on commas and/or whitespace, trimming each piece.
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == ',' || c == ' ' || c == '\t') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+/// True when `path` equals `prefix` or lies underneath it. A prefix naming
+/// a file matches exactly; a prefix naming a directory matches its subtree
+/// whether or not it is written with a trailing '/'.
+bool under_prefix(const std::string& path, const std::string& prefix) {
+  std::string p = prefix;
+  while (!p.empty() && p.back() == '/') p.pop_back();
+  if (path == p) return true;
+  return path.size() > p.size() && path.compare(0, p.size(), p) == 0 && path[p.size()] == '/';
+}
+
+bool under_any(const std::string& path, const std::vector<std::string>& prefixes) {
+  for (const auto& p : prefixes) {
+    if (under_prefix(path, p)) return true;
+  }
+  return false;
+}
+
+bool read_file(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool is_source_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".h" || e == ".hpp" || e == ".cpp" || e == ".cc" || e == ".inl";
+}
+
+bool is_header_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".h" || e == ".hpp";
+}
+
+// ---------------------------------------------------------------------------
+// Per-file scan state
+
+struct Include {
+  int line = 0;
+  std::string target;  // include path as written
+  bool quoted = false; // "..." vs <...>
+};
+
+struct FileInfo {
+  std::string rel;                  // path relative to root, '/'-separated
+  std::string layer;                // first component under layer_root, "" if outside
+  std::vector<Include> includes;
+  std::vector<std::string> stripped_lines;
+  bool has_pragma_once = false;
+  bool is_header = false;
+  // Resolved quoted includes that landed on scanned project files
+  // (index into the file table), with the include's line number.
+  std::vector<std::pair<int, int>> edges;  // (file index, line)
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Comment / literal stripping
+
+std::string strip_comments_and_literals(const std::string& text) {
+  std::string out = text;
+  enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw };
+  St st = St::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && n == '/') {
+          st = St::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = St::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          // R"delim( starts a raw string when the quote follows an R that
+          // is not part of a wider identifier (u8R etc. kept simple: any
+          // identifier char run ending in R counts).
+          if (i > 0 && text[i - 1] == 'R' &&
+              (i < 2 || (!isalnum(static_cast<unsigned char>(text[i - 2])) &&
+                         text[i - 2] != '_'))) {
+            std::size_t p = i + 1;
+            raw_delim.clear();
+            while (p < text.size() && text[p] != '(') raw_delim += text[p++];
+            st = St::kRaw;
+            // Blank the delimiter spec too; the loop blanks from i+1 on.
+          } else {
+            st = St::kStr;
+          }
+        } else if (c == '\'') {
+          st = St::kChar;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          st = St::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::kBlock:
+        if (c == '*' && n == '/') {
+          st = St::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kStr:
+        if (c == '\\' && n != '\0') {
+          out[i] = ' ';
+          if (n != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\' && n != '\0') {
+          out[i] = ' ';
+          if (n != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kRaw: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (c == ')' && text.compare(i, close.size(), close) == 0) {
+          for (std::size_t k = 0; k < close.size(); ++k) out[i + k] = ' ';
+          i += close.size() - 1;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rules file
+
+bool parse_rules_text(const std::string& text, const std::string& origin, Config* out,
+                      std::string* error) {
+  Config cfg;
+  std::string section;
+  std::string ban_id;
+  int lineno = 0;
+  auto fail = [&](const std::string& msg) {
+    *error = origin + ":" + std::to_string(lineno) + ": " + msg;
+    return false;
+  };
+  for (const std::string& raw : split_lines(text)) {
+    ++lineno;
+    // Whole-line comments only: ban patterns legitimately contain '#'
+    // (e.g. matching #include directives), so no inline stripping.
+    std::string line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') return fail("unterminated section header");
+      section = trim(line.substr(1, line.size() - 2));
+      if (section.compare(0, 4, "ban ") == 0) {
+        ban_id = trim(section.substr(4));
+        if (ban_id.empty()) return fail("[ban] needs an id: [ban my-rule]");
+        section = "ban";
+        cfg.bans.push_back(BanRule{ban_id, "", {}, {}, ""});
+      }
+      continue;
+    }
+    if (section == "layer-exceptions") {
+      // from -> to : fileA, fileB
+      const std::size_t arrow = line.find("->");
+      const std::size_t colon = line.find(':');
+      if (arrow == std::string::npos || colon == std::string::npos || colon < arrow)
+        return fail("expected 'from -> to : files'");
+      const std::string from = trim(line.substr(0, arrow));
+      const std::string to = trim(line.substr(arrow + 2, colon - arrow - 2));
+      auto files = split_list(line.substr(colon + 1));
+      if (from.empty() || to.empty() || files.empty())
+        return fail("expected 'from -> to : files'");
+      auto& dst = cfg.edge_exceptions[from][to];
+      dst.insert(dst.end(), files.begin(), files.end());
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return fail("expected 'key = value'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string val = trim(line.substr(eq + 1));
+    if (section == "scan") {
+      if (key == "dirs") {
+        cfg.scan_dirs = split_list(val);
+      } else if (key == "exclude") {
+        cfg.exclude_dirs = split_list(val);
+      } else {
+        return fail("unknown [scan] key: " + key);
+      }
+    } else if (section == "layers") {
+      if (key == "root") {
+        cfg.layer_root = val;
+      } else {
+        cfg.layers[key] = split_list(val);  // empty value = no deps
+      }
+    } else if (section == "layer-forbid-reach") {
+      cfg.forbid_reach[key] = split_list(val);
+    } else if (section == "hygiene") {
+      const bool on = val == "on" || val == "true" || val == "1";
+      if (key == "pragma-once") {
+        cfg.require_pragma_once = on;
+      } else if (key == "parent-includes") {
+        cfg.forbid_parent_includes = !on;  // key states whether they are allowed
+      } else if (key == "resolve-includes") {
+        cfg.check_include_resolution = on;
+      } else {
+        return fail("unknown [hygiene] key: " + key);
+      }
+    } else if (section == "ban") {
+      BanRule& b = cfg.bans.back();
+      if (key == "pattern") {
+        b.pattern = val;
+      } else if (key == "dirs") {
+        b.dirs = split_list(val);
+      } else if (key == "allow") {
+        b.allow = split_list(val);
+      } else if (key == "message") {
+        b.message = val;
+      } else {
+        return fail("unknown [ban] key: " + key);
+      }
+    } else {
+      return fail(section.empty() ? "key outside any section"
+                                  : "unknown section: [" + section + "]");
+    }
+  }
+  for (const BanRule& b : cfg.bans) {
+    if (b.pattern.empty()) {
+      lineno = 0;
+      return fail("[ban " + b.id + "] has no pattern");
+    }
+    try {
+      std::regex re(b.pattern);
+    } catch (const std::regex_error& e) {
+      lineno = 0;
+      return fail("[ban " + b.id + "] bad regex: " + e.what());
+    }
+  }
+  // The allowed-dependency graph must stay a DAG; exceptions are the only
+  // sanctioned cycles and are pinned to single files.
+  {
+    std::map<std::string, int> state;  // 0 new, 1 visiting, 2 done
+    std::function<bool(const std::string&)> dfs = [&](const std::string& layer) {
+      state[layer] = 1;
+      auto it = cfg.layers.find(layer);
+      if (it != cfg.layers.end()) {
+        for (const std::string& dep : it->second) {
+          if (state[dep] == 1) return false;
+          if (state[dep] == 0 && !dfs(dep)) return false;
+        }
+      }
+      state[layer] = 2;
+      return true;
+    };
+    for (const auto& [layer, deps] : cfg.layers) {
+      (void)deps;
+      if (state[layer] == 0 && !dfs(layer)) {
+        lineno = 0;
+        return fail("[layers] dependency cycle through '" + layer + "'");
+      }
+    }
+  }
+  *out = std::move(cfg);
+  return true;
+}
+
+bool parse_rules_file(const std::string& path, Config* out, std::string* error) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    *error = path + ": cannot read rules file";
+    return false;
+  }
+  return parse_rules_text(text, path, out, error);
+}
+
+// ---------------------------------------------------------------------------
+// The linter proper
+
+namespace {
+
+const std::regex kIncludeRe(R"(^[ \t]*#[ \t]*include[ \t]*([<"])([^">]+)[">])");
+const std::regex kPragmaOnceRe(R"(^[ \t]*#[ \t]*pragma[ \t]+once\b)");
+
+struct Linter {
+  const Config& cfg;
+  const fs::path root;
+  std::vector<FileInfo> files;
+  std::map<std::string, int> index_of;  // rel path -> files index
+  std::vector<Diagnostic> diags;
+
+  Linter(const Config& c, fs::path r) : cfg(c), root(std::move(r)) {}
+
+  void add(const std::string& file, int line, const std::string& rule,
+           const std::string& message) {
+    diags.push_back(Diagnostic{file, line, rule, message});
+  }
+
+  std::string layer_of(const std::string& rel) const {
+    const std::string prefix = cfg.layer_root + "/";
+    if (rel.compare(0, prefix.size(), prefix) != 0) return "";
+    const std::size_t slash = rel.find('/', prefix.size());
+    if (slash == std::string::npos) return "";  // file directly under root
+    return rel.substr(prefix.size(), slash - prefix.size());
+  }
+
+  void collect() {
+    std::vector<std::string> rels;
+    for (const std::string& dir : cfg.scan_dirs) {
+      const fs::path base = root / dir;
+      if (!fs::exists(base)) continue;
+      for (const auto& ent : fs::recursive_directory_iterator(base)) {
+        if (!ent.is_regular_file() || !is_source_ext(ent.path())) continue;
+        const std::string rel = fs::relative(ent.path(), root).generic_string();
+        if (under_any(rel, cfg.exclude_dirs)) continue;
+        rels.push_back(rel);
+      }
+    }
+    std::sort(rels.begin(), rels.end());
+    for (const std::string& rel : rels) {
+      FileInfo fi;
+      fi.rel = rel;
+      fi.layer = layer_of(rel);
+      fi.is_header = is_header_ext(fs::path(rel));
+      std::string text;
+      if (!read_file(root / rel, &text)) {
+        add(rel, 0, "io", "cannot read file");
+        continue;
+      }
+      const std::string stripped = strip_comments_and_literals(text);
+      fi.stripped_lines = split_lines(stripped);
+      const std::vector<std::string> raw_lines = split_lines(text);
+      for (std::size_t i = 0; i < fi.stripped_lines.size(); ++i) {
+        if (std::regex_search(fi.stripped_lines[i], kPragmaOnceRe)) fi.has_pragma_once = true;
+        // The stripped line identifies a real directive (not a comment);
+        // the path itself is read from the raw line, where the quotes and
+        // their contents survive.
+        std::smatch m;
+        if (std::regex_search(fi.stripped_lines[i], kIncludeRe) &&
+            i < raw_lines.size() && std::regex_search(raw_lines[i], m, kIncludeRe)) {
+          fi.includes.push_back(
+              Include{static_cast<int>(i + 1), m[2].str(), m[1].str() == "\""});
+        }
+      }
+      index_of[rel] = static_cast<int>(files.size());
+      files.push_back(std::move(fi));
+    }
+  }
+
+  /// Resolves a quoted include to a scanned project file, mirroring the
+  /// build's include dirs: the source root (for "tests/..."-style paths)
+  /// and layer_root (for "util/..."-style paths). Returns -1 if the target
+  /// is not a scanned file.
+  int resolve(const std::string& target) const {
+    auto it = index_of.find(cfg.layer_root + "/" + target);
+    if (it != index_of.end()) return it->second;
+    it = index_of.find(target);
+    if (it != index_of.end()) return it->second;
+    return -1;
+  }
+
+  bool edge_excepted(const FileInfo& fi, const std::string& to_layer) const {
+    auto f = cfg.edge_exceptions.find(fi.layer);
+    if (f == cfg.edge_exceptions.end()) return false;
+    auto t = f->second.find(to_layer);
+    if (t == f->second.end()) return false;
+    return std::find(t->second.begin(), t->second.end(), fi.rel) != t->second.end();
+  }
+
+  void check_includes() {
+    for (FileInfo& fi : files) {
+      for (const Include& inc : fi.includes) {
+        if (cfg.forbid_parent_includes && inc.quoted &&
+            inc.target.compare(0, 3, "../") == 0) {
+          add(fi.rel, inc.line, "parent-include",
+              "relative '../' include; use a root-relative path");
+          continue;
+        }
+        if (!inc.quoted) continue;
+        const int tgt = resolve(inc.target);
+        if (tgt < 0) {
+          if (cfg.check_include_resolution) {
+            add(fi.rel, inc.line, "include-unresolved",
+                "quoted include \"" + inc.target + "\" does not name a project file");
+          }
+          continue;
+        }
+        fi.edges.emplace_back(tgt, inc.line);
+        // Layering: only for files inside declared layers.
+        if (fi.layer.empty()) continue;
+        const std::string& to = files[tgt].layer;
+        if (to.empty() || to == fi.layer) continue;
+        auto allowed = cfg.layers.find(fi.layer);
+        if (allowed == cfg.layers.end()) {
+          add(fi.rel, inc.line, "layer-dag",
+              "layer '" + fi.layer + "' is not declared in [layers]; add it to " +
+                  "tools/sslint.rules with its allowed dependencies");
+          continue;
+        }
+        const bool ok = std::find(allowed->second.begin(), allowed->second.end(), to) !=
+                        allowed->second.end();
+        if (!ok && !edge_excepted(fi, to)) {
+          add(fi.rel, inc.line, "layer-dag",
+              "layer '" + fi.layer + "' may not include layer '" + to + "' (\"" +
+                  inc.target + "\"); allowed: {" + join(allowed->second) + "}");
+        }
+      }
+    }
+  }
+
+  static std::string join(const std::vector<std::string>& v) {
+    std::string out;
+    for (const auto& s : v) {
+      if (!out.empty()) out += ", ";
+      out += s;
+    }
+    return out;
+  }
+
+  /// Layers reachable from file i through the include graph (memoized;
+  /// include cycles contribute nothing on the back edge).
+  std::vector<std::set<std::string>> reach_memo;
+  std::vector<int> reach_state;  // 0 new, 1 visiting, 2 done
+  const std::set<std::string>& reach(int i) {
+    if (reach_state[i] == 2) return reach_memo[i];
+    if (reach_state[i] == 1) return reach_memo[i];  // cycle: partial set
+    reach_state[i] = 1;
+    for (const auto& [tgt, line] : files[i].edges) {
+      (void)line;
+      if (!files[tgt].layer.empty()) reach_memo[i].insert(files[tgt].layer);
+      const auto& sub = reach(tgt);
+      reach_memo[i].insert(sub.begin(), sub.end());
+    }
+    reach_state[i] = 2;
+    return reach_memo[i];
+  }
+
+  /// One human-readable include chain from file i into `layer`.
+  std::string chain_to(int i, const std::string& layer, std::set<int>& seen) {
+    for (const auto& [tgt, line] : files[i].edges) {
+      (void)line;
+      if (!seen.insert(tgt).second) continue;
+      if (files[tgt].layer == layer) return files[i].rel + " -> " + files[tgt].rel;
+      if (reach(tgt).count(layer) != 0)
+        return files[i].rel + " -> " + chain_to(tgt, layer, seen);
+    }
+    return files[i].rel;
+  }
+
+  void check_reach() {
+    reach_memo.assign(files.size(), {});
+    reach_state.assign(files.size(), 0);
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      const FileInfo& fi = files[i];
+      if (fi.layer.empty()) continue;
+      auto it = cfg.forbid_reach.find(fi.layer);
+      if (it == cfg.forbid_reach.end()) continue;
+      for (const std::string& forbidden : it->second) {
+        for (const auto& [tgt, line] : fi.edges) {
+          // A direct include of the forbidden layer is already a layer-dag
+          // finding; this rule owns the *transitive* case.
+          if (files[tgt].layer == forbidden) continue;
+          if (reach(tgt).count(forbidden) != 0) {
+            std::set<int> seen;
+            add(fi.rel, line, "layer-reach",
+                "layer '" + fi.layer + "' transitively reaches forbidden layer '" +
+                    forbidden + "': " + chain_to(static_cast<int>(i), forbidden, seen));
+          }
+        }
+      }
+    }
+  }
+
+  void check_bans() {
+    for (const BanRule& rule : cfg.bans) {
+      const std::regex re(rule.pattern);
+      const std::vector<std::string>& dirs = rule.dirs.empty() ? cfg.scan_dirs : rule.dirs;
+      for (const FileInfo& fi : files) {
+        if (!under_any(fi.rel, dirs) || under_any(fi.rel, rule.allow)) continue;
+        for (std::size_t i = 0; i < fi.stripped_lines.size(); ++i) {
+          if (std::regex_search(fi.stripped_lines[i], re)) {
+            add(fi.rel, static_cast<int>(i + 1), rule.id, rule.message);
+          }
+        }
+      }
+    }
+  }
+
+  void check_pragma_once() {
+    if (!cfg.require_pragma_once) return;
+    for (const FileInfo& fi : files) {
+      if (fi.is_header && !fi.has_pragma_once) {
+        add(fi.rel, 0, "pragma-once", "header is missing #pragma once");
+      }
+    }
+  }
+
+  void check_orphans(const std::string& compile_commands) {
+    if (compile_commands.empty()) return;
+    fs::path cc = compile_commands;
+    if (fs::is_directory(cc)) cc /= "compile_commands.json";
+    std::string text;
+    if (!read_file(cc, &text)) {
+      add(cc.generic_string(), 0, "orphan-source", "cannot read compile_commands.json");
+      return;
+    }
+    std::set<std::string> built;
+    const std::regex file_re(R"re("file"[ \t]*:[ \t]*"((?:[^"\\]|\\.)*)")re");
+    const fs::path abs_root = fs::weakly_canonical(root);
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), file_re);
+         it != std::sregex_iterator(); ++it) {
+      std::string f = (*it)[1].str();
+      // Unescape the JSON basics that can appear in a path.
+      std::string un;
+      for (std::size_t i = 0; i < f.size(); ++i) {
+        if (f[i] == '\\' && i + 1 < f.size()) {
+          un += f[++i];
+        } else {
+          un += f[i];
+        }
+      }
+      fs::path p = un;
+      if (p.is_relative()) p = abs_root / p;  // fixture corpora use relative paths
+      built.insert(fs::relative(fs::weakly_canonical(p), abs_root).generic_string());
+    }
+    for (const FileInfo& fi : files) {
+      const std::string ext = fs::path(fi.rel).extension().string();
+      if (ext != ".cpp" && ext != ".cc") continue;
+      if (built.count(fi.rel) == 0) {
+        add(fi.rel, 0, "orphan-source",
+            "not listed in compile_commands.json; add it to a CMake target");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Diagnostic> run(const Config& cfg, const Options& opts) {
+  Linter lint(cfg, fs::path(opts.root));
+  lint.collect();
+  lint.check_includes();
+  lint.check_reach();
+  lint.check_bans();
+  lint.check_pragma_once();
+  lint.check_orphans(opts.compile_commands);
+  std::sort(lint.diags.begin(), lint.diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return lint.diags;
+}
+
+std::string format(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "] " + d.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace ss::lint

@@ -1,0 +1,92 @@
+// sslint: the project linter for invariants no generic tool knows.
+//
+// Two generic tools already gate this tree — the compiler's promoted
+// warnings and clang-tidy — but neither can enforce *project* contracts:
+// which layer may include which (the Secure Spread stack is trustworthy
+// because util → crypto → runtime → gcs → flush → secure is a DAG), that
+// key material is wiped with util::secure_wipe and never memset, that raw
+// std::mutex/std::thread never appear outside the annotated wrappers the
+// thread-safety analysis can see, and that every translation unit is
+// actually built. sslint walks the source tree plus the include graph
+// (and, when given one, compile_commands.json) and enforces exactly those,
+// driven by a committed rules file (tools/sslint.rules).
+//
+// The core is a library so tests/sslint_test.cpp can drive it over a
+// fixture corpus with one planted violation per rule; tools/sslint/main.cpp
+// is a thin CLI used by tools/check.sh (`lint` stage) and CI.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ss::lint {
+
+/// One finding. `file` is relative to the scanned root, `line` 1-based
+/// (0 for whole-file findings such as a missing #pragma once).
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// A banned-token rule from the [ban <id>] section of the rules file.
+struct BanRule {
+  std::string id;
+  std::string pattern;             // ECMAScript regex, run on comment/string-stripped lines
+  std::vector<std::string> dirs;   // path prefixes the rule applies to
+  std::vector<std::string> allow;  // path prefixes exempt from the rule
+  std::string message;
+};
+
+struct Config {
+  /// Directories scanned for token and hygiene rules.
+  std::vector<std::string> scan_dirs{"src"};
+  /// Subtrees skipped entirely (e.g. the lint-test fixture corpus, whose
+  /// planted violations are test data, not code).
+  std::vector<std::string> exclude_dirs;
+  /// Root of the layered part of the tree; a file's layer is the first
+  /// path component below it.
+  std::string layer_root = "src";
+  /// layer -> layers it may include directly (itself is always allowed).
+  /// Every directory under layer_root must be declared here.
+  std::map<std::string, std::vector<std::string>> layers;
+  /// from-layer -> to-layer -> files (relative paths) allowed to cross
+  /// that otherwise-forbidden edge (pinpoint interface crossings).
+  std::map<std::string, std::map<std::string, std::vector<std::string>>> edge_exceptions;
+  /// layer -> layers it must not reach even transitively through the
+  /// include graph (e.g. protocol layers must never pull in sim/).
+  std::map<std::string, std::vector<std::string>> forbid_reach;
+  std::vector<BanRule> bans;
+  // Built-in include-hygiene toggles ([hygiene] section).
+  bool require_pragma_once = true;
+  bool forbid_parent_includes = true;
+  bool check_include_resolution = true;
+};
+
+struct Options {
+  /// Repository root to scan (absolute or relative).
+  std::string root = ".";
+  /// Path to compile_commands.json (or the build dir containing it).
+  /// Empty skips the orphan-source rule.
+  std::string compile_commands;
+};
+
+/// Parses a rules file. Returns false and sets *error on malformed input.
+bool parse_rules_file(const std::string& path, Config* out, std::string* error);
+bool parse_rules_text(const std::string& text, const std::string& origin, Config* out,
+                      std::string* error);
+
+/// Runs every rule; diagnostics are sorted by (file, line, rule) and
+/// deterministic across runs.
+std::vector<Diagnostic> run(const Config& cfg, const Options& opts);
+
+/// Replaces comment bodies and string/char-literal contents with spaces so
+/// token rules cannot fire on prose or test data. Exposed for tests.
+std::string strip_comments_and_literals(const std::string& text);
+
+/// "file:line: [rule] message" per diagnostic.
+std::string format(const std::vector<Diagnostic>& diags);
+
+}  // namespace ss::lint
