@@ -1,0 +1,3 @@
+// Include cycle a -> b -> c -> a; sim is reachable only through b.
+#pragma once
+#include "gcs/cyc_b.h"

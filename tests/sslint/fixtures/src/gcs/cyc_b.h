@@ -1,0 +1,4 @@
+// Middle of the cycle: the only file with a real path into sim.
+#pragma once
+#include "gcs/cyc_c.h"
+#include "runtime/sim_adapter.h"

@@ -1,0 +1,3 @@
+// Back edge of the cycle: a DFS memo would cache a partial set here.
+#pragma once
+#include "gcs/cyc_a.h"

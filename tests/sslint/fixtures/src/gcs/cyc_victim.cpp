@@ -1,0 +1,4 @@
+// Violation [layer-reach] at line 3: reaches sim only through the
+// a -> b -> c -> a include cycle, which demands fixpoint reachability.
+#include "gcs/cyc_a.h"
+int cyc_victim() { return 0; }

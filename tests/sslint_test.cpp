@@ -57,6 +57,18 @@ TEST(SslintLexer, StripsCommentsAndLiterals) {
             std::count(in.begin(), in.end(), '\n'));
 }
 
+TEST(SslintLexer, DigitSeparatorsDoNotOpenCharLiterals) {
+  // An odd number of C++14 digit separators must not leave the lexer stuck
+  // in char-literal state, blanking (and so masking) the code that follows.
+  const std::string in = "const int n = 10'000; srand(n);\nint keep;\n";
+  const std::string out = strip_comments_and_literals(in);
+  EXPECT_NE(out.find("10'000"), std::string::npos);
+  EXPECT_NE(out.find("srand"), std::string::npos);
+  EXPECT_NE(out.find("int keep;"), std::string::npos);
+  // A genuine char literal is still blanked.
+  EXPECT_EQ(strip_comments_and_literals("char c = 'x';\n").find('x'), std::string::npos);
+}
+
 TEST(SslintLexer, HandlesRawStrings) {
   const std::string in = "auto j = R\"(std::thread inside raw)\"; int keep;\n";
   const std::string out = strip_comments_and_literals(in);
@@ -109,6 +121,14 @@ TEST(SslintFixtures, FlagsEveryPlantedViolationAtItsLine) {
       {"src/flush/bad_thread.cpp", 4, "raw-thread"},
       {"src/gcs/bad_layer.cpp", 3, "layer-dag"},
       {"src/gcs/bad_reach.cpp", 3, "layer-reach"},
+      // The a -> b -> c -> a cycle: every edge that can reach sim is
+      // flagged. A DFS memo caching partial sets across the back edge
+      // would miss cyc_c.h, cyc_victim.cpp and cyc_b.h's cycle edge.
+      {"src/gcs/cyc_a.h", 3, "layer-reach"},
+      {"src/gcs/cyc_b.h", 3, "layer-reach"},
+      {"src/gcs/cyc_b.h", 4, "layer-reach"},
+      {"src/gcs/cyc_c.h", 3, "layer-reach"},
+      {"src/gcs/cyc_victim.cpp", 3, "layer-reach"},
       {"src/obs/bad_clock.cpp", 4, "wall-clock"},
       {"src/obs/bad_rng.cpp", 4, "predictable-rng"},
       {"src/util/bad_parent.cpp", 3, "parent-include"},

@@ -1,12 +1,15 @@
 #include "tools/sslint/sslint.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <regex>
 #include <set>
 #include <sstream>
+#include <tuple>
 
 namespace fs = std::filesystem;
 
@@ -140,7 +143,7 @@ std::string strip_comments_and_literals(const std::string& text) {
           // is not part of a wider identifier (u8R etc. kept simple: any
           // identifier char run ending in R counts).
           if (i > 0 && text[i - 1] == 'R' &&
-              (i < 2 || (!isalnum(static_cast<unsigned char>(text[i - 2])) &&
+              (i < 2 || (!std::isalnum(static_cast<unsigned char>(text[i - 2])) &&
                          text[i - 2] != '_'))) {
             std::size_t p = i + 1;
             raw_delim.clear();
@@ -151,7 +154,13 @@ std::string strip_comments_and_literals(const std::string& text) {
             st = St::kStr;
           }
         } else if (c == '\'') {
-          st = St::kChar;
+          // A quote directly after an identifier/digit character is a C++14
+          // digit separator (1'000'000, 0xAB'CD), not a char-literal opener;
+          // entering kChar there would blank real code up to the next quote.
+          if (i == 0 || (!std::isalnum(static_cast<unsigned char>(text[i - 1])) &&
+                         text[i - 1] != '_')) {
+            st = St::kChar;
+          }
         }
         break;
       case St::kLine:
@@ -494,23 +503,32 @@ struct Linter {
     return out;
   }
 
-  /// Layers reachable from file i through the include graph (memoized;
-  /// include cycles contribute nothing on the back edge).
+  /// Layers reachable from each file through the include graph. Computed
+  /// to a fixpoint so cyclic include components converge on the complete
+  /// set — a DFS memo would cache the partial set seen across a back edge.
   std::vector<std::set<std::string>> reach_memo;
-  std::vector<int> reach_state;  // 0 new, 1 visiting, 2 done
-  const std::set<std::string>& reach(int i) {
-    if (reach_state[i] == 2) return reach_memo[i];
-    if (reach_state[i] == 1) return reach_memo[i];  // cycle: partial set
-    reach_state[i] = 1;
-    for (const auto& [tgt, line] : files[i].edges) {
-      (void)line;
-      if (!files[tgt].layer.empty()) reach_memo[i].insert(files[tgt].layer);
-      const auto& sub = reach(tgt);
-      reach_memo[i].insert(sub.begin(), sub.end());
+  void compute_reach() {
+    reach_memo.assign(files.size(), {});
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      for (const auto& [tgt, line] : files[i].edges) {
+        (void)line;
+        if (!files[tgt].layer.empty()) reach_memo[i].insert(files[tgt].layer);
+      }
     }
-    reach_state[i] = 2;
-    return reach_memo[i];
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < files.size(); ++i) {
+        for (const auto& [tgt, line] : files[i].edges) {
+          (void)line;
+          for (const std::string& layer : reach_memo[tgt]) {
+            if (reach_memo[i].insert(layer).second) changed = true;
+          }
+        }
+      }
+    }
   }
+  const std::set<std::string>& reach(int i) const { return reach_memo[i]; }
 
   /// One human-readable include chain from file i into `layer`.
   std::string chain_to(int i, const std::string& layer, std::set<int>& seen) {
@@ -525,8 +543,7 @@ struct Linter {
   }
 
   void check_reach() {
-    reach_memo.assign(files.size(), {});
-    reach_state.assign(files.size(), 0);
+    compute_reach();
     for (std::size_t i = 0; i < files.size(); ++i) {
       const FileInfo& fi = files[i];
       if (fi.layer.empty()) continue;
