@@ -8,6 +8,7 @@ namespace ss::cliques {
 
 const LongTermKeyPair& KeyDirectory::ensure(const gcs::MemberId& member,
                                             crypto::RandomSource& rnd) {
+  util::MutexLock lk(mu_);
   auto it = keys_.find(member);
   if (it != keys_.end()) return it->second;
   // Key-pair provisioning is certificate machinery, not a protocol
@@ -20,6 +21,7 @@ const LongTermKeyPair& KeyDirectory::ensure(const gcs::MemberId& member,
 }
 
 const crypto::Bignum& KeyDirectory::public_key(const gcs::MemberId& member) const {
+  util::MutexLock lk(mu_);
   auto it = keys_.find(member);
   if (it == keys_.end()) {
     throw std::out_of_range("KeyDirectory: unknown member " + member.to_string());

@@ -14,6 +14,8 @@
 #include "crypto/bignum.h"
 #include "crypto/dh.h"
 #include "gcs/types.h"
+#include "util/mutex.h"
+#include "util/thread_safety.h"
 
 namespace ss::cliques {
 
@@ -22,23 +24,33 @@ struct LongTermKeyPair {
   crypto::Bignum pub;   // g^{x_i} mod p
 };
 
+/// Thread-safe: the directory is shared by every client in a harness, and
+/// with compute offload those clients' key-agreement steps run on pool
+/// workers concurrently. The map is node-based, so the references ensure()
+/// and public_key() hand out stay valid across later insertions; entries
+/// are immutable once inserted.
 class KeyDirectory {
  public:
   explicit KeyDirectory(const crypto::DhGroup& group) : group_(group) {}
 
   /// Returns the member's key pair, generating one on first use.
-  const LongTermKeyPair& ensure(const gcs::MemberId& member, crypto::RandomSource& rnd);
+  const LongTermKeyPair& ensure(const gcs::MemberId& member, crypto::RandomSource& rnd)
+      SS_EXCLUDES(mu_);
 
   /// Public key lookup; throws std::out_of_range for unknown members.
-  const crypto::Bignum& public_key(const gcs::MemberId& member) const;
+  const crypto::Bignum& public_key(const gcs::MemberId& member) const SS_EXCLUDES(mu_);
 
-  bool contains(const gcs::MemberId& member) const { return keys_.contains(member); }
+  bool contains(const gcs::MemberId& member) const SS_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    return keys_.contains(member);
+  }
 
   const crypto::DhGroup& group() const { return group_; }
 
  private:
   const crypto::DhGroup& group_;
-  std::map<gcs::MemberId, LongTermKeyPair> keys_;
+  mutable util::Mutex mu_;
+  std::map<gcs::MemberId, LongTermKeyPair> keys_ SS_GUARDED_BY(mu_);
 };
 
 }  // namespace ss::cliques

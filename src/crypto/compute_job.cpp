@@ -1,0 +1,29 @@
+#include "crypto/compute_job.h"
+
+#include <exception>
+
+#include "util/cpu_time.h"
+
+namespace ss::crypto {
+
+ComputeStats ComputeJob::execute() {
+  ComputeStats stats;
+  if (!work_) return stats;
+  const ExpTally before = exp_tally();
+  const double start = util::cpu_now_seconds();
+  try {
+    work_();
+  } catch (const std::exception& e) {
+    stats.failed = true;
+    stats.error = e.what();
+  } catch (...) {
+    stats.failed = true;
+    stats.error = "unknown exception";
+  }
+  const double sec = util::cpu_now_seconds() - start;
+  stats.cpu_us = sec <= 0 ? 0 : static_cast<std::uint64_t>(sec * 1e6);
+  stats.exps = exp_tally() - before;
+  return stats;
+}
+
+}  // namespace ss::crypto

@@ -1,0 +1,59 @@
+// Self-contained unit of deferred cryptographic compute.
+//
+// The paper's cost model (Tables 2-4) shows rekey latency dominated by
+// modular exponentiations executed serially on the protocol path. To move
+// that work off the event-loop thread, mod-exp-heavy operations (Cliques
+// chain extension / factor-out, CKD round keys, Schnorr sign/verify,
+// session-key sealing) are packaged as ComputeJobs: a closure that owns all
+// of its inputs and writes all of its outputs into captured state, plus a
+// label for tracing. execute() may run on any thread — it measures the
+// executing thread's CPU time and its modular-exponentiation delta (the
+// exp tally is thread-local, so a worker's counts would otherwise be
+// invisible to the loop thread) and returns both so the submitting side can
+// keep the paper's per-purpose accounting exact regardless of where the
+// job ran. Exceptions are captured into the result rather than thrown,
+// because a worker thread has no protocol context to unwind into.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "crypto/exp_counter.h"
+
+namespace ss::crypto {
+
+/// What a ComputeJob cost and whether it succeeded. cpu_us / exps are
+/// measured on the executing thread; the submitter charges them into its
+/// own clock / tally to preserve serial-equivalent accounting.
+struct ComputeStats {
+  std::uint64_t cpu_us = 0;  ///< thread CPU microseconds spent in work
+  ExpTally exps;             ///< per-purpose mod-exp delta of the work
+  bool failed = false;       ///< true if work threw; outputs are unusable
+  std::string error;         ///< exception message when failed
+};
+
+/// A deferred cryptographic computation with explicit inputs (captured by
+/// value or via owning pointers in the closure) and outputs (written into
+/// state the closure shares with its continuation).
+class ComputeJob {
+ public:
+  ComputeJob() = default;
+  ComputeJob(std::string label, std::function<void()> work)
+      : label_(std::move(label)), work_(std::move(work)) {}
+
+  /// True when there is no work to run (default-constructed / moved-from).
+  bool empty() const { return !work_; }
+  const std::string& label() const { return label_; }
+
+  /// Runs the work on the calling thread, measuring its CPU time and
+  /// mod-exp delta. Safe on any thread; never throws.
+  ComputeStats execute();
+
+ private:
+  std::string label_;
+  std::function<void()> work_;
+};
+
+}  // namespace ss::crypto

@@ -10,7 +10,14 @@ namespace ss::crypto {
 
 HmacDrbg::HmacDrbg(const util::Bytes& seed)
     : key_(Sha1::kDigestSize, 0x00), v_(Sha1::kDigestSize, 0x01) {
+  util::MutexLock lk(mu_);  // uncontended; satisfies the analysis
   update(seed);
+}
+
+HmacDrbg::HmacDrbg(const HmacDrbg& other) {
+  util::MutexLock lk(other.mu_);
+  key_ = other.key_;
+  v_ = other.v_;
 }
 
 HmacDrbg::HmacDrbg(std::uint64_t seed, const std::string& personalization)
@@ -37,6 +44,7 @@ void HmacDrbg::update(const util::Bytes& data) {
 }
 
 void HmacDrbg::fill(std::uint8_t* out, std::size_t len) {
+  util::MutexLock lk(mu_);
   std::size_t produced = 0;
   while (produced < len) {
     v_ = hmac_sha1(key_, v_);
@@ -53,7 +61,10 @@ util::Bytes HmacDrbg::generate(std::size_t len) {
   return out;
 }
 
-void HmacDrbg::reseed(const util::Bytes& entropy) { update(entropy); }
+void HmacDrbg::reseed(const util::Bytes& entropy) {
+  util::MutexLock lk(mu_);
+  update(entropy);
+}
 
 HmacDrbg HmacDrbg::from_os_entropy() {
   util::Bytes seed(48);

@@ -11,6 +11,8 @@
 
 #include "crypto/bignum.h"
 #include "util/bytes.h"
+#include "util/mutex.h"
+#include "util/thread_safety.h"
 
 namespace ss::crypto {
 
@@ -21,20 +23,28 @@ class HmacDrbg final : public RandomSource {
   /// Convenience: seed from a 64-bit value plus a personalization string.
   HmacDrbg(std::uint64_t seed, const std::string& personalization);
 
-  void fill(std::uint8_t* out, std::size_t len) override;
+  HmacDrbg(const HmacDrbg& other);
+
+  /// Thread-safe: the state walk is serialized internally, so one DRBG may
+  /// be shared between an event lane and compute workers. The *sequence*
+  /// of outputs then depends on call order — deterministic replay needs
+  /// deterministic callers (the simulator is single-threaded, so this
+  /// never costs sim reproducibility).
+  void fill(std::uint8_t* out, std::size_t len) override SS_EXCLUDES(mu_);
   util::Bytes generate(std::size_t len);
 
   /// Mixes fresh entropy into the state.
-  void reseed(const util::Bytes& entropy);
+  void reseed(const util::Bytes& entropy) SS_EXCLUDES(mu_);
 
   /// New DRBG seeded from OS entropy (/dev/urandom); throws on failure.
   static HmacDrbg from_os_entropy();
 
  private:
-  void update(const util::Bytes& data);
+  void update(const util::Bytes& data) SS_REQUIRES(mu_);
 
-  util::Bytes key_;
-  util::Bytes v_;
+  mutable util::Mutex mu_;
+  util::Bytes key_ SS_GUARDED_BY(mu_);
+  util::Bytes v_ SS_GUARDED_BY(mu_);
 };
 
 }  // namespace ss::crypto

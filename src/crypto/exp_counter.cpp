@@ -1,11 +1,18 @@
 #include "crypto/exp_counter.h"
 
+#include <atomic>
+
 namespace ss::crypto {
 
 namespace {
 thread_local ExpTally g_tally;
 thread_local ExpPurpose g_purpose = ExpPurpose::kUnspecified;
 thread_local bool g_suspended = false;
+
+// Process-wide aggregate. Written with relaxed atomics: counts are pure
+// statistics, no ordering is needed between purposes, and readers only
+// sample after joining (tests) or tolerate slight skew (gauges).
+std::array<std::atomic<std::uint64_t>, kExpPurposeCount> g_global{};
 }  // namespace
 
 std::string exp_purpose_name(ExpPurpose p) {
@@ -45,6 +52,18 @@ ExpTally exp_tally() { return g_tally; }
 
 void reset_exp_tally() { g_tally = ExpTally{}; }
 
+ExpTally global_exp_tally() {
+  ExpTally out;
+  for (std::size_t i = 0; i < kExpPurposeCount; ++i) {
+    out.by_purpose[i] = g_global[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void reset_global_exp_tally() {
+  for (auto& c : g_global) c.store(0, std::memory_order_relaxed);
+}
+
 ExpPurposeScope::ExpPurposeScope(ExpPurpose purpose) : saved_(g_purpose) {
   g_purpose = purpose;
 }
@@ -56,6 +75,7 @@ namespace detail {
 void record_exponentiation() {
   if (g_suspended) return;
   ++g_tally.by_purpose[static_cast<std::size_t>(g_purpose)];
+  g_global[static_cast<std::size_t>(g_purpose)].fetch_add(1, std::memory_order_relaxed);
 }
 
 ExpTallySuspender::ExpTallySuspender() : saved_(g_suspended) { g_suspended = true; }

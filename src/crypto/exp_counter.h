@@ -42,8 +42,17 @@ struct ExpTally {
 };
 
 /// Current thread's cumulative tally since process start (or last reset).
+/// Each thread owns its own tally, so worker-pool threads account their
+/// exponentiations independently; crypto::ComputeJob snapshots the delta on
+/// the executing thread and ships it back with the job result.
 ExpTally exp_tally();
 void reset_exp_tally();
+
+/// Process-wide tally aggregated across every thread (relaxed atomics).
+/// Purpose counts match the sum of per-thread tallies; under a serial run
+/// it is byte-identical to the loop thread's exp_tally().
+ExpTally global_exp_tally();
+void reset_global_exp_tally();
 
 /// Labels all exponentiations within the scope with a purpose.
 /// Scopes nest; the innermost label wins.

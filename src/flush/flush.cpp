@@ -84,10 +84,16 @@ void FlushMailbox::send_flush_ok(const gcs::GroupName& group, GroupState& st) {
   st.sent_ok = true;
   util::Writer w;
   st.pending.view_id.encode(w);
-  // FIFO suffices: the marker must simply follow the sender's final
-  // old-view messages, which per-sender FIFO guarantees (paper 5.3: key
-  // agreement and control need only FIFO).
-  mbox_.multicast(gcs::ServiceType::kFifo, group, w.take(), kFlushOkType);
+  // Agreed, not FIFO: the daemon addresses multicasts to the group
+  // membership it holds when it *delivers* them, and FIFO delivery can
+  // overtake the agreed stream. A FIFO marker racing ahead of a pending
+  // agreed join would be dropped for the joining member (not yet in the
+  // group map at its daemon) and never resent — wedging that member in
+  // the flush forever. Any FLUSH_OK is sent only after its sender's
+  // daemon agreed-delivered the change creating the pending view, so the
+  // sequencer stamped the change first; in the total order every marker
+  // therefore follows the change and reaches the new member too.
+  mbox_.multicast(gcs::ServiceType::kAgreed, group, w.take(), kFlushOkType);
 }
 
 void FlushMailbox::handle_raw_view(const gcs::GroupView& view) {

@@ -11,7 +11,9 @@
 //      (on_flush_request). A member joining the group for the first time
 //      acknowledges automatically.
 //   3. The application calls flush_ok(); the layer multicasts a FLUSH_OK
-//      marker tagged with V'.
+//      marker tagged with V' (agreed service, so the marker lands after
+//      the membership change in the daemons' total order and is addressed
+//      to a group map that already includes V's joiners).
 //   4. When FLUSH_OK has arrived from every member of V', the layer
 //      installs V' to the application and unblocks sending.
 //

@@ -13,6 +13,7 @@ Daemon::Daemon(const runtime::Env& env, std::vector<DaemonId> configured, Timing
                std::uint64_t seed, DaemonKeyStore* key_store)
     : clock_(*env.clock),
       net_(*env.net),
+      compute_(env.compute),
       self_(env.self),
       configured_(std::move(configured)),
       timing_(timing),
@@ -37,9 +38,11 @@ void Daemon::start() {
     link_crypto_ = std::make_unique<LinkCrypto>(*key_store_, self_, rng_.next());
     links_->set_crypto(link_crypto_.get());
     key_agent_ = std::make_unique<DaemonKeyAgent>(
-        *key_store_, self_, rng_.next(), [this](DaemonId to, const util::Bytes& body) {
+        *key_store_, self_, rng_.next(),
+        [this](DaemonId to, const util::Bytes& body) {
           links_->send(to, frame(MsgType::kDaemonKeyDist, body));
-        });
+        },
+        compute_);
   }
   fd_ = std::make_unique<FailureDetector>(clock_, timing_, self_, configured_,
                                           [this] { on_fd_change(); });
@@ -83,6 +86,32 @@ void Daemon::crash() {
   if (obs::TraceSink* s = obs::sink()) s->instant("gcs", "daemon.crash", self_, 0);
   net_.crash(self_);
   stop();
+}
+
+std::string Daemon::debug_state() const {
+  std::string out = "state=" + std::to_string(static_cast<int>(state_)) +
+                    " view=" + view_id_.to_string() +
+                    " delivered=" + std::to_string(stats_.messages_delivered) +
+                    " gathers=" + std::to_string(stats_.gathers_started) +
+                    " installs=" + std::to_string(stats_.views_installed);
+  const auto it = contexts_.find(view_id_);
+  if (it != contexts_.end()) {
+    const ViewContext& ctx = it->second;
+    std::size_t undelivered = 0;
+    for (const auto& [key, sm] : ctx.store) {
+      if (!sm.delivered) ++undelivered;
+    }
+    out += " ctx{frozen=" + std::to_string(ctx.frozen) +
+           " store=" + std::to_string(ctx.store.size()) +
+           " undeliv=" + std::to_string(undelivered) +
+           " stamps=" + std::to_string(ctx.stamps.size()) +
+           " contig_gseq=" + std::to_string(ctx.contig_gseq) +
+           " delivered_gseq=" + std::to_string(ctx.delivered_gseq) + "}";
+  } else {
+    out += " ctx{none}";
+  }
+  if (links_) out += " links{" + links_->debug_state() + "}";
+  return out;
 }
 
 Daemon::ObsHandles& Daemon::obs_handles() {

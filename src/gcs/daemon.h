@@ -110,12 +110,18 @@ class Daemon : public runtime::PacketSink {
   // --- introspection -------------------------------------------------------
   DaemonId id() const { return self_; }
   runtime::Clock& clock() { return clock_; }
+  /// Crypto offload executor inherited from the daemon's Env (null when the
+  /// backend provides none: compute then runs inline at the call site).
+  runtime::Compute* compute() { return compute_; }
   /// The environment this daemon runs in (for co-located components).
-  runtime::Env env() { return runtime::Env{&clock_, &net_, self_}; }
+  runtime::Env env() { return runtime::Env{&clock_, &net_, self_, compute_}; }
   const ViewId& view() const { return view_id_; }
   const std::vector<DaemonId>& view_members() const { return view_members_; }
   bool is_operational() const { return state_ == DState::kOperational; }
   const DaemonStats& stats() const { return stats_; }
+  /// One-line dump of the membership/delivery/link state machines, for test
+  /// and incident diagnostics. Call from the daemon's own lane.
+  std::string debug_state() const;
   /// Encrypted-link statistics (0 when link crypto is off).
   std::uint64_t link_frames_rejected() const {
     return links_ ? links_->frames_rejected() : 0;
@@ -259,6 +265,7 @@ class Daemon : public runtime::PacketSink {
 
   runtime::Clock& clock_;
   runtime::Transport& net_;
+  runtime::Compute* compute_ = nullptr;
   DaemonId self_;
   std::vector<DaemonId> configured_;
   TimingConfig timing_;

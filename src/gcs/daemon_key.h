@@ -22,10 +22,12 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 
 #include "gcs/link_crypto.h"
 #include "gcs/types.h"
+#include "runtime/compute.h"
 #include "util/bytes.h"
 
 namespace ss::gcs {
@@ -37,8 +39,12 @@ class DaemonKeyAgent {
   /// (the daemon wires this to its reliable links).
   using SendFn = std::function<void(DaemonId to, const util::Bytes& body)>;
 
+  /// With a non-null `compute`, the coordinator's per-member key sealing
+  /// runs off the protocol thread; the completion (send + install) comes
+  /// back on the daemon's event lane, guarded against a view that moved on.
   DaemonKeyAgent(const DaemonKeyStore& store, DaemonId self, std::uint64_t seed,
-                 SendFn send);
+                 SendFn send, runtime::Compute* compute = nullptr);
+  ~DaemonKeyAgent();
 
   /// Called after a view installs. The coordinator (lowest id) generates
   /// and distributes the key; everyone else waits for the distribution.
@@ -59,18 +65,33 @@ class DaemonKeyAgent {
 
  private:
   void install_key(const ViewId& view, util::Bytes key);
+  /// Coordinator: package the per-member sealing as a compute job.
+  void start_seal();
+  /// Completion continuation (daemon event lane): drop or apply, then
+  /// replay distributions that queued behind the job.
+  void finish_seal(const ViewId& view, util::Bytes key,
+                   std::vector<std::pair<DaemonId, util::Bytes>> bodies);
 
   const DaemonKeyStore& store_;
   DaemonId self_;
   crypto::HmacDrbg rnd_;
-  LinkCrypto crypto_;
+  /// Shared: in-flight seal jobs capture the channel so it outlives a
+  /// daemon stop that races the job. The job has exclusive use while
+  /// seal_inflight_ (open()s queue below), so no locking inside.
+  std::shared_ptr<LinkCrypto> crypto_;
   SendFn send_;
+  runtime::Compute* compute_ = nullptr;
+  /// Cleared by the destructor; completions check it before touching this.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   ViewId current_view_;
   std::vector<DaemonId> current_members_;
   util::Bytes key_;
   ViewId key_view_;
   std::uint64_t rekeys_ = 0;
+  bool seal_inflight_ = false;
+  /// Key distributions that arrived while a seal job held the channel.
+  std::vector<std::pair<DaemonId, util::Bytes>> pending_dists_;
 };
 
 }  // namespace ss::gcs

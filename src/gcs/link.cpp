@@ -341,6 +341,21 @@ void LinkManager::dispatch_frame(DaemonId from, const util::Frame& f) {
   // Unknown frame kind: drop.
 }
 
+std::string LinkManager::debug_state() const {
+  std::string out = "retrans=" + std::to_string(retransmissions_) +
+                    " rejected=" + std::to_string(frames_rejected_);
+  for (const auto& [peer, st] : send_) {
+    out += " tx" + std::to_string(peer) + "{next=" + std::to_string(st.next_seq) +
+           " unacked=" + std::to_string(st.unacked.size());
+    if (!st.unacked.empty()) out += " low=" + std::to_string(st.unacked.begin()->first);
+    out += "}";
+  }
+  for (const auto& [peer, st] : recv_) {
+    out += " rx" + std::to_string(peer) + "{next=" + std::to_string(st.next_seq) + "}";
+  }
+  return out;
+}
+
 void LinkManager::reset_peer(DaemonId peer) {
   auto it = send_.find(peer);
   if (it != send_.end()) {

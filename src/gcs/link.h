@@ -70,6 +70,8 @@ class LinkManager {
   std::uint64_t retransmissions() const { return retransmissions_; }
   /// Frames dropped by the crypto layer (forged/corrupt/unauthorized).
   std::uint64_t frames_rejected() const { return frames_rejected_; }
+  /// One-line dump of every per-peer stream state (diagnostics).
+  std::string debug_state() const;
 
  private:
   struct SendState {

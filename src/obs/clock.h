@@ -1,20 +1,16 @@
 // The observability subsystem's CPU-time source.
 //
-// The paper's measurements use two clocks: virtual (simulated) time for
-// protocol latency and real thread CPU time for cryptographic cost. This is
-// the single definition of the CPU clock; sim::ComputeTimer and the bench
-// drivers both read it from here so every layer measures the same thing.
+// The implementation lives in util/cpu_time.h (the bottom layer) so that
+// crypto::ComputeJob and runtime::ComputeTimer can share it without a
+// layering exception; this alias keeps obs-side callers (stopwatches,
+// bench drivers) on their historical name.
 #pragma once
 
-#include <ctime>
+#include "util/cpu_time.h"
 
 namespace ss::obs {
 
 /// Thread CPU seconds (getrusage-equivalent, as the paper measured).
-inline double cpu_now_seconds() {
-  timespec ts{};
-  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
-  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
-}
+inline double cpu_now_seconds() { return util::cpu_now_seconds(); }
 
 }  // namespace ss::obs

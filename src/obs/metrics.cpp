@@ -12,6 +12,7 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::observe(double v) {
+  util::MutexLock lock(mu_);
   if (count_ == 0) {
     min_ = max_ = v;
   } else {
@@ -24,7 +25,42 @@ void Histogram::observe(double v) {
   buckets_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
 }
 
+std::uint64_t Histogram::count() const {
+  util::MutexLock lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  util::MutexLock lock(mu_);
+  return sum_;
+}
+
+double Histogram::mean() const {
+  util::MutexLock lock(mu_);
+  return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::min() const {
+  util::MutexLock lock(mu_);
+  return count_ == 0 ? 0 : min_;
+}
+
+double Histogram::max() const {
+  util::MutexLock lock(mu_);
+  return count_ == 0 ? 0 : max_;
+}
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  util::MutexLock lock(mu_);
+  return buckets_;
+}
+
 double Histogram::percentile(double p) const {
+  util::MutexLock lock(mu_);
+  return percentile_locked(p);
+}
+
+double Histogram::percentile_locked(double p) const {
   if (count_ == 0) return 0;
   if (p <= 0) return min_;
   if (p >= 100) return max_;
@@ -51,6 +87,7 @@ double Histogram::percentile(double p) const {
 }
 
 void Histogram::reset() {
+  util::MutexLock lock(mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = min_ = max_ = 0;
@@ -66,7 +103,7 @@ const std::vector<double>& latency_buckets_us() {
 
 // --- MetricsRegistry ---------------------------------------------------------
 
-MetricsRegistry* MetricsRegistry::current_ = nullptr;
+std::atomic<MetricsRegistry*> MetricsRegistry::current_{nullptr};
 
 namespace {
 MetricsRegistry& default_registry() {
@@ -74,8 +111,8 @@ MetricsRegistry& default_registry() {
   return reg;
 }
 std::uint64_t next_generation() {
-  static std::uint64_t gen = 0;
-  return ++gen;
+  static std::atomic<std::uint64_t> gen{0};
+  return gen.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 }  // namespace
 
@@ -85,7 +122,8 @@ MetricsRegistry::~MetricsRegistry() {
   // A scope should have restored the previous registry already; if someone
   // destroys the current registry without popping its scope, fall back to
   // the default rather than leaving a dangling current pointer.
-  if (current_ == this) current_ = nullptr;
+  MetricsRegistry* self = this;
+  current_.compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
 }
 
 std::string MetricsRegistry::key_of(const std::string& name, const Labels& labels) {
@@ -105,12 +143,14 @@ std::string MetricsRegistry::key_of(const std::string& name, const Labels& label
 }
 
 Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
+  util::MutexLock lock(mu_);
   std::unique_ptr<Counter>& slot = counters_[key_of(name, labels)];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  util::MutexLock lock(mu_);
   std::unique_ptr<Gauge>& slot = gauges_[key_of(name, labels)];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -119,6 +159,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       const std::vector<double>& bounds,
                                       const Labels& labels) {
+  util::MutexLock lock(mu_);
   std::unique_ptr<Histogram>& slot = histograms_[key_of(name, labels)];
   if (!slot) slot = std::make_unique<Histogram>(bounds);
   return *slot;
@@ -126,11 +167,13 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 
 std::uint64_t MetricsRegistry::counter_value(const std::string& name,
                                              const Labels& labels) const {
+  util::MutexLock lock(mu_);
   const auto it = counters_.find(key_of(name, labels));
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 std::uint64_t MetricsRegistry::counter_sum(const std::string& name) const {
+  util::MutexLock lock(mu_);
   std::uint64_t total = 0;
   const std::string prefix = name + "{";
   for (const auto& [key, c] : counters_) {
@@ -141,11 +184,13 @@ std::uint64_t MetricsRegistry::counter_sum(const std::string& name) const {
 
 const Histogram* MetricsRegistry::find_histogram(const std::string& name,
                                                  const Labels& labels) const {
+  util::MutexLock lock(mu_);
   const auto it = histograms_.find(key_of(name, labels));
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 void MetricsRegistry::reset() {
+  util::MutexLock lock(mu_);
   for (auto& [key, c] : counters_) c->reset();
   for (auto& [key, g] : gauges_) g->reset();
   for (auto& [key, h] : histograms_) h->reset();
@@ -153,6 +198,7 @@ void MetricsRegistry::reset() {
 }
 
 std::string MetricsRegistry::render_text() const {
+  util::MutexLock lock(mu_);
   std::string out;
   char buf[160];
   for (const auto& [key, c] : counters_) {
@@ -178,13 +224,12 @@ std::string MetricsRegistry::render_text() const {
 }
 
 MetricsRegistry& MetricsRegistry::current() {
-  return current_ != nullptr ? *current_ : default_registry();
+  MetricsRegistry* cur = current_.load(std::memory_order_acquire);
+  return cur != nullptr ? *cur : default_registry();
 }
 
 MetricsRegistry* MetricsRegistry::set_current(MetricsRegistry* r) {
-  MetricsRegistry* prev = current_;
-  current_ = r;
-  return prev;
+  return current_.exchange(r, std::memory_order_acq_rel);
 }
 
 // --- RegistryScope -----------------------------------------------------------

@@ -11,11 +11,15 @@
 // counters of util/msgpath.h, which the scope routes into the registry's
 // own block.
 //
-// The simulation is single-threaded (one scheduler drives everything), so
-// metric updates are plain integer operations; a counter increment through
-// a cached handle costs the same as the struct fields it replaced.
+// Thread-safety: the simulation is single-threaded, but the realtime
+// backend runs N event-loop lanes plus a crypto worker pool, and all of
+// them report here. Counters and gauges are relaxed atomics (an increment
+// through a cached handle is one atomic add); histograms and the registry
+// maps take a util::Mutex, which is uncontended in the serial case. Serial
+// behaviour — values, rendering, generation checks — is unchanged.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -24,6 +28,8 @@
 #include <vector>
 
 #include "util/msgpath.h"
+#include "util/mutex.h"
+#include "util/thread_safety.h"
 
 namespace ss::obs {
 
@@ -33,23 +39,27 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  void add(double d) { value_ += d; }
-  double value() const { return value_; }
-  void reset() { value_ = 0; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 /// Fixed-bucket histogram. `bounds` are inclusive upper bucket bounds in
@@ -61,30 +71,34 @@ class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
-  void observe(double v);
+  void observe(double v) SS_EXCLUDES(mu_);
 
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double mean() const { return count_ == 0 ? 0 : sum_ / static_cast<double>(count_); }
-  double min() const { return count_ == 0 ? 0 : min_; }
-  double max() const { return count_ == 0 ? 0 : max_; }
+  std::uint64_t count() const SS_EXCLUDES(mu_);
+  double sum() const SS_EXCLUDES(mu_);
+  double mean() const SS_EXCLUDES(mu_);
+  double min() const SS_EXCLUDES(mu_);
+  double max() const SS_EXCLUDES(mu_);
 
   /// Percentile estimate for p in [0, 100]. p=0 returns min, p=100 max.
-  double percentile(double p) const;
+  double percentile(double p) const SS_EXCLUDES(mu_);
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the overflow bucket.
-  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  /// Returned by value: a coherent snapshot under the histogram lock.
+  std::vector<std::uint64_t> buckets() const SS_EXCLUDES(mu_);
 
-  void reset();
+  void reset() SS_EXCLUDES(mu_);
 
  private:
-  std::vector<double> bounds_;
-  std::vector<std::uint64_t> buckets_;
-  std::uint64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
+  double percentile_locked(double p) const SS_REQUIRES(mu_);
+
+  const std::vector<double> bounds_;  // immutable after construction
+  mutable util::Mutex mu_;
+  std::vector<std::uint64_t> buckets_ SS_GUARDED_BY(mu_);
+  std::uint64_t count_ SS_GUARDED_BY(mu_) = 0;
+  double sum_ SS_GUARDED_BY(mu_) = 0;
+  double min_ SS_GUARDED_BY(mu_) = 0;
+  double max_ SS_GUARDED_BY(mu_) = 0;
 };
 
 /// Default bucket bounds for latency histograms, in microseconds: roughly
@@ -100,22 +114,25 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Finds or creates the metric for (name, labels). References stay valid
-  /// for the registry's lifetime (node-stable storage).
-  Counter& counter(const std::string& name, const Labels& labels = {});
-  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// for the registry's lifetime (node-stable storage), so cached handles
+  /// can be used lock-free from any thread.
+  Counter& counter(const std::string& name, const Labels& labels = {}) SS_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name, const Labels& labels = {}) SS_EXCLUDES(mu_);
   Histogram& histogram(const std::string& name, const std::vector<double>& bounds,
-                       const Labels& labels = {});
+                       const Labels& labels = {}) SS_EXCLUDES(mu_);
 
   /// Value of a counter, 0 if it was never touched.
-  std::uint64_t counter_value(const std::string& name, const Labels& labels = {}) const;
+  std::uint64_t counter_value(const std::string& name, const Labels& labels = {}) const
+      SS_EXCLUDES(mu_);
   /// Sums a counter across every label set it was recorded under.
-  std::uint64_t counter_sum(const std::string& name) const;
+  std::uint64_t counter_sum(const std::string& name) const SS_EXCLUDES(mu_);
   /// nullptr if the histogram was never created.
-  const Histogram* find_histogram(const std::string& name, const Labels& labels = {}) const;
+  const Histogram* find_histogram(const std::string& name, const Labels& labels = {}) const
+      SS_EXCLUDES(mu_);
 
   /// Zeroes every metric and the registry's data-path block. Metric handles
   /// stay valid (reset does not deallocate).
-  void reset();
+  void reset() SS_EXCLUDES(mu_);
 
   /// The data-path counter block (util/msgpath.h) this registry owns.
   /// RegistryScope routes the process-wide msgpath() accessor here.
@@ -124,7 +141,7 @@ class MetricsRegistry {
 
   /// One "name{k=v,...} value" line per metric, sorted by key; histograms
   /// render count/sum/min/p50/p99/max. For humans and golden tests.
-  std::string render_text() const;
+  std::string render_text() const SS_EXCLUDES(mu_);
 
   /// Unique id of this registry instance; never reused within a process.
   /// Cached metric handles compare this against current_generation() to
@@ -141,13 +158,14 @@ class MetricsRegistry {
  private:
   static std::string key_of(const std::string& name, const Labels& labels);
 
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mu_;  // guards the lookup maps, not the metrics
+  std::map<std::string, std::unique_ptr<Counter>> counters_ SS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ SS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ SS_GUARDED_BY(mu_);
   util::MsgPathStats data_path_;
   std::uint64_t generation_;
 
-  static MetricsRegistry* current_;
+  static std::atomic<MetricsRegistry*> current_;
 };
 
 /// RAII: installs a registry as current and routes the process-wide

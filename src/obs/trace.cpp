@@ -7,7 +7,7 @@
 
 namespace ss::obs {
 
-TraceSink* TraceSink::current_ = nullptr;
+std::atomic<TraceSink*> TraceSink::current_{nullptr};
 
 namespace {
 constexpr std::size_t kMaxPendingSends = 1u << 16;
@@ -51,11 +51,27 @@ void append_event_json(std::string& out, const TraceEvent& ev) {
 }  // namespace
 
 void TraceSink::push(TraceEvent ev) {
+  util::MutexLock lock(mu_);
   if (events_.size() >= max_events_) {
     ++dropped_;
     return;
   }
   events_.push_back(std::move(ev));
+}
+
+std::size_t TraceSink::size() const {
+  util::MutexLock lock(mu_);
+  return events_.size();
+}
+
+std::uint64_t TraceSink::dropped() const {
+  util::MutexLock lock(mu_);
+  return dropped_;
+}
+
+void TraceSink::set_max_events(std::size_t cap) {
+  util::MutexLock lock(mu_);
+  max_events_ = cap;
 }
 
 void TraceSink::begin(const char* cat, const char* name, std::uint32_t pid,
@@ -74,7 +90,9 @@ void TraceSink::instant(const char* cat, const char* name, std::uint32_t pid,
 }
 
 void TraceSink::note_send(std::uint64_t key) {
-  const auto [it, inserted] = send_ts_.insert_or_assign(key, now());
+  const std::uint64_t t = now();  // outside the lock: the clock may lock too
+  util::MutexLock lock(mu_);
+  const auto [it, inserted] = send_ts_.insert_or_assign(key, t);
   (void)it;
   if (inserted) {
     send_order_.push_back(key);
@@ -86,13 +104,15 @@ void TraceSink::note_send(std::uint64_t key) {
 }
 
 std::optional<std::uint64_t> TraceSink::latency_since_send(std::uint64_t key) const {
+  const std::uint64_t t = now();
+  util::MutexLock lock(mu_);
   const auto it = send_ts_.find(key);
   if (it == send_ts_.end()) return std::nullopt;
-  const std::uint64_t t = now();
   return t >= it->second ? t - it->second : 0;
 }
 
 void TraceSink::clear() {
+  util::MutexLock lock(mu_);
   events_.clear();
   dropped_ = 0;
   send_ts_.clear();
@@ -100,6 +120,7 @@ void TraceSink::clear() {
 }
 
 std::string TraceSink::chrome_json() const {
+  util::MutexLock lock(mu_);
   std::string out = "{\"traceEvents\":[";
   // Metadata: name each daemon's process track.
   std::set<std::uint32_t> pids;
@@ -125,6 +146,7 @@ std::string TraceSink::chrome_json() const {
 }
 
 std::string TraceSink::jsonl() const {
+  util::MutexLock lock(mu_);
   std::string out;
   for (const TraceEvent& ev : events_) {
     append_event_json(out, ev);

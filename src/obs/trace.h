@@ -20,8 +20,13 @@
 // a plain pointer, mirroring gcs::ClientTrace. The sink does not depend on
 // the scheduler; whoever installs it provides the clock via set_clock, so
 // layers without a scheduler reference can still stamp events.
+// Thread-safety: the realtime backend records from several event-loop lanes
+// and the crypto worker pool concurrently, so the sink guards its buffers
+// with a util::Mutex and the current-sink pointer is atomic. The serial sim
+// path is unchanged (an uncontended lock per event).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -31,6 +36,9 @@
 #include <string_view>
 #include <type_traits>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_safety.h"
 
 namespace ss::obs {
 
@@ -111,43 +119,47 @@ class TraceSink {
   /// time; each delivering daemon asks for the elapsed virtual time. The
   /// table is bounded (oldest keys pruned), so lookups can miss under
   /// sustained load — callers must tolerate nullopt.
-  void note_send(std::uint64_t key);
-  std::optional<std::uint64_t> latency_since_send(std::uint64_t key) const;
+  void note_send(std::uint64_t key) SS_EXCLUDES(mu_);
+  std::optional<std::uint64_t> latency_since_send(std::uint64_t key) const
+      SS_EXCLUDES(mu_);
 
-  const std::vector<TraceEvent>& events() const { return events_; }
-  std::size_t size() const { return events_.size(); }
+  /// The recorded events. Only safe while no other thread is recording —
+  /// exports and assertions read this after the environment quiesces.
+  const std::vector<TraceEvent>& events() const SS_NO_THREAD_SAFETY_ANALYSIS {
+    return events_;
+  }
+  std::size_t size() const SS_EXCLUDES(mu_);
   /// Events discarded after the buffer cap was reached.
-  std::uint64_t dropped() const { return dropped_; }
-  void set_max_events(std::size_t cap) { max_events_ = cap; }
-  void clear();
+  std::uint64_t dropped() const SS_EXCLUDES(mu_);
+  void set_max_events(std::size_t cap) SS_EXCLUDES(mu_);
+  void clear() SS_EXCLUDES(mu_);
 
   /// Chrome trace-event document: {"traceEvents":[...]} with one metadata
   /// record naming each daemon's process track.
-  std::string chrome_json() const;
+  std::string chrome_json() const SS_EXCLUDES(mu_);
   /// One flat JSON object per line (no surrounding document); for scripts.
-  std::string jsonl() const;
+  std::string jsonl() const SS_EXCLUDES(mu_);
   bool write_chrome(const std::string& path) const;
   bool write_jsonl(const std::string& path) const;
 
   /// Process-wide current sink (nullptr = tracing off).
-  static TraceSink* current() { return current_; }
+  static TraceSink* current() { return current_.load(std::memory_order_acquire); }
   static TraceSink* set_current(TraceSink* s) {
-    TraceSink* prev = current_;
-    current_ = s;
-    return prev;
+    return current_.exchange(s, std::memory_order_acq_rel);
   }
 
  private:
-  void push(TraceEvent ev);
+  void push(TraceEvent ev) SS_EXCLUDES(mu_);
 
   ClockFn clock_;
-  std::vector<TraceEvent> events_;
-  std::size_t max_events_ = 1u << 20;
-  std::uint64_t dropped_ = 0;
-  std::map<std::uint64_t, std::uint64_t> send_ts_;
-  std::deque<std::uint64_t> send_order_;
+  mutable util::Mutex mu_;
+  std::vector<TraceEvent> events_ SS_GUARDED_BY(mu_);
+  std::size_t max_events_ SS_GUARDED_BY(mu_) = 1u << 20;
+  std::uint64_t dropped_ SS_GUARDED_BY(mu_) = 0;
+  std::map<std::uint64_t, std::uint64_t> send_ts_ SS_GUARDED_BY(mu_);
+  std::deque<std::uint64_t> send_order_ SS_GUARDED_BY(mu_);
 
-  static TraceSink* current_;
+  static std::atomic<TraceSink*> current_;
 };
 
 /// The current sink, nullptr when tracing is off. Trace points are gated on

@@ -10,8 +10,8 @@
 // computation ran — the same code path is correct under both.
 #pragma once
 
-#include "obs/clock.h"
 #include "runtime/clock.h"
+#include "util/cpu_time.h"
 
 namespace ss::runtime {
 
@@ -35,8 +35,8 @@ class ComputeTimer {
   }
 
   /// Thread CPU seconds; the single process-wide definition lives in
-  /// obs/clock.h so benchmarks and instrumentation share it.
-  static double cpu_now() { return obs::cpu_now_seconds(); }
+  /// util/cpu_time.h so benchmarks and instrumentation share it.
+  static double cpu_now() { return util::cpu_now_seconds(); }
 
  private:
   Clock& clock_;

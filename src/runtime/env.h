@@ -11,16 +11,20 @@
 #pragma once
 
 #include "runtime/clock.h"
+#include "runtime/compute.h"
 #include "runtime/transport.h"
 
 namespace ss::runtime {
 
-/// Cheap value type: copy freely. The referenced Clock/Transport are owned
-/// by the backend (SimEnv / RealtimeEnv) and must outlive every actor.
+/// Cheap value type: copy freely. The referenced Clock/Transport/Compute
+/// are owned by the backend (SimEnv / RealtimeEnv) and must outlive every
+/// actor. `compute` may be null (hand-built test Envs): consumers treat a
+/// missing seam as "run compute inline", which is the sim semantics.
 struct Env {
   Clock* clock = nullptr;
   Transport* net = nullptr;
   NodeId self = kInvalidNode;
+  Compute* compute = nullptr;
 };
 
 }  // namespace ss::runtime

@@ -7,10 +7,60 @@ namespace ss::runtime {
 
 namespace {
 std::chrono::microseconds us(Time t) { return std::chrono::microseconds(t); }
+
+// Which env/lane the calling thread belongs to. Set once at lane startup;
+// lets at()/post() route to the calling actor's own lane and run_on_lane
+// detect the run-inline case without taking the env lock.
+thread_local const RealtimeEnv* tl_env = nullptr;
+thread_local std::size_t tl_lane = 0;
 }  // namespace
 
+// --- NodeAdapter -------------------------------------------------------------
+
+// Pins a node's timers and compute completions to its home lane. The
+// adapter holds no state of its own beyond the routing pair, so it is
+// safely shared by every thread that holds the node's Env.
+class RealtimeEnv::NodeAdapter : public Clock, public Compute {
+ public:
+  NodeAdapter(RealtimeEnv* env, NodeId node)
+      : env_(env), lane_(env->lane_of(node)) {}
+
+  Time now() const override { return env_->now(); }
+  TimerId at(Time t, TimerFn fn) override {
+    const Time floor = env_->now();
+    if (t < floor) t = floor;
+    return env_->schedule_on_lane(lane_, t, std::move(fn));
+  }
+  void cancel(TimerId id) override { env_->cancel(id); }
+  /// Wall clock already advanced while the computation ran.
+  void charge_time(Time) override {}
+
+  void offload(std::function<void()> work, std::function<void()> done) override {
+    env_->offload_to_lane(lane_, std::move(work), std::move(done));
+  }
+  std::size_t workers() const override {
+    return env_->pool_ ? env_->pool_->threads() : 0;
+  }
+
+ private:
+  RealtimeEnv* env_;
+  std::size_t lane_;
+};
+
+// --- RealtimeEnv -------------------------------------------------------------
+
 RealtimeEnv::RealtimeEnv(Options opts)
-    : opts_(opts), epoch_(std::chrono::steady_clock::now()) {}
+    : opts_(opts),
+      lanes_(opts.lanes == 0 ? 1 : opts.lanes),
+      epoch_(std::chrono::steady_clock::now()) {
+  {
+    util::MutexLock lk(mu_);
+    timers_.resize(lanes_);
+  }
+  if (opts_.worker_threads > 0) {
+    pool_ = std::make_unique<WorkerPool>(opts_.worker_threads);
+  }
+}
 
 RealtimeEnv::~RealtimeEnv() { stop(); }
 
@@ -20,18 +70,26 @@ Time RealtimeEnv::now() const {
       std::chrono::duration_cast<std::chrono::microseconds>(d).count());
 }
 
-TimerId RealtimeEnv::schedule_locked(Time t, TimerFn fn) {
+std::size_t RealtimeEnv::calling_lane() const {
+  return tl_env == this ? tl_lane : 0;
+}
+
+TimerId RealtimeEnv::schedule_locked(std::size_t lane, Time t, TimerFn fn) {
   const TimerId id = next_id_++;
-  timers_.emplace(std::make_pair(t, id), std::move(fn));
+  timers_[lane].emplace(std::make_pair(t, id), std::move(fn));
   cv_.notify_all();
   return id;
+}
+
+TimerId RealtimeEnv::schedule_on_lane(std::size_t lane, Time t, TimerFn fn) {
+  util::MutexLock lk(mu_);
+  return schedule_locked(lane, t, std::move(fn));
 }
 
 TimerId RealtimeEnv::at(Time t, TimerFn fn) {
   const Time floor = now();
   if (t < floor) t = floor;
-  util::MutexLock lk(mu_);
-  return schedule_locked(t, std::move(fn));
+  return schedule_on_lane(calling_lane(), t, std::move(fn));
 }
 
 void RealtimeEnv::cancel(TimerId id) {
@@ -39,10 +97,12 @@ void RealtimeEnv::cancel(TimerId id) {
   // Keyed by (deadline, id): a cancel must scan, like sim::Scheduler. A
   // currently-firing timer was already popped, so cancelling it (or an
   // already-fired id) finds nothing — a no-op, per the Clock contract.
-  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
-    if (it->first.second == id) {
-      timers_.erase(it);
-      return;
+  for (TimerMap& lane : timers_) {
+    for (auto it = lane.begin(); it != lane.end(); ++it) {
+      if (it->first.second == id) {
+        lane.erase(it);
+        return;
+      }
     }
   }
 }
@@ -52,6 +112,18 @@ NodeId RealtimeEnv::add_node() {
   sinks_.push_back(nullptr);
   up_.push_back(true);
   return static_cast<NodeId>(sinks_.size() - 1);
+}
+
+Env RealtimeEnv::env(NodeId self) {
+  util::MutexLock lk(mu_);
+  // Ids need not be allocated yet (harnesses mint Envs before binding);
+  // grow the adapter table to cover self.
+  while (adapters_.size() <= self) {
+    adapters_.push_back(std::make_unique<NodeAdapter>(
+        this, static_cast<NodeId>(adapters_.size())));
+  }
+  NodeAdapter* a = adapters_[self].get();
+  return Env{a, this, self, a};
 }
 
 void RealtimeEnv::bind(NodeId id, PacketSink* sink) {
@@ -77,8 +149,11 @@ void RealtimeEnv::send(NodeId from, NodeId to, util::Frame payload) {
     ++stats_.packets_dropped_down;
     return;
   }
-  // Delivery is a loop timer: the frame's shared body rides along uncopied.
-  schedule_locked(deliver_at, [this, from, to, payload = std::move(payload)] {
+  // Delivery is a timer on the destination's home lane, so the sink runs
+  // where all of the destination's protocol state lives; the frame's
+  // shared body rides along uncopied.
+  schedule_locked(lane_of(to), deliver_at,
+                  [this, from, to, payload = std::move(payload)] {
     PacketSink* sink = nullptr;
     {
       util::MutexLock lk2(mu_);
@@ -98,13 +173,33 @@ void RealtimeEnv::send(NodeId from, NodeId to, util::Frame payload) {
   });
 }
 
+void RealtimeEnv::offload_to_lane(std::size_t lane, std::function<void()> work,
+                                  std::function<void()> done) {
+  if (!pool_) {
+    // No pool configured: degrade to the sim semantics — execute at the
+    // call site, completion immediately after.
+    work();
+    done();
+    return;
+  }
+  pool_->submit([this, lane, work = std::move(work), done = std::move(done)]() mutable {
+    work();
+    // The continuation becomes a due timer on the owning lane. If the env
+    // stopped meanwhile it is dropped with the other pending timers.
+    schedule_on_lane(lane, now(), std::move(done));
+  });
+}
+
 void RealtimeEnv::start() {
   util::MutexLock lk(mu_);
   if (started_) return;
   started_ = true;
   stopping_ = false;
-  thread_ = std::thread([this] { loop(); });
-  loop_tid_ = thread_.get_id();
+  threads_.clear();
+  threads_.reserve(lanes_);
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    threads_.emplace_back([this, lane] { loop(lane); });
+  }
 }
 
 void RealtimeEnv::stop() {
@@ -114,7 +209,8 @@ void RealtimeEnv::stop() {
     stopping_ = true;
     cv_.notify_all();
   }
-  thread_.join();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
   util::MutexLock lk(mu_);
   started_ = false;
 }
@@ -124,53 +220,61 @@ bool RealtimeEnv::running() const {
   return started_ && !stopping_;
 }
 
-void RealtimeEnv::loop() {
+void RealtimeEnv::loop(std::size_t lane) {
+  tl_env = this;
+  tl_lane = lane;
   util::MutexLock lk(mu_);
   while (!stopping_) {
-    if (timers_.empty()) {
+    TimerMap& mine = timers_[lane];
+    if (mine.empty()) {
       cv_.wait(mu_);
       continue;
     }
-    const auto due = timers_.begin()->first.first;
+    const auto due = mine.begin()->first.first;
     if (due > now()) {
-      // Wake early on new-timer/stop notifications; spurious wakes re-check.
+      // Wake early on new-timer/stop notifications; spurious wakes (and
+      // wakes meant for other lanes) re-check.
       cv_.wait_until(mu_, epoch_ + us(due));
       continue;
     }
-    TimerFn fn = std::move(timers_.begin()->second);
-    timers_.erase(timers_.begin());
+    TimerFn fn = std::move(mine.begin()->second);
+    mine.erase(mine.begin());
     ++stats_.timers_fired;
     lk.unlock();
     fn();  // protocol code: may call at()/cancel()/send(), which re-lock
     lk.lock();
   }
+  tl_env = nullptr;
 }
 
 void RealtimeEnv::post(TimerFn fn) {
-  util::MutexLock lk(mu_);
-  schedule_locked(now(), std::move(fn));
+  schedule_on_lane(calling_lane(), now(), std::move(fn));
 }
 
-void RealtimeEnv::run_on_loop(const std::function<void()>& fn) {
+void RealtimeEnv::run_on_lane(std::size_t lane, const std::function<void()>& fn) {
+  lane %= lanes_;
   bool inline_run = false;
   {
     util::MutexLock lk(mu_);
-    // Before start() (single-threaded setup) or from the loop thread itself
-    // (nested use), running inline is both safe and required — posting
-    // would deadlock.
-    inline_run = !started_ || stopping_ || std::this_thread::get_id() == loop_tid_;
+    // Before start() (single-threaded setup), while stopping, or already
+    // on the target lane: running inline is both safe and required —
+    // posting would deadlock. From a *different* lane posting is fine (the
+    // lanes drain independently), but protocol code should never need it.
+    inline_run = !started_ || stopping_ || (tl_env == this && tl_lane == lane);
   }
   if (inline_run) {
     fn();
     return;
   }
   std::promise<void> done;
-  post([&] {
+  schedule_on_lane(lane, now(), [&] {
     fn();
     done.set_value();
   });
   done.get_future().wait();
 }
+
+void RealtimeEnv::run_on_loop(const std::function<void()>& fn) { run_on_lane(0, fn); }
 
 bool RealtimeEnv::wait_until(const std::function<bool()>& pred, Time timeout) {
   const Time deadline = now() + timeout;

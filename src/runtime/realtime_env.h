@@ -1,34 +1,47 @@
-// Real-time backend for runtime::Env: a threaded event loop with a
-// monotonic wall clock and an in-process queue-based datagram transport.
+// Real-time backend for runtime::Env: a lane-sharded threaded event loop
+// with a monotonic wall clock, an in-process queue-based datagram
+// transport, and an optional crypto worker pool behind runtime::Compute.
 //
-// One loop thread owns all protocol execution — timers and packet
-// deliveries fire there, exactly as the single-threaded simulator fires
-// them, so protocol code needs no locking of its own. External threads
-// (a demo's main thread, tests) interact through run_on_loop()/post() and
-// never touch protocol state directly.
+// Lanes. The env runs N event-loop lanes (Options::lanes, default 1); each
+// node is statically hashed to a lane (node % lanes), and *everything* for
+// that node — timers it sets, packets delivered to it, compute
+// continuations — fires on its home lane. One lane therefore owns all of a
+// node's protocol execution, exactly as the single-threaded simulator
+// owns everything, so protocol code still needs no locking of its own;
+// nodes on different lanes run genuinely in parallel. env(self) mints a
+// per-node adapter whose Clock routes at() to the home lane regardless of
+// which thread calls it.
+//
+// Compute. With Options::worker_threads > 0 the env owns a WorkerPool;
+// each node adapter's Compute::offload submits `work` to the pool and
+// posts `done` back to the node's home lane as a timer. With no pool the
+// adapter degrades to inline execution — same code path as SimEnv.
 //
 // Clock: microseconds of std::chrono::steady_clock since env creation.
 // charge_time() is a no-op — real computation already advanced the wall
 // clock while it ran.
 //
-// Transport: datagrams are enqueued as loop timers at now()+delivery_delay
-// and handed to the destination's PacketSink on the loop thread. Frames
-// keep their scatter structure (shared body blocks are never copied).
-// crash(id) models fail-stop exactly like sim::SimNetwork: traffic to and
-// from a crashed node is dropped until recover(id).
+// Transport: datagrams are enqueued as timers on the destination's lane at
+// now()+delivery_delay and handed to the destination's PacketSink there.
+// Frames keep their scatter structure (shared body blocks are never
+// copied). crash(id) models fail-stop exactly like sim::SimNetwork:
+// traffic to and from a crashed node is dropped until recover(id).
 //
 // This is the gateway backend: replacing the in-process queue with a UDP
 // socket pair is a Transport-only change (see DESIGN.md §9).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "runtime/env.h"
+#include "runtime/worker_pool.h"
 #include "util/mutex.h"
 #include "util/thread_safety.h"
 
@@ -40,6 +53,10 @@ class RealtimeEnv : public Clock, public Transport {
     /// Artificial one-way packet delay (0 = deliver on the next loop turn).
     /// Lets demos approximate the paper's LAN latencies under wall clock.
     Time delivery_delay = 0;
+    /// Event-loop lanes; nodes are sharded node % lanes (clamped to >= 1).
+    std::size_t lanes = 1;
+    /// Crypto worker pool size; 0 = no pool, compute runs inline.
+    std::size_t worker_threads = 0;
   };
 
   RealtimeEnv() : RealtimeEnv(Options{}) {}
@@ -52,39 +69,50 @@ class RealtimeEnv : public Clock, public Transport {
   /// Allocates the next transport address.
   NodeId add_node() SS_EXCLUDES(mu_);
 
-  Env env(NodeId self) { return Env{this, this, self}; }
+  /// The Env for a node: Clock and Compute route to the node's home lane.
+  Env env(NodeId self) SS_EXCLUDES(mu_);
 
-  /// Starts the loop thread. Timers scheduled before start() are retained
-  /// and fire once the loop runs. stop() drains nothing: pending timers are
-  /// simply dropped. Both are idempotent.
+  std::size_t lanes() const { return lanes_; }
+  std::size_t lane_of(NodeId node) const { return node % lanes_; }
+  WorkerPool* pool() { return pool_.get(); }
+
+  /// Starts the lane threads. Timers scheduled before start() are retained
+  /// and fire once the loops run. stop() drains nothing: pending timers
+  /// are simply dropped. Both are idempotent.
   void start() SS_EXCLUDES(mu_);
   void stop() SS_EXCLUDES(mu_);
   bool running() const SS_EXCLUDES(mu_);
 
-  /// Enqueues fn on the loop thread (fire-and-forget).
+  /// Enqueues fn on the calling thread's lane (lane 0 from outside).
   void post(TimerFn fn) SS_EXCLUDES(mu_);
 
-  /// Runs fn on the loop thread and blocks until it returns. Safe to call
-  /// from the loop thread itself (runs inline). This is the only sanctioned
-  /// way for outside threads to touch protocol state.
+  /// Runs fn on an event-loop lane and blocks until it returns. Safe from
+  /// any thread: on the target lane it runs inline (posting would
+  /// deadlock); on another lane or outside it posts and waits. This is the
+  /// only sanctioned way for outside threads to touch protocol state, and
+  /// fn must only touch state homed on that lane.
+  void run_on_lane(std::size_t lane, const std::function<void()>& fn) SS_EXCLUDES(mu_);
+  /// Single-lane-era surface: run_on_lane(0, fn).
   void run_on_loop(const std::function<void()>& fn) SS_EXCLUDES(mu_);
 
-  /// Polls pred on the loop thread every millisecond until it holds or
-  /// `timeout` of wall time passes. Returns pred's final value.
+  /// Polls pred on lane 0 every millisecond until it holds or `timeout`
+  /// of wall time passes. Returns pred's final value. With lanes > 1 the
+  /// predicate must only touch lane-0 state (or use run_on_lane itself
+  /// from the caller instead).
   bool wait_until(const std::function<bool()>& pred, Time timeout) SS_EXCLUDES(mu_);
 
   /// Blocks the calling thread for d of wall time (convenience mirror of
-  /// SimEnv::sleep_for; the loop keeps running meanwhile).
+  /// SimEnv::sleep_for; the loops keep running meanwhile).
   void sleep_for(Time d);
 
-  // --- Clock ---------------------------------------------------------------
+  // --- Clock (routes to the calling thread's lane, lane 0 from outside) ----
   Time now() const override;
   TimerId at(Time t, TimerFn fn) override SS_EXCLUDES(mu_);
   void cancel(TimerId id) override SS_EXCLUDES(mu_);
   /// Wall clock already advanced while the computation ran.
   void charge_time(Time) override {}
 
-  // --- Transport -----------------------------------------------------------
+  // --- Transport (delivery fires on the destination's lane) ----------------
   void send(NodeId from, NodeId to, util::Frame payload) override SS_EXCLUDES(mu_);
   void bind(NodeId id, PacketSink* sink) override SS_EXCLUDES(mu_);
   void crash(NodeId id) override SS_EXCLUDES(mu_);
@@ -99,10 +127,24 @@ class RealtimeEnv : public Clock, public Transport {
   Stats stats() const SS_EXCLUDES(mu_);
 
  private:
-  void loop() SS_EXCLUDES(mu_);
-  TimerId schedule_locked(Time t, TimerFn fn) SS_REQUIRES(mu_);
+  // Per-node Clock+Compute adapter: pins a node's timers and compute
+  // continuations to its home lane no matter which thread schedules them.
+  class NodeAdapter;
+
+  using TimerMap = std::map<std::pair<Time, TimerId>, TimerFn>;
+
+  void loop(std::size_t lane) SS_EXCLUDES(mu_);
+  TimerId schedule_on_lane(std::size_t lane, Time t, TimerFn fn) SS_EXCLUDES(mu_);
+  TimerId schedule_locked(std::size_t lane, Time t, TimerFn fn) SS_REQUIRES(mu_);
+  /// Lane of the calling thread, or lane 0 for non-lane threads.
+  std::size_t calling_lane() const;
+  /// Compute plumbing for NodeAdapter: pool submit + done posted to lane,
+  /// or inline when no pool is configured.
+  void offload_to_lane(std::size_t lane, std::function<void()> work,
+                       std::function<void()> done) SS_EXCLUDES(mu_);
 
   const Options opts_;
+  const std::size_t lanes_;  // opts_.lanes clamped to >= 1
   const std::chrono::steady_clock::time_point epoch_;
 
   // mu_ guards every piece of loop/timer/transport state below. The
@@ -110,19 +152,25 @@ class RealtimeEnv : public Clock, public Transport {
   // touching lane-owned state without the capability is a build error.
   mutable util::Mutex mu_;
   util::CondVar cv_;
-  // Keyed by (deadline, id): ids are monotonic, so equal-deadline timers
-  // fire in scheduling order — the same FIFO guarantee sim::Scheduler gives.
-  std::map<std::pair<Time, TimerId>, TimerFn> timers_ SS_GUARDED_BY(mu_);
+  // One timer map per lane, keyed by (deadline, id): ids are monotonic
+  // across lanes, so equal-deadline timers on a lane fire in scheduling
+  // order — the same FIFO guarantee sim::Scheduler gives.
+  std::vector<TimerMap> timers_ SS_GUARDED_BY(mu_);
   TimerId next_id_ SS_GUARDED_BY(mu_) = 1;
   std::vector<PacketSink*> sinks_ SS_GUARDED_BY(mu_);
   std::vector<bool> up_ SS_GUARDED_BY(mu_);
   Stats stats_ SS_GUARDED_BY(mu_);
   bool started_ SS_GUARDED_BY(mu_) = false;
   bool stopping_ SS_GUARDED_BY(mu_) = false;
-  // Not guarded: thread_ is written once in start() and joined in stop()
-  // after the loop acknowledged stopping_; join must run unlocked.
-  std::thread thread_;
-  std::thread::id loop_tid_ SS_GUARDED_BY(mu_);
+  // Node adapters live in a deque for reference stability; created on
+  // demand under mu_, but each adapter itself is immutable after creation.
+  std::deque<std::unique_ptr<NodeAdapter>> adapters_ SS_GUARDED_BY(mu_);
+  // Not guarded: threads_ is written in start() and joined in stop() after
+  // the loops acknowledged stopping_; join must run unlocked.
+  std::vector<std::thread> threads_;
+  // Declared last: destroyed first, so pool workers (which post
+  // completions through mu_/timers_) are joined before that state dies.
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace ss::runtime

@@ -36,8 +36,10 @@ class SimEnv {
 
   /// The Env for a node. The id need not be allocated yet: harnesses that
   /// construct actors before registering them (the historical order) mint
-  /// the Env first and bind afterwards.
-  Env env(NodeId self) { return Env{&sched_, &net_, self}; }
+  /// the Env first and bind afterwards. Compute is the inline executor:
+  /// offloaded jobs run synchronously at the call site, so the simulation
+  /// stays single-threaded, deterministic and bit-identical.
+  Env env(NodeId self) { return Env{&sched_, &net_, self, &compute_}; }
 
   Clock& clock() { return sched_; }
   Transport& transport() { return net_; }
@@ -64,6 +66,7 @@ class SimEnv {
  private:
   sim::Scheduler sched_;
   sim::SimNetwork net_;
+  InlineCompute compute_;
 };
 
 }  // namespace ss::runtime

@@ -17,7 +17,9 @@ void CkdKaModule::reset_context() {
   ctx_ = std::make_unique<ckd::CkdContext>(*env_.dh, *env_.directory, env_.self, *env_.rnd);
 }
 
-KaActions CkdKaModule::maybe_distribute() {
+// Heavy half of key distribution; runs inside a deferred step (possibly
+// on a pool worker).
+KaActions CkdKaModule::distribute_now() {
   KaActions actions;
   if (!ctx_->pairwise_ready(view_.members)) return actions;
   const CkdKeyDistMsg dist = ctx_->distribute(view_.members);
@@ -28,6 +30,13 @@ KaActions CkdKaModule::maybe_distribute() {
   return actions;
 }
 
+KaActions CkdKaModule::maybe_distribute() {
+  // Readiness is a cheap map check; the distribution itself (sealing Ks
+  // under every pairwise key) is the deferred work.
+  if (!ctx_->pairwise_ready(view_.members)) return none();
+  return KaActions::deferred("ckd.distribute", [this] { return distribute_now(); });
+}
+
 KaActions CkdKaModule::on_view(const gcs::GroupView& view) {
   const MemberId previous_controller = last_controller_;
   view_ = view;
@@ -36,30 +45,35 @@ KaActions CkdKaModule::on_view(const gcs::GroupView& view) {
   last_controller_ = view.members.empty() ? MemberId{} : view.members.front();
 
   if (view.members.size() == 1 && view.members.front() == env_.self) {
-    reset_context();
-    // process-wide singleton: context constructor generated a key.
-    ctx_->distribute(view.members);  // refresh Ks for the new epoch
-    keyed_current_ = true;
-    KaActions a;
-    a.key_ready = true;
-    return a;
+    return KaActions::deferred("ckd.singleton", [this, members = view.members] {
+      reset_context();
+      // process-wide singleton: context constructor generated a key.
+      ctx_->distribute(members);  // refresh Ks for the new epoch
+      keyed_current_ = true;
+      KaActions a;
+      a.key_ready = true;
+      return a;
+    });
   }
 
   if (i_am_controller()) {
-    // Drop pairwise keys with members that departed.
+    // Drop pairwise keys with members that departed (cheap map surgery);
+    // the Round 1 exponentiations are the deferred work.
     for (const auto& m : view.left) ctx_->forget_pairwise(m);
     if (previous_controller != env_.self) {
       // Just became controller (predecessor departed): start from scratch.
       ctx_->reset_pairwise();
     }
-    KaActions actions;
-    auto round1s = ctx_->pairwise_begin(view.members);
-    for (auto& [target, r1] : round1s) {
-      actions.unicasts.push_back(
-          {target, static_cast<std::int16_t>(KaMsgType::kCkdRound1), r1.encode()});
-    }
-    actions.merge(maybe_distribute());
-    return actions;
+    return KaActions::deferred("ckd.pairwise_begin", [this, members = view.members] {
+      KaActions actions;
+      auto round1s = ctx_->pairwise_begin(members);
+      for (auto& [target, r1] : round1s) {
+        actions.unicasts.push_back(
+            {target, static_cast<std::int16_t>(KaMsgType::kCkdRound1), r1.encode()});
+      }
+      actions.merge(distribute_now());
+      return actions;
+    });
   }
 
   // Regular member: if the controller changed, our old blinding key is
@@ -78,26 +92,36 @@ KaActions CkdKaModule::on_message(const gcs::Message& msg) {
       case KaMsgType::kCkdRound1: {
         const CkdRound1Msg r1 = CkdRound1Msg::decode(msg.payload);
         if (r1.controller != view_.members.front()) break;  // stale controller
-        const CkdRound2Msg r2 = ctx_->pairwise_respond(r1);
-        actions.unicasts.push_back(
-            {r1.controller, static_cast<std::int16_t>(KaMsgType::kCkdRound2), r2.encode()});
-        break;
+        return KaActions::deferred("ckd.pairwise_respond", [this, r1] {
+          KaActions out;
+          const CkdRound2Msg r2 = ctx_->pairwise_respond(r1);
+          out.unicasts.push_back(
+              {r1.controller, static_cast<std::int16_t>(KaMsgType::kCkdRound2), r2.encode()});
+          return out;
+        });
       }
       case KaMsgType::kCkdRound2: {
         if (!i_am_controller()) break;
         const CkdRound2Msg r2 = CkdRound2Msg::decode(msg.payload);
         if (!view_.contains(r2.member)) break;
-        ctx_->pairwise_complete(r2);
-        actions.merge(maybe_distribute());
-        break;
+        return KaActions::deferred("ckd.pairwise_complete", [this, r2] {
+          KaActions out;
+          ctx_->pairwise_complete(r2);
+          out.merge(distribute_now());
+          return out;
+        });
       }
       case KaMsgType::kCkdKeyDist: {
         const CkdKeyDistMsg dist = CkdKeyDistMsg::decode(msg.payload);
         if (dist.controller == env_.self) break;  // own echo
-        ctx_->process_key_dist(dist, view_.members);
-        keyed_current_ = true;
-        actions.key_ready = true;
-        break;
+        return KaActions::deferred(
+            "ckd.process_key_dist", [this, dist, members = view_.members] {
+              KaActions out;
+              ctx_->process_key_dist(dist, members);
+              keyed_current_ = true;
+              out.key_ready = true;
+              return out;
+            });
       }
       case KaMsgType::kRefreshRequest:
         if (i_am_controller() && keyed_current_) return request_refresh();

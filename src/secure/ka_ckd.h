@@ -25,8 +25,10 @@ class CkdKaModule final : public KeyAgreementModule {
   bool i_am_controller() const {
     return have_view_ && !view_.members.empty() && view_.members.front() == env_.self;
   }
-  /// Controller: distribute if every member has a pairwise key.
+  /// Controller: defer a distribution if every member has a pairwise key.
   KaActions maybe_distribute();
+  /// The distribution itself (runs inside a deferred step).
+  KaActions distribute_now();
 
   KaModuleEnv env_;
   std::unique_ptr<ckd::CkdContext> ctx_;

@@ -55,6 +55,22 @@ inline const char* ka_phase_name(std::int16_t msg_type) {
 }
 
 /// What a module wants done after handling an event.
+///
+/// Handlers are split into a cheap protocol step and deferred compute: the
+/// handler itself only decodes, filters and decides roles, and packages the
+/// modular-exponentiation work as `pending_compute`. The host runs that
+/// step off the protocol thread (runtime::Compute) — or inline when no
+/// pool is configured, which reproduces the serial flow exactly — and then
+/// merges the step's returned actions. Contract for the step closure:
+///   - it may mutate the module (the host serializes per group: no other
+///     handler runs for this group until the step's actions are applied);
+///   - shared cross-group state it touches (KaModuleEnv::rnd, ::directory)
+///     is internally synchronized; the DH group is immutable;
+///   - it runs exactly once even if the result is later discarded (a view
+///     change raced it) — equivalent to serial delivery just before the
+///     view change, so module state stays consistent;
+///   - a thrown exception is caught by the host and treated as an empty
+///     result (the next membership event restarts agreement).
 struct KaActions {
   struct Unicast {
     gcs::MemberId to;
@@ -65,10 +81,25 @@ struct KaActions {
     std::int16_t msg_type;
     util::Bytes payload;
   };
+  struct Deferred {
+    /// Trace label for the compute span (e.g. "clq.process_broadcast").
+    std::string label;
+    /// The heavy step. May itself return actions with pending_compute
+    /// (the host chains them).
+    std::function<KaActions()> step;
+  };
   std::vector<Unicast> unicasts;
   std::vector<Multicast> multicasts;
   /// A new group key is available via session_key().
   bool key_ready = false;
+  std::optional<Deferred> pending_compute;
+
+  /// Actions consisting solely of a deferred heavy step.
+  static KaActions deferred(std::string label, std::function<KaActions()> step) {
+    KaActions a;
+    a.pending_compute = Deferred{std::move(label), std::move(step)};
+    return a;
+  }
 
   void merge(KaActions&& other);
 };
@@ -111,6 +142,14 @@ struct KaModuleEnv {
   const crypto::DhGroup* dh = nullptr;
   cliques::KeyDirectory* directory = nullptr;
   crypto::RandomSource* rnd = nullptr;
+  /// Optional ownership of the source behind `rnd`. A host that runs
+  /// deferred module steps on compute workers MUST set this to a source
+  /// used by nothing else: a step can still be executing while the host
+  /// (and any RNG it owns) is being destroyed on its event lane, so the
+  /// module — kept alive by the in-flight job — has to keep its entropy
+  /// source alive and private too. Inline harnesses may leave it null and
+  /// lend `rnd`.
+  std::shared_ptr<crypto::RandomSource> rnd_owner;
   /// Host clock (may be null in unit harnesses). Modules that timestamp or
   /// pace protocol rounds read it; the built-in modules run round-for-round
   /// off membership events and never block on it.

@@ -51,6 +51,7 @@ SecureGroupClient::SecureGroupClient(gcs::Daemon& daemon, cliques::KeyDirectory&
       directory_(directory),
       rnd_(seed, "secure-client"),
       clock_(daemon.clock()),
+      compute_(daemon.compute()),
       charge_crypto_time_(charge_crypto_time) {
   fm_.on_view([this](const gcs::GroupView& v) { handle_view(v); });
   fm_.on_message([this](const gcs::Message& m) { handle_message(m); });
@@ -64,13 +65,36 @@ SecureGroupClient::SecureGroupClient(gcs::Daemon& daemon, cliques::KeyDirectory&
   directory_.ensure(fm_.id(), rnd_);
 }
 
+SecureGroupClient::~SecureGroupClient() {
+  for (auto& [group, st] : groups_) {
+    if (st.refresh_timer_armed) {
+      clock_.cancel(st.refresh_timer);
+      st.refresh_timer_armed = false;
+    }
+  }
+  // After this, a completion timer from a still-running deferred step finds
+  // the token expired and returns without touching the freed client. The
+  // step itself only reaches module-owned state (the job's shared_ptr keeps
+  // the module, and KaModuleEnv::rnd_owner its private DRBG, alive).
+  alive_.reset();
+}
+
 void SecureGroupClient::join(const gcs::GroupName& group, SecureGroupConfig config) {
   GroupState st;
   st.config = config;
   KaModuleEnv env;
   env.dh = config.dh;
   env.directory = &directory_;
-  env.rnd = &rnd_;
+  // Fork a private DRBG for the module: its deferred steps run on compute
+  // workers while `rnd_` stays lane-owned (cipher IVs, signatures) — and at
+  // teardown a step may outlive this client entirely. The fork point is a
+  // deterministic position in the client stream and the group name
+  // domain-separates, so seeded runs stay replayable.
+  util::Bytes fork_seed = rnd_.generate(16);
+  fork_seed.insert(fork_seed.end(), group.begin(), group.end());
+  auto ka_rng = std::make_shared<crypto::HmacDrbg>(fork_seed);
+  env.rnd = ka_rng.get();
+  env.rnd_owner = std::move(ka_rng);
   env.clock = &clock_;
   env.self = fm_.id();
   st.ka = KaRegistry::instance().create(config.ka_module, env);
@@ -124,17 +148,21 @@ void SecureGroupClient::send(const gcs::GroupName& group, util::Bytes plaintext,
 void SecureGroupClient::refresh_key(const gcs::GroupName& group) {
   auto it = groups_.find(group);
   if (it == groups_.end()) return;
-  GroupState& st = it->second;
-  if (!st.in_rekey) {
-    st.in_rekey = true;
-    st.rekey_start = clock_.now();
-    st.cpu_acc = 0;
-    st.exp_acc = crypto::ExpTally{};
-    begin_rekey_span(group, st);
-  }
-  dispatch(group, st,
-           run_module(st, group, "ka.refresh_request",
-                      [&] { return st.ka->request_refresh(); }));
+  run_or_queue(it->second, [this, group] {
+    auto it2 = groups_.find(group);
+    if (it2 == groups_.end()) return;
+    GroupState& st = it2->second;
+    if (!st.in_rekey) {
+      st.in_rekey = true;
+      st.rekey_start = clock_.now();
+      st.cpu_acc = 0;
+      st.exp_acc = crypto::ExpTally{};
+      begin_rekey_span(group, st);
+    }
+    dispatch(group, st,
+             run_module(st, group, "ka.refresh_request",
+                        [&] { return st.ka->request_refresh(); }));
+  });
 }
 
 bool SecureGroupClient::has_key(const gcs::GroupName& group) const {
@@ -149,7 +177,11 @@ std::uint64_t SecureGroupClient::key_epoch(const gcs::GroupName& group) const {
 
 util::Bytes SecureGroupClient::key_material(const gcs::GroupName& group, std::size_t len) const {
   auto it = groups_.find(group);
-  if (it == groups_.end() || !it->second.key_ready) {
+  // A module with deferred compute in flight is being mutated off-lane:
+  // its key is "in transition" and not readable until the step completes
+  // (never observable with inline compute — the sim/serial path).
+  if (it == groups_.end() || !it->second.key_ready ||
+      it->second.inflight_generation != 0) {
     throw std::logic_error("SecureGroupClient: no key for " + group);
   }
   return it->second.ka->session_key(len);
@@ -235,6 +267,10 @@ void SecureGroupClient::handle_view(const gcs::GroupView& view) {
 
   // A view change (re)starts the agreement — this is the cascading-events
   // rule: whatever was in flight is abandoned for the newest membership.
+  // Bumping the generation supersedes any deferred step on the pool (its
+  // completion will be dropped) and queued invocations are stale too.
+  st.ka_generation = next_generation_++;
+  st.pending_invocations.clear();
   st.in_rekey = true;
   st.rekey_start = clock_.now();
   st.cpu_acc = 0;
@@ -242,8 +278,15 @@ void SecureGroupClient::handle_view(const gcs::GroupView& view) {
   begin_rekey_span(view.group, st);
 
   if (on_view_) on_view_(view);
-  dispatch(view.group, st,
-           run_module(st, view.group, "ka.on_view", [&] { return st.ka->on_view(view); }));
+  // The module itself must not be entered while a superseded step still
+  // runs (it mutates the module): queue behind it if necessary.
+  run_or_queue(st, [this, view] {
+    auto it2 = groups_.find(view.group);
+    if (it2 == groups_.end()) return;
+    GroupState& s = it2->second;
+    dispatch(view.group, s,
+             run_module(s, view.group, "ka.on_view", [&] { return s.ka->on_view(view); }));
+  });
 }
 
 void SecureGroupClient::handle_message(const gcs::Message& msg) {
@@ -274,9 +317,17 @@ void SecureGroupClient::handle_message(const gcs::Message& msg) {
     } else if (msg.view_id != st.view.view_id) {
       return;
     }
-    dispatch(msg.group, st,
-             run_module(st, msg.group, ka_phase_name(msg.msg_type),
-                        [&] { return st.ka->on_message(inner); }));
+    // Valid for the current view; if it has to queue behind in-flight
+    // compute, a view change clears the queue (making it stale is the only
+    // way the view can move on).
+    run_or_queue(st, [this, group = msg.group, inner = std::move(inner)] {
+      auto it2 = groups_.find(group);
+      if (it2 == groups_.end()) return;
+      GroupState& s = it2->second;
+      dispatch(group, s,
+               run_module(s, group, ka_phase_name(inner.msg_type),
+                          [&] { return s.ka->on_message(inner); }));
+    });
   }
 }
 
@@ -293,6 +344,112 @@ void SecureGroupClient::dispatch(const gcs::GroupName& group, GroupState& st,
     }
   }
   if (actions.key_ready) apply_new_key(group, st);
+  if (actions.pending_compute) start_compute(group, st, std::move(*actions.pending_compute));
+}
+
+void SecureGroupClient::run_or_queue(GroupState& st, std::function<void()> fn) {
+  if (st.inflight_generation != 0) {
+    st.pending_invocations.push_back(std::move(fn));
+    return;
+  }
+  fn();
+}
+
+void SecureGroupClient::drain_queue(const gcs::GroupName& group) {
+  auto it = groups_.find(group);
+  while (it != groups_.end() && it->second.inflight_generation == 0 &&
+         !it->second.pending_invocations.empty()) {
+    std::function<void()> fn = std::move(it->second.pending_invocations.front());
+    it->second.pending_invocations.pop_front();
+    fn();
+    it = groups_.find(group);  // the invocation may have erased the group
+  }
+}
+
+void SecureGroupClient::start_compute(const gcs::GroupName& group, GroupState& st,
+                                      KaActions::Deferred d) {
+  st.inflight_generation = st.ka_generation;
+  const std::uint64_t gen = st.ka_generation;
+
+  // Shared between the work and done closures. Holding the module keeps it
+  // alive if the group is erased (self-leave) while the step runs.
+  struct Pending {
+    std::shared_ptr<KeyAgreementModule> ka;
+    std::string label;
+    std::function<KaActions()> step;
+    KaActions result;
+    crypto::ComputeStats stats;
+  };
+  auto p = std::make_shared<Pending>();
+  p->ka = st.ka;
+  p->label = std::move(d.label);
+  p->step = std::move(d.step);
+
+  const std::uint32_t daemon_id = fm_.id().daemon;
+  const std::uint64_t home_lane = rekey_lane(group);
+  auto work = [p, daemon_id, home_lane] {
+    // Attribute the span to the pool worker's trace lane so parallel steps
+    // render side by side; inline execution stays on the rekey lane.
+    const int w = runtime::current_compute_worker();
+    const std::uint64_t lane =
+        w >= 0 ? obs::trace_lane(9, static_cast<std::uint64_t>(w), "pool") : home_lane;
+    obs::SpanHandle span;
+    span.begin("secure.ka", "ka.compute", daemon_id, lane, {{"job", p->label}});
+    crypto::ComputeJob job(p->label, [&p] { p->result = p->step(); });
+    p->stats = job.execute();
+    if (span.open()) {
+      obs::TraceArgs args{{"cpu_us", p->stats.cpu_us},
+                          {"mod_exps", p->stats.exps.total()}};
+      if (w >= 0) args.emplace_back("pool_worker", static_cast<std::uint64_t>(w));
+      span.end(std::move(args));
+    }
+  };
+  auto done = [this, alive = std::weak_ptr<bool>(alive_), group, gen, p] {
+    if (alive.expired()) return;  // client destroyed while the step ran
+    finish_compute(group, gen, std::move(p->result), std::move(p->stats));
+  };
+  if (compute_ != nullptr) {
+    compute_->offload(std::move(work), std::move(done));
+  } else {
+    // No compute seam (hand-built Envs): serial semantics.
+    work();
+    done();
+  }
+}
+
+void SecureGroupClient::finish_compute(const gcs::GroupName& group, std::uint64_t gen,
+                                       KaActions result, crypto::ComputeStats stats) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;  // left the group while the step ran
+  GroupState& st = it->second;
+  if (st.inflight_generation == gen) st.inflight_generation = 0;
+  if (st.ka_generation != gen) {
+    // Superseded by a newer view. The module already absorbed the step —
+    // equivalent to serial delivery just before the view change — but its
+    // outputs belong to the old view and are dropped like any stale
+    // traffic. Queued invocations for the new view may now run.
+    drain_queue(group);
+    return;
+  }
+  // Book the off-lane work against this member exactly as run_module books
+  // the on-lane step: virtual-time charge, rekey accumulators, counters.
+  if (charge_crypto_time_ && stats.cpu_us != 0) {
+    clock_.charge_time(static_cast<runtime::Time>(stats.cpu_us));
+  }
+  st.cpu_acc += static_cast<double>(stats.cpu_us) * 1e-6;
+  st.exp_acc += stats.exps;
+  if (stats.exps.total() != 0) {
+    obs::MetricsRegistry::current()
+        .counter("secure.ka.mod_exps",
+                 {{"member", fm_.id().to_string()}, {"module", st.config.ka_module}})
+        .inc(stats.exps.total());
+  }
+  if (stats.failed) {
+    SS_LOG_WARN("secure", "deferred key agreement step failed in ", group, ": ", stats.error);
+    result = KaActions{};
+  }
+  dispatch(group, st, std::move(result));
+  drain_queue(group);
 }
 
 util::Bytes SecureGroupClient::make_aad(const gcs::GroupName& group, const util::Bytes& key_id) {

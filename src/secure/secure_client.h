@@ -28,12 +28,14 @@
 #include <string>
 
 #include "cliques/key_directory.h"
+#include "crypto/compute_job.h"
 #include "crypto/drbg.h"
 #include "crypto/exp_counter.h"
 #include "flush/flush.h"
 #include "obs/trace.h"
 #include "secure/cipher.h"
 #include "secure/ka_module.h"
+#include "runtime/compute.h"
 #include "runtime/compute_timer.h"
 
 namespace ss::secure {
@@ -110,6 +112,11 @@ class SecureGroupClient {
   /// exponentiation cost (used by the Figure 3 harness).
   SecureGroupClient(gcs::Daemon& daemon, cliques::KeyDirectory& directory, std::uint64_t seed,
                     bool charge_crypto_time = false);
+  /// Must run on the client's event lane (like every other entry point):
+  /// cancels armed timers and expires the death token so lane-posted
+  /// continuations from in-flight compute jobs no-op instead of touching
+  /// freed state.
+  ~SecureGroupClient();
 
   const gcs::MemberId& id() const { return fm_.id(); }
 
@@ -141,7 +148,9 @@ class SecureGroupClient {
  private:
   struct GroupState {
     SecureGroupConfig config;
-    std::unique_ptr<KeyAgreementModule> ka;
+    /// Shared: deferred-compute jobs capture the module so it outlives a
+    /// group erase that races an in-flight step.
+    std::shared_ptr<KeyAgreementModule> ka;
     std::unique_ptr<CipherSuite> cipher;
     util::Bytes key_id;  // current key identifier (8 bytes)
     /// Recent retired ciphers, newest first (absorbs refresh races).
@@ -171,6 +180,18 @@ class SecureGroupClient {
     runtime::TimerId refresh_timer = 0;
     bool refresh_timer_armed = false;
 
+    // Deferred-compute bookkeeping. Generations are client-wide monotonic,
+    // so a completion can never match a different incarnation of the group.
+    /// Bumped on every module (re)start — each view change supersedes any
+    /// compute in flight; its completion is dropped on mismatch.
+    std::uint64_t ka_generation = 0;
+    /// Generation whose deferred step is currently on the pool (0 = none).
+    /// While nonzero the module is off limits: invocations queue below.
+    std::uint64_t inflight_generation = 0;
+    /// Module invocations queued behind the in-flight step (per-group
+    /// serialization; cleared on view change — stale anyway).
+    std::deque<std::function<void()>> pending_invocations;
+
     /// Sender-authentication state (authenticate_senders mode): announced
     /// commitments g^{N_sender}, keyed by the key id they were sealed under.
     std::map<gcs::MemberId, std::pair<util::Bytes, crypto::Bignum>> commitments;
@@ -192,6 +213,17 @@ class SecureGroupClient {
     return obs::trace_lane(2, fm_.id().client, group);
   }
   void dispatch(const gcs::GroupName& group, GroupState& st, KaActions actions);
+  /// Ships a deferred step to the compute pool (inline without one) and
+  /// wires its completion back through finish_compute.
+  void start_compute(const gcs::GroupName& group, GroupState& st, KaActions::Deferred d);
+  /// Completion continuation (runs on this client's event lane): drops
+  /// stale results, books CPU/exponentiation stats, applies the actions,
+  /// then drains invocations that queued behind the step.
+  void finish_compute(const gcs::GroupName& group, std::uint64_t gen, KaActions result,
+                      crypto::ComputeStats stats);
+  /// Runs a module invocation now, or queues it while compute is in flight.
+  void run_or_queue(GroupState& st, std::function<void()> fn);
+  void drain_queue(const gcs::GroupName& group);
   void apply_new_key(const gcs::GroupName& group, GroupState& st);
   void flush_outbox(const gcs::GroupName& group, GroupState& st);
   void deliver_ciphertext(GroupState& st, const gcs::Message& msg, bool buffer_unknown);
@@ -202,7 +234,16 @@ class SecureGroupClient {
   cliques::KeyDirectory& directory_;
   crypto::HmacDrbg rnd_;
   runtime::Clock& clock_;
+  /// Crypto offload executor from the daemon's Env; null = run inline
+  /// (serial semantics — the simulator and unit harnesses take this path).
+  runtime::Compute* compute_;
   bool charge_crypto_time_;
+  std::uint64_t next_generation_ = 1;
+  /// Death token: compute completions are posted back to this client's lane
+  /// as timers and hold a weak_ptr to this. The destructor (which runs on
+  /// the same lane, so expiry is observed race-free) resets it, turning any
+  /// continuation that fires afterwards into a no-op.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::map<gcs::GroupName, GroupState> groups_;
   MessageFn on_message_;
   ViewFn on_view_;

@@ -8,9 +8,11 @@
 // can assert properties like "local delivery of one multicast performs zero
 // payload copies".
 //
-// The counters are process-wide plain integers. The simulation is
-// single-threaded by design (one scheduler drives everything), so no
-// atomics are needed; the tsan stage runs the same single-threaded suite.
+// The counters are process-wide relaxed atomics: the simulation is
+// single-threaded, but the realtime backend shards daemons across event-loop
+// lanes, so two lanes can bump the same block concurrently. Counts are pure
+// statistics — no ordering is required between fields, and relaxed
+// increments keep the serial totals byte-identical to the old plain ints.
 //
 // The accessor indirects through a current-block pointer so that a metrics
 // registry scope (obs::RegistryScope) can route the counters into its own
@@ -18,20 +20,35 @@
 // increment sites knowing anything about the registry.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace ss::util {
 
 struct MsgPathStats {
   // Payload buffer lifecycle (SharedBytes blocks).
-  std::uint64_t payload_allocs = 0;       // fresh refcounted blocks created
-  std::uint64_t payload_copies = 0;       // deep copies of payload bytes
-  std::uint64_t payload_bytes_copied = 0; // bytes deep-copied
+  std::atomic<std::uint64_t> payload_allocs{0};        // fresh refcounted blocks created
+  std::atomic<std::uint64_t> payload_copies{0};        // deep copies of payload bytes
+  std::atomic<std::uint64_t> payload_bytes_copied{0};  // bytes deep-copied
 
   // Link layer.
-  std::uint64_t frames_sent = 0;     // frames shipped onto the sim network
-  std::uint64_t frames_packed = 0;   // pack frames (>= 2 messages coalesced)
-  std::uint64_t messages_packed = 0; // messages that rode inside pack frames
+  std::atomic<std::uint64_t> frames_sent{0};      // frames shipped onto the sim network
+  std::atomic<std::uint64_t> frames_packed{0};    // pack frames (>= 2 messages coalesced)
+  std::atomic<std::uint64_t> messages_packed{0};  // messages that rode inside pack frames
+
+  // Copyable snapshot semantics so benchmarks can grab `before`/`after`
+  // values with plain assignment, exactly as with the old plain-int struct.
+  MsgPathStats() = default;
+  MsgPathStats(const MsgPathStats& o) { *this = o; }
+  MsgPathStats& operator=(const MsgPathStats& o) {
+    payload_allocs = o.payload_allocs.load(std::memory_order_relaxed);
+    payload_copies = o.payload_copies.load(std::memory_order_relaxed);
+    payload_bytes_copied = o.payload_bytes_copied.load(std::memory_order_relaxed);
+    frames_sent = o.frames_sent.load(std::memory_order_relaxed);
+    frames_packed = o.frames_packed.load(std::memory_order_relaxed);
+    messages_packed = o.messages_packed.load(std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 /// The current process-wide counter set (the built-in block unless a

@@ -183,6 +183,7 @@ TEST_F(FlushFixture, PartitionDeliversFlushedNetworkView) {
   c.net.partition({{0}, {1, 2}});
   ASSERT_TRUE(wait_view(a, "g", 1, 3 * sim::kSecond));
   ASSERT_TRUE(wait_view(b, "g", 2, 3 * sim::kSecond));
+  ASSERT_TRUE(wait_view(d, "g", 2, 3 * sim::kSecond));
   EXPECT_EQ(a.last_view("g")->reason, gcs::MembershipReason::kNetwork);
   EXPECT_EQ(b.last_view("g")->view_id, d.last_view("g")->view_id);
   // Both sides operational again.

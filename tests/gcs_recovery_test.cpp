@@ -2,7 +2,7 @@
 // stability under partition, causal chains, and the compute-timer clock.
 #include <gtest/gtest.h>
 
-#include "sim/compute_timer.h"
+#include "runtime/compute_timer.h"
 #include "tests/cluster_fixture.h"
 
 namespace ss::gcs {
@@ -17,7 +17,7 @@ TEST(ComputeTimer, ChargesCpuTimeToClock) {
   sim::Scheduler sched;
   const sim::Time before = sched.now();
   {
-    sim::ComputeTimer timer(sched, /*charge=*/true);
+    runtime::ComputeTimer timer(sched, /*charge=*/true);
     // Burn a little CPU.
     volatile std::uint64_t x = 1;
     for (int i = 0; i < 2000000; ++i) x = x * 6364136223846793005ULL + 1;
@@ -28,7 +28,7 @@ TEST(ComputeTimer, ChargesCpuTimeToClock) {
 TEST(ComputeTimer, NoChargeWhenDisabled) {
   sim::Scheduler sched;
   {
-    sim::ComputeTimer timer(sched, /*charge=*/false);
+    runtime::ComputeTimer timer(sched, /*charge=*/false);
     volatile std::uint64_t x = 1;
     for (int i = 0; i < 1000000; ++i) x = x * 2862933555777941757ULL + 3037000493ULL;
     EXPECT_GE(timer.elapsed_us(), 0u);

@@ -74,6 +74,13 @@ struct Bus {
   }
 
   int enqueue(KaActions actions, const MemberId& from) {
+    // The bus is a serial host: run deferred compute steps inline and fold
+    // their actions in, exactly as a host with no worker pool does.
+    while (actions.pending_compute) {
+      KaActions::Deferred d = std::move(*actions.pending_compute);
+      actions.pending_compute.reset();
+      actions.merge(d.step());
+    }
     int ready = actions.key_ready ? 1 : 0;
     for (auto& u : actions.unicasts) {
       gcs::Message m;

@@ -1,0 +1,185 @@
+// Unit tests for the capability-annotated mutex primitives (util/mutex.h):
+// util::Mutex, util::MutexLock and util::CondVar. These wrappers are the
+// tree's only sanctioned locking surface (sslint `raw-mutex`), so their
+// semantics — scoped release/re-take, timed waits, predicate wakes — get
+// direct coverage here rather than only incidentally through the pool.
+//
+// The annotation macros (SS_GUARDED_BY and friends) expand to Clang
+// attributes under Clang and to nothing under GCC; this file uses them on
+// its own fixtures, so merely compiling the suite on GCC exercises the
+// no-op expansion path, while a `tsafety`-preset build type-checks the
+// same code against the real analysis.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_safety.h"
+
+namespace ss::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(MutexTest, TryLockReflectsOwnership) {
+  Mutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  // A second contender must fail while we hold it. (try_lock on the owning
+  // thread is UB for std::mutex, so probe from another thread.)
+  bool contender_got_it = true;
+  std::thread probe([&] { contender_got_it = mu.try_lock(); });
+  probe.join();
+  EXPECT_FALSE(contender_got_it);
+  mu.unlock();
+  std::thread probe2([&] {
+    if (mu.try_lock()) {
+      contender_got_it = true;
+      mu.unlock();
+    }
+  });
+  probe2.join();
+  EXPECT_TRUE(contender_got_it);
+}
+
+// A guarded counter bumped from many threads lands on the exact total.
+// Under TSan this doubles as a data-race check on the Mutex wrapper.
+class GuardedCounter {
+ public:
+  void bump() SS_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    ++value_;
+  }
+  int value() SS_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    return value_;
+  }
+
+ private:
+  Mutex mu_;
+  int value_ SS_GUARDED_BY(mu_) = 0;
+};
+
+TEST(ParallelMutex, GuardedCounterExactUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr int kBumps = 2000;
+  GuardedCounter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kBumps; ++i) counter.bump();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kBumps);
+}
+
+TEST(MutexLockTest, UnlockReleasesAndLockRetakes) {
+  Mutex mu;
+  std::atomic<bool> other_acquired{false};
+  {
+    MutexLock lk(mu);
+    // Drop the lock around a "callback": another thread can now take it.
+    lk.unlock();
+    std::thread other([&] {
+      MutexLock inner(mu);
+      other_acquired = true;
+    });
+    other.join();
+    EXPECT_TRUE(other_acquired.load());
+    lk.lock();  // re-take; destructor must release exactly once
+  }
+  // The destructor released it: an uncontended try_lock succeeds.
+  std::thread probe([&] {
+    EXPECT_TRUE(mu.try_lock());
+    mu.unlock();
+  });
+  probe.join();
+}
+
+TEST(MutexLockTest, DestructorAfterUnlockDoesNotDoubleRelease) {
+  Mutex mu;
+  {
+    MutexLock lk(mu);
+    lk.unlock();
+    // Destructor runs with held_ == false; it must not unlock again.
+  }
+  MutexLock lk(mu);  // would deadlock/abort if the state were corrupted
+}
+
+TEST(CondVarTest, PredicateWake) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  bool observed = false;
+  std::thread waiter([&] {
+    MutexLock lk(mu);
+    while (!ready) cv.wait(mu);  // predicate loop absorbs spurious wakes
+    observed = true;
+  });
+  {
+    MutexLock lk(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_TRUE(observed);
+}
+
+TEST(CondVarTest, WaitUntilTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lk(mu);
+  const auto deadline = std::chrono::steady_clock::now() + 20ms;
+  std::cv_status st = std::cv_status::no_timeout;
+  // Spurious wakeups may return no_timeout early; loop to the deadline.
+  while (std::chrono::steady_clock::now() < deadline) {
+    st = cv.wait_until(mu, deadline);
+    if (st == std::cv_status::timeout) break;
+  }
+  EXPECT_EQ(st, std::cv_status::timeout);
+}
+
+TEST(CondVarTest, WaitForWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread notifier([&] {
+    {
+      MutexLock lk(mu);
+      ready = true;
+    }
+    cv.notify_all();
+  });
+  bool woke_in_time = false;
+  {
+    MutexLock lk(mu);
+    // Generous budget: the notifier only needs to schedule once.
+    const auto deadline = std::chrono::steady_clock::now() + 5s;
+    while (!ready) {
+      if (cv.wait_until(mu, deadline) == std::cv_status::timeout) break;
+    }
+    woke_in_time = ready;
+  }
+  notifier.join();
+  EXPECT_TRUE(woke_in_time);
+}
+
+TEST(CondVarTest, WaitForReturnsTimeoutStatus) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lk(mu);
+  // Nothing will ever notify: wait_for must come back with timeout.
+  const auto deadline = std::chrono::steady_clock::now() + 100ms;
+  std::cv_status st = std::cv_status::no_timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    st = cv.wait_for(mu, 10ms);
+    if (st == std::cv_status::timeout) break;
+  }
+  EXPECT_EQ(st, std::cv_status::timeout);
+}
+
+}  // namespace
+}  // namespace ss::util

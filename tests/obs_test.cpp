@@ -389,6 +389,12 @@ TEST(ObsGoldenTrace, ClusterChurnProducesWellFormedTrace) {
     // Crash a daemon: the survivors' links retransmit unacked frames until
     // the failure detector gives up on the peer, then re-form the view.
     c.daemons[2]->crash();
+    // Traffic into the crash window: the sender's daemon ships the frame to
+    // the dead peer too, where it stays unacked and retransmits (go-back-N)
+    // until the failure detector excludes the peer — guaranteeing the
+    // link.retransmit event this trace asserts regardless of what else
+    // happened to be in flight at crash time.
+    apps[0]->send("golden", util::Bytes{'p', 'i', 'n', 'g'});
     ASSERT_TRUE(c.converge(2, 30 * sim::kSecond));
     c.run_for(sim::kSecond);
 

@@ -1,0 +1,8 @@
+// Violation [worker-pool] at lines 5 and 7: protocol layers must not build
+// a WorkerPool of their own (that mention is immune: comments are stripped);
+// they offload through the runtime::Compute seam instead.
+namespace fix {
+struct WorkerPool;
+// A second hit on another line checks per-line reporting, not just per-file.
+void rekey_all(WorkerPool* pool);
+}  // namespace fix

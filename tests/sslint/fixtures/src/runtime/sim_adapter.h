@@ -4,4 +4,5 @@
 #include "sim/sched.h"
 namespace fix {
 int adapted_now();
+struct WorkerPool;  // clean: the worker-pool ban allow-lists src/runtime
 }

@@ -120,6 +120,8 @@ TEST(SslintFixtures, FlagsEveryPlantedViolationAtItsLine) {
       {"src/flush/bad_thread.cpp", 2, "raw-thread"},
       {"src/flush/bad_thread.cpp", 4, "raw-thread"},
       {"src/gcs/bad_layer.cpp", 3, "layer-dag"},
+      {"src/gcs/bad_pool.cpp", 5, "worker-pool"},
+      {"src/gcs/bad_pool.cpp", 7, "worker-pool"},
       {"src/gcs/bad_reach.cpp", 3, "layer-reach"},
       // The a -> b -> c -> a cycle: every edge that can reach sim is
       // flagged. A DFS memo caching partial sets across the back edge

@@ -8,15 +8,21 @@
 # Stages:
 #   plain  RelWithDebInfo, promoted warnings as errors (SS_WERROR=ON)
 #   asan   AddressSanitizer + UndefinedBehaviorSanitizer
-#   tsan   ThreadSanitizer (the simulation is single-threaded; this guards
-#          against accidental threading being introduced)
+#   tsan   ThreadSanitizer over the full suite (the realtime backend runs
+#          N event lanes plus a crypto worker pool; this is the primary
+#          data-race gate for that code)
 #   tidy   clang-tidy over src/ (skipped with a notice if clang-tidy is not
 #          installed locally; under CI (the CI env var is set) a missing
 #          clang-tidy is a hard failure so the stage can never silently
 #          degrade to a no-op)
-#   bench  data-path smoke test: builds and runs bench_msg_path once; the
-#          binary self-asserts the zero-copy contract (0 payload copies per
-#          local multicast, <= 1 across daemons) and exits nonzero on drift
+#   bench  data-path smoke test: builds and runs bench_msg_path once (the
+#          binary self-asserts the zero-copy contract: 0 payload copies per
+#          local multicast, <= 1 across daemons), then bench_parallel_rekey
+#          against the recorded BENCH_rekey.json baseline (exponentiation
+#          counts must match within 10% — a drift means the rekey protocol
+#          started doing more or less crypto work; latency has a loose 30x
+#          band so shared CI boxes don't flake); either binary exiting
+#          nonzero fails the stage
 #   obs    observability gate: runs the Obs* test suites (metrics math,
 #          trace span balance, golden cluster trace), then captures a live
 #          bench_fig3 trace and validates it with obs_report --check
@@ -24,7 +30,10 @@
 #          wall-clock budget; the demo self-asserts that the realtime
 #          backend reproduces the sim backend's membership and key-epoch
 #          transcript (the old "no sim headers in protocol code" grep now
-#          lives in sslint's layer-dag/layer-reach rules, stage `lint`)
+#          lives in sslint's layer-dag/layer-reach rules, stage `lint`);
+#          then re-runs the lane/worker-pool suites (Parallel*, WorkerPool*)
+#          under ThreadSanitizer so a race in the offload seam fails this
+#          stage even when the full `tsan` stage was not selected
 #   lint   static enforcement: builds and runs tools/sslint over the tree
 #          (layering DAG, banned APIs, include hygiene, orphan sources —
 #          see tools/sslint.rules), then builds the whole tree under
@@ -90,9 +99,19 @@ for stage in "${STAGES[@]}"; do
       ;;
     bench)
       echo "==== stage: bench ===="
+      # The metrics-overhead A/B in bench_msg_path needs generous
+      # min-of-N rejection on small/shared boxes: with the binary's
+      # defaults (3 reps, 5% band) a single-core VM fails on scheduler
+      # noise alone. 10 reps converges, and 15% still catches any real
+      # hot-path regression (unconditional tracing costs far more).
       if cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null \
-          && cmake --build build-check --target bench_msg_path -j "$JOBS" \
-          && ./build-check/bench/bench_msg_path > /dev/null; then
+          && cmake --build build-check \
+              --target bench_msg_path bench_parallel_rekey -j "$JOBS" \
+          && SS_BENCH_OVERHEAD_REPS=${SS_BENCH_OVERHEAD_REPS:-10} \
+             SS_BENCH_OVERHEAD_MAX=${SS_BENCH_OVERHEAD_MAX:-1.15} \
+             ./build-check/bench/bench_msg_path > /dev/null \
+          && ./build-check/bench/bench_parallel_rekey \
+              --baseline BENCH_rekey.json > /dev/null; then
         echo "==== stage bench: OK ===="
       else
         echo "==== stage bench: FAILED ===="
@@ -120,7 +139,12 @@ for stage in "${STAGES[@]}"; do
       echo "==== stage: rt ===="
       if cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null \
           && cmake --build build-check --target realtime_demo -j "$JOBS" \
-          && timeout 120 ./build-check/examples/realtime_demo; then
+          && timeout 120 ./build-check/examples/realtime_demo \
+          && cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+              -DSS_SANITIZE=thread >/dev/null \
+          && cmake --build build-tsan --target ss_tests -j "$JOBS" \
+          && ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+              -R 'Parallel|WorkerPool'; then
         echo "==== stage rt: OK ===="
       else
         echo "==== stage rt: FAILED ===="
