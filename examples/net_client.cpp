@@ -1,0 +1,91 @@
+// net_client — attach to a live spreadd daemon over its TCP client gate.
+//
+// This is the out-of-process sibling of quickstart: where quickstart hosts
+// the whole cluster in one binary, net_client is the thin client library
+// (netd::Client) talking to a daemon that is already running somewhere
+// else. Start a daemon with a gate, then point this at it:
+//
+//     spreadd --conf cluster.conf --id 0 --client-port 0   # prints "gate <ip:port>"
+//     net_client <ip:port> [group] [message...]
+//
+// The client connects, joins the group, multicasts one message, and then
+// echoes every event the daemon delivers (views, transitional signals and
+// messages — including its own, which proves the round trip through the
+// daemon) until a quiet period passes. See EXPERIMENTS.md for the full
+// multi-process cluster recipe.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "gcs/types.h"
+#include "netd/client.h"
+#include "util/bytes.h"
+
+namespace {
+
+using namespace ss;  // example brevity
+
+const char* reason_text(gcs::MembershipReason r) {
+  switch (r) {
+    case gcs::MembershipReason::kJoin: return "join";
+    case gcs::MembershipReason::kLeave: return "leave";
+    case gcs::MembershipReason::kDisconnect: return "disconnect";
+    case gcs::MembershipReason::kNetwork: return "network";
+    case gcs::MembershipReason::kSelfLeave: return "self-leave";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <gate-ip:port> [group] [message...]\n", argv[0]);
+    return 2;
+  }
+  const std::string gate = argv[1];
+  const std::string group = argc > 2 ? argv[2] : "lobby";
+  std::string message = "hello from net_client";
+  if (argc > 3) {
+    message.clear();
+    for (int i = 3; i < argc; ++i) {
+      if (!message.empty()) message += " ";
+      message += argv[i];
+    }
+  }
+
+  try {
+    netd::Client client;
+    client.connect_to(gate);
+    std::printf("connected to %s as %s\n", gate.c_str(), client.id().to_string().c_str());
+
+    client.join(group);
+    client.multicast(gcs::ServiceType::kAgreed, group, /*msg_type=*/1,
+                     util::bytes_of(message));
+
+    // Echo daemon events until nothing arrives for two seconds.
+    while (auto ev = client.next_event(std::chrono::milliseconds(2000))) {
+      switch (ev->kind) {
+        case netd::Client::Event::Kind::kMessage:
+          std::printf("[%s] %s: %s\n", ev->group.c_str(),
+                      ev->message.sender.to_string().c_str(),
+                      util::string_of(ev->message.payload).c_str());
+          break;
+        case netd::Client::Event::Kind::kView: {
+          std::printf("[%s] view (%s): %zu members\n", ev->group.c_str(),
+                      reason_text(ev->view.reason), ev->view.members.size());
+          break;
+        }
+        case netd::Client::Event::Kind::kTransitional:
+          std::printf("[%s] transitional signal\n", ev->group.c_str());
+          break;
+      }
+    }
+    client.disconnect();
+    std::printf("done\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "net_client: %s\n", e.what());
+    return 1;
+  }
+}

@@ -46,7 +46,11 @@ SpreadConf SpreadConf::parse(const std::string& text) {
     std::string key, value, extra;
     fields >> key >> value;
     if (value.empty()) fail(line_no, "'" + key + "' needs a value");
-    if (fields >> extra) fail(line_no, "trailing tokens after '" + value + "'");
+    const bool has_extra = static_cast<bool>(fields >> extra);
+    // Only `daemon` takes an optional third token (the transport address).
+    if (has_extra && key != "daemon") fail(line_no, "trailing tokens after '" + value + "'");
+    std::string beyond;
+    if (has_extra && (fields >> beyond)) fail(line_no, "trailing tokens after '" + extra + "'");
 
     if (key == "daemon") {
       const std::uint64_t id = parse_number(line_no, value);
@@ -56,6 +60,7 @@ SpreadConf SpreadConf::parse(const std::string& text) {
         fail(line_no, "duplicate daemon id " + value);
       }
       conf.daemons.push_back(did);
+      conf.daemon_entries.push_back(DaemonEntry{did, has_extra ? extra : std::string{}, line_no});
     } else if (key == "heartbeat_ms") {
       conf.timing.heartbeat_interval = parse_number(line_no, value) * runtime::kMillisecond;
     } else if (key == "fail_timeout_ms") {
@@ -86,7 +91,17 @@ SpreadConf SpreadConf::parse(const std::string& text) {
     throw std::invalid_argument("spread_conf: no daemons configured");
   }
   std::sort(conf.daemons.begin(), conf.daemons.end());
+  std::sort(conf.daemon_entries.begin(), conf.daemon_entries.end(),
+            [](const DaemonEntry& a, const DaemonEntry& b) { return a.id < b.id; });
   return conf;
+}
+
+const std::string& SpreadConf::address_of(DaemonId id) const {
+  static const std::string kNone;
+  for (const DaemonEntry& e : daemon_entries) {
+    if (e.id == id) return e.address;
+  }
+  return kNone;
 }
 
 SpreadConf SpreadConf::load(const std::string& path) {
@@ -100,7 +115,12 @@ SpreadConf SpreadConf::load(const std::string& path) {
 std::string SpreadConf::to_string() const {
   std::ostringstream out;
   out << "# generated spread configuration\n";
-  for (DaemonId d : daemons) out << "daemon " << d << "\n";
+  for (DaemonId d : daemons) {
+    out << "daemon " << d;
+    const std::string& addr = address_of(d);
+    if (!addr.empty()) out << " " << addr;
+    out << "\n";
+  }
   out << "heartbeat_ms " << timing.heartbeat_interval / runtime::kMillisecond << "\n";
   out << "fail_timeout_ms " << timing.fail_timeout / runtime::kMillisecond << "\n";
   out << "fd_check_ms " << timing.fd_check_interval / runtime::kMillisecond << "\n";

@@ -6,14 +6,19 @@
 // data instead of code:
 //
 //     # comments and blank lines are ignored
-//     daemon 0            # one line per configured daemon id
-//     daemon 1
+//     daemon 0 127.0.0.1:4803   # id [address] — address feeds the UDP
+//     daemon 1 127.0.0.1:4804   # transport; in-process/sim runs omit it
 //     daemon 2
 //     heartbeat_ms    5   # optional timing overrides
 //     fail_timeout_ms 20
 //     link_rto_ms     2
 //     gather_stable_ms 6
 //     secure_links    on  # seal daemon-to-daemon traffic (gcs/link_crypto.h)
+//
+// Addresses are kept as opaque text here: this layer has no network
+// dependency, and `netd` parses them into net::Endpoints — each daemon
+// entry records its source line so netd's errors can say
+// "cluster.conf:3:12: port exceeds 65535".
 //
 // parse() throws std::invalid_argument with a line number on malformed
 // input; unknown keys are rejected (typos should fail loudly).
@@ -28,9 +33,21 @@
 namespace ss::gcs {
 
 struct SpreadConf {
+  /// One per `daemon` line, in id order after parse(). `address` is the
+  /// optional third token, verbatim; `line` is its 1-based source line.
+  struct DaemonEntry {
+    DaemonId id = kInvalidDaemon;
+    std::string address;
+    std::size_t line = 0;
+  };
+
   std::vector<DaemonId> daemons;
+  std::vector<DaemonEntry> daemon_entries;
   TimingConfig timing;
   bool secure_links = false;
+
+  /// Address text for a daemon ("" when the conf gave none or id unknown).
+  const std::string& address_of(DaemonId id) const;
 
   /// Parses configuration text. Throws std::invalid_argument on errors.
   static SpreadConf parse(const std::string& text);

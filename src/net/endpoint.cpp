@@ -1,0 +1,93 @@
+#include "net/endpoint.h"
+
+namespace ss::net {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what, std::size_t pos) {
+  // pos is a 0-based index into the text; report 1-based columns.
+  throw AddressError(what, pos + 1);
+}
+
+}  // namespace
+
+Endpoint Endpoint::parse(const std::string& text) {
+  Endpoint ep;
+  std::size_t pos = 0;
+  std::uint32_t ip = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+      bad("expected a decimal IPv4 octet", pos);
+    }
+    std::uint32_t value = 0;
+    const std::size_t start = pos;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      value = value * 10 + static_cast<std::uint32_t>(text[pos] - '0');
+      if (value > 255) bad("IPv4 octet exceeds 255", start);
+      ++pos;
+    }
+    ip = (ip << 8) | value;
+    if (octet < 3) {
+      if (pos >= text.size() || text[pos] != '.') bad("expected '.'", pos);
+      ++pos;
+    }
+  }
+  if (pos >= text.size() || text[pos] != ':') bad("expected ':port'", pos);
+  ++pos;
+  if (pos >= text.size()) bad("missing port number", pos);
+  std::uint32_t port = 0;
+  const std::size_t port_start = pos;
+  while (pos < text.size()) {
+    if (text[pos] < '0' || text[pos] > '9') bad("expected a port digit", pos);
+    port = port * 10 + static_cast<std::uint32_t>(text[pos] - '0');
+    if (port > 65535) bad("port exceeds 65535", port_start);
+    ++pos;
+  }
+  ep.ip = ip;
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+std::string Endpoint::to_string() const {
+  std::string out;
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((ip >> shift) & 0xff);
+    out += shift == 0 ? ':' : '.';
+  }
+  out += std::to_string(port);
+  return out;
+}
+
+void AddressMap::set(runtime::NodeId id, const Endpoint& ep) {
+  // Port 0 is the ephemeral placeholder ("bind picks a free port"): it
+  // cannot source datagrams, so it stays out of the reverse map and any
+  // number of nodes may hold it until open_local() writes the bound port
+  // back. (Placeholder endpoints were never inserted, so the erase below
+  // is a no-op for them.)
+  if (ep.port != 0) {
+    const auto taken = by_ep_.find(ep);
+    if (taken != by_ep_.end() && taken->second != id) {
+      throw std::invalid_argument("address " + ep.to_string() + " already maps node " +
+                                  std::to_string(taken->second));
+    }
+  }
+  if (id >= by_id_.size()) by_id_.resize(id + 1);
+  if (by_id_[id].has_value()) by_ep_.erase(*by_id_[id]);
+  by_id_[id] = ep;
+  if (ep.port != 0) by_ep_[ep] = id;
+}
+
+const Endpoint& AddressMap::of(runtime::NodeId id) const {
+  if (!has(id)) {
+    throw std::out_of_range("no endpoint configured for node " + std::to_string(id));
+  }
+  return *by_id_[id];
+}
+
+std::optional<runtime::NodeId> AddressMap::find(const Endpoint& ep) const {
+  const auto it = by_ep_.find(ep);
+  if (it == by_ep_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace ss::net

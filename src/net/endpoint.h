@@ -1,0 +1,94 @@
+// IPv4 endpoints and the static NodeId -> address map (the network half of
+// spread.conf).
+//
+// The paper's daemons find each other through a static configuration that
+// maps every daemon to a LAN address; our NodeIds are the same dense small
+// integers, so the whole address plan is one array. Parsing is done by
+// hand (no inet_pton) so error messages can point at the exact offending
+// column — `spreadd` surfaces these through util::log as
+// "file:line:col: ...", which is the difference between a usable daemon
+// and a silent exit on a typo'd config.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/transport.h"
+
+namespace ss::net {
+
+// Hand-rolled host<->network byte-order converters (self-inverse). The
+// htons/htonl macros expand to old-style casts on some libcs, which this
+// tree promotes to errors; these are the sanctioned spelling for every
+// sockaddr the net/netd layers fill in.
+constexpr std::uint16_t net16(std::uint16_t v) {
+  if constexpr (std::endian::native == std::endian::big) return v;
+  return static_cast<std::uint16_t>((v >> 8) | (v << 8));
+}
+constexpr std::uint32_t net32(std::uint32_t v) {
+  if constexpr (std::endian::native == std::endian::big) return v;
+  return ((v >> 24) & 0xffu) | ((v >> 8) & 0xff00u) | ((v << 8) & 0xff0000u) | (v << 24);
+}
+
+/// Thrown on malformed endpoint text. `col` is the 1-based offset of the
+/// offending character within the parsed string, for line:col reporting.
+class AddressError : public std::invalid_argument {
+ public:
+  AddressError(const std::string& what, std::size_t col)
+      : std::invalid_argument(what), col_(col) {}
+  std::size_t col() const { return col_; }
+
+ private:
+  std::size_t col_;
+};
+
+/// An IPv4 UDP/TCP endpoint. `ip` is in host byte order (127.0.0.1 =
+/// 0x7f000001); the socket layer converts when filling sockaddrs.
+struct Endpoint {
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+
+  friend auto operator<=>(const Endpoint&, const Endpoint&) = default;
+
+  /// Parses "a.b.c.d:port". Throws AddressError with a column on anything
+  /// else. Port 0 is legal (bind-time "pick a free port", tests use it).
+  static Endpoint parse(const std::string& text);
+
+  std::string to_string() const;
+};
+
+/// Dense NodeId -> Endpoint table with reverse lookup. The transport
+/// resolves a datagram's sender by its source address, so two nodes may
+/// not share an endpoint. Not internally synchronized: built once at
+/// startup, then read-only (UdpTransport guards its own copy).
+class AddressMap {
+ public:
+  /// Registers (or re-registers) a node's endpoint. Throws
+  /// std::invalid_argument if the endpoint already belongs to another node.
+  /// Port-0 (ephemeral) endpoints are placeholders: they skip the reverse
+  /// map, so any number of nodes may carry one until bind-time write-back.
+  void set(runtime::NodeId id, const Endpoint& ep);
+
+  bool has(runtime::NodeId id) const {
+    return id < by_id_.size() && by_id_[id].has_value();
+  }
+  /// Throws std::out_of_range naming the node when unmapped.
+  const Endpoint& of(runtime::NodeId id) const;
+  /// Reverse lookup: the node bound to `ep`, if any.
+  std::optional<runtime::NodeId> find(const Endpoint& ep) const;
+
+  std::size_t size() const { return by_ep_.size(); }
+  /// Largest mapped id + 1 (the dense table width).
+  std::size_t capacity() const { return by_id_.size(); }
+
+ private:
+  std::vector<std::optional<Endpoint>> by_id_;
+  std::map<Endpoint, runtime::NodeId> by_ep_;
+};
+
+}  // namespace ss::net

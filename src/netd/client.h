@@ -1,0 +1,83 @@
+// netd::Client — the thin client-library entry point for live daemons.
+//
+// The in-process gcs::Mailbox talks to a Daemon object directly; this is
+// its out-of-process sibling: a small blocking wrapper around one TCP
+// connection to a spreadd ClientGate, speaking netd/client_wire.h. It is
+// what `examples/net_client.cpp` uses to attach to a running cluster, and
+// deliberately mirrors the Spread client library shape: connect, join,
+// leave, multicast, and a receive call that surfaces messages, membership
+// views and transitional signals in daemon order.
+//
+// Threading: not internally synchronized — one thread drives a Client
+// (the examples' event-loop shape). All calls block; next_event() takes a
+// timeout so callers can interleave sends and receives.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "gcs/types.h"
+#include "net/endpoint.h"
+#include "util/bytes.h"
+
+namespace ss::netd {
+
+class Client {
+ public:
+  /// One asynchronous event from the daemon, in delivery order.
+  struct Event {
+    enum class Kind : std::uint8_t { kMessage, kView, kTransitional };
+    Kind kind = Kind::kMessage;
+    gcs::Message message;  // kind == kMessage
+    gcs::GroupView view;   // kind == kView
+    gcs::GroupName group;  // kind == kTransitional (also set for the others)
+  };
+
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a gate and blocks until the daemon assigns an identity.
+  /// Throws std::runtime_error (logged) on refusal or a `timeout` without
+  /// a welcome.
+  void connect(const net::Endpoint& gate,
+               std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+  /// Convenience: parses "ip:port" (net::Endpoint::parse errors propagate).
+  void connect_to(const std::string& gate_address);
+
+  bool connected() const { return fd_ >= 0; }
+  /// Identity assigned at connect (Spread's private group equivalent).
+  const gcs::MemberId& id() const { return id_; }
+
+  void join(const gcs::GroupName& group);
+  void leave(const gcs::GroupName& group);
+  void multicast(gcs::ServiceType service, const gcs::GroupName& group, std::int16_t msg_type,
+                 const util::Bytes& payload);
+
+  /// Next event from the daemon, waiting up to `timeout`; nullopt on
+  /// timeout. Throws std::runtime_error if the connection drops.
+  std::optional<Event> next_event(std::chrono::milliseconds timeout);
+
+  /// Graceful goodbye (the daemon reports a voluntary leave, not a crash).
+  void disconnect();
+  /// Vanishes without a goodbye — the daemon reports a client crash
+  /// (Disconnect reason). Mirrors gcs::Mailbox::kill() for fault tests.
+  void kill();
+
+ private:
+  void send_frame(const util::Bytes& framed);
+  /// Blocks until at least one whole frame is buffered or the deadline
+  /// passes; returns the frame body, nullopt on timeout.
+  std::optional<util::Bytes> read_frame(std::chrono::steady_clock::time_point deadline);
+  void fail(const std::string& what);
+
+  int fd_ = -1;
+  gcs::MemberId id_{};
+  util::Bytes in_;
+};
+
+}  // namespace ss::netd

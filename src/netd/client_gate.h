@@ -1,0 +1,87 @@
+// ClientGate: the TCP front door of a spreadd process.
+//
+// Spread clients live in other processes and reach their daemon over a
+// stream socket; this gate is that boundary. It owns one listening TCP
+// socket plus a poll loop on a dedicated thread, and bridges two worlds:
+//
+//   inbound:  wire frames (netd/client_wire.h) are decoded on the gate
+//             thread, then marshaled onto the daemon's home lane with
+//             DaemonHost::run_on_home — the daemon itself is never touched
+//             from the gate thread directly.
+//   outbound: the per-connection Conn object is the gcs::ClientCallbacks
+//             the daemon invokes (on its home lane); callbacks encode the
+//             event, append it to the connection's output buffer under the
+//             gate mutex, and wake the poll loop to flush.
+//
+// Lock ordering: callbacks take mu_ briefly to enqueue; the gate thread
+// never holds mu_ while blocking on run_on_home (that pairing would
+// deadlock with a lane mid-delivery waiting on mu_). A connection whose
+// output buffer exceeds kMaxBuffered (slow reader) is disconnected rather
+// than allowed to grow without bound — the daemon then reports it to the
+// group as a client crash, which is exactly what a wedged client is.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/endpoint.h"
+#include "netd/daemon_host.h"
+#include "util/mutex.h"
+
+namespace ss::netd {
+
+class ClientGate {
+ public:
+  /// A connection may buffer this much undelivered output before it is
+  /// declared wedged and dropped.
+  static constexpr std::size_t kMaxBuffered = 8u << 20;
+
+  /// The host must outlive the gate; stop the gate before the host.
+  explicit ClientGate(DaemonHost& host);
+  ~ClientGate();
+
+  ClientGate(const ClientGate&) = delete;
+  ClientGate& operator=(const ClientGate&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral), starts the gate thread, and
+  /// returns the bound endpoint. Throws std::runtime_error (logged) on
+  /// socket failures, with the usual EADDRINUSE hint.
+  net::Endpoint start(std::uint16_t port = 0);
+  /// Detaches every remaining client (as a disconnect) and joins the
+  /// thread. Idempotent. Must run before DaemonHost::stop().
+  void stop();
+
+  net::Endpoint endpoint() const;
+  /// Live connection count (tests).
+  std::size_t connections() const;
+
+ private:
+  struct Conn;
+
+  void loop();
+  void wake();
+  void accept_ready();
+  /// Reads from `c`; returns false when the connection should close.
+  bool read_ready(Conn& c);
+  /// Flushes `c`'s output buffer; returns false when the connection broke.
+  bool write_ready(Conn& c);
+  /// Decodes one inbound frame; returns false on protocol error or kBye.
+  bool handle_frame(Conn& c, const util::Bytes& body);
+  void enqueue(Conn& c, const util::Bytes& framed);
+  /// Detaches from the daemon and destroys the connection object.
+  void close_conn(std::unique_ptr<Conn> c);
+
+  DaemonHost& host_;
+  mutable util::Mutex mu_;
+  int listen_fd_ = -1;
+  net::Endpoint ep_ SS_GUARDED_BY(mu_){};
+  int wake_pipe_[2] = {-1, -1};
+  bool running_ SS_GUARDED_BY(mu_) = false;
+  /// Gate-thread-owned except for each Conn's output state (see Conn).
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::thread thread_;
+};
+
+}  // namespace ss::netd

@@ -1,0 +1,188 @@
+// Wire protocol between a spreadd client gate and remote clients.
+//
+// Spread's client library talks to its daemon over a stream socket; this
+// is our equivalent. Framing: a big-endian u32 length prefix, then a
+// util::serial body whose first byte is the Op. The protocol is
+// deliberately thin — join/leave/multicast inbound; welcome, data
+// messages, group views and the EVS transitional signal outbound. The
+// secure layer is intentionally *not* proxied: keys never leave the
+// client process in the paper's architecture, so remote clients run their
+// own flush/secure stack client-side (future work), while this gate covers
+// the plain GCS surface.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "gcs/types.h"
+#include "util/serial.h"
+
+namespace ss::netd::wire {
+
+enum class Op : std::uint8_t {
+  // client -> gate
+  kJoin = 1,
+  kLeave = 2,
+  kMulticast = 3,
+  kBye = 4,
+  // gate -> client
+  kWelcome = 16,
+  kMessage = 17,
+  kView = 18,
+  kTransitional = 19,
+};
+
+/// Hard cap on one frame's encoded size (length prefix excluded): a
+/// corrupt prefix must not make a reader allocate gigabytes.
+constexpr std::uint32_t kMaxFrame = 1u << 24;
+
+/// Appends `body` to `out` with its length prefix.
+inline void frame_into(util::Bytes& out, const util::Bytes& body) {
+  const std::uint32_t n = static_cast<std::uint32_t>(body.size());
+  out.push_back(static_cast<std::uint8_t>(n >> 24));
+  out.push_back(static_cast<std::uint8_t>(n >> 16));
+  out.push_back(static_cast<std::uint8_t>(n >> 8));
+  out.push_back(static_cast<std::uint8_t>(n));
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+/// Extracts the next complete frame body from the front of `buf`, if one
+/// is fully buffered. Throws util::SerialError on an oversized prefix.
+inline std::optional<util::Bytes> next_frame(util::Bytes& buf) {
+  if (buf.size() < 4) return std::nullopt;
+  const std::uint32_t n = (static_cast<std::uint32_t>(buf[0]) << 24) |
+                          (static_cast<std::uint32_t>(buf[1]) << 16) |
+                          (static_cast<std::uint32_t>(buf[2]) << 8) |
+                          static_cast<std::uint32_t>(buf[3]);
+  if (n > kMaxFrame) throw util::SerialError("netd wire: oversized frame");
+  if (buf.size() < 4u + n) return std::nullopt;
+  util::Bytes body(buf.begin() + 4, buf.begin() + 4 + n);
+  buf.erase(buf.begin(), buf.begin() + 4 + n);
+  return body;
+}
+
+// --- encode helpers (each returns one framed message) -----------------------
+
+inline util::Bytes encode_join(const gcs::GroupName& group) {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(Op::kJoin));
+  w.str(group);
+  util::Bytes out;
+  frame_into(out, w.take());
+  return out;
+}
+
+inline util::Bytes encode_leave(const gcs::GroupName& group) {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(Op::kLeave));
+  w.str(group);
+  util::Bytes out;
+  frame_into(out, w.take());
+  return out;
+}
+
+inline util::Bytes encode_multicast(gcs::ServiceType service, const gcs::GroupName& group,
+                                    std::int16_t msg_type, const util::Bytes& payload) {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(Op::kMulticast));
+  w.u8(static_cast<std::uint8_t>(service));
+  w.str(group);
+  w.u16(static_cast<std::uint16_t>(msg_type));
+  w.bytes(payload);
+  util::Bytes out;
+  frame_into(out, w.take());
+  return out;
+}
+
+inline util::Bytes encode_bye() {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(Op::kBye));
+  util::Bytes out;
+  frame_into(out, w.take());
+  return out;
+}
+
+inline util::Bytes encode_welcome(const gcs::MemberId& id) {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(Op::kWelcome));
+  id.encode(w);
+  util::Bytes out;
+  frame_into(out, w.take());
+  return out;
+}
+
+inline util::Bytes encode_message(const gcs::Message& msg) {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(Op::kMessage));
+  w.str(msg.group);
+  msg.sender.encode(w);
+  w.u8(static_cast<std::uint8_t>(msg.service));
+  w.u16(static_cast<std::uint16_t>(msg.msg_type));
+  msg.view_id.encode(w);
+  w.payload(msg.payload);  // gathered once at take(); shared until then
+  util::Bytes out;
+  frame_into(out, w.take());
+  return out;
+}
+
+inline util::Bytes encode_view(const gcs::GroupView& view) {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(Op::kView));
+  w.str(view.group);
+  view.view_id.encode(w);
+  w.u8(static_cast<std::uint8_t>(view.reason));
+  auto members = [&w](const std::vector<gcs::MemberId>& ms) {
+    w.u32(static_cast<std::uint32_t>(ms.size()));
+    for (const gcs::MemberId& m : ms) m.encode(w);
+  };
+  members(view.members);
+  members(view.joined);
+  members(view.left);
+  members(view.transitional);
+  util::Bytes out;
+  frame_into(out, w.take());
+  return out;
+}
+
+inline util::Bytes encode_transitional(const gcs::GroupName& group) {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(Op::kTransitional));
+  w.str(group);
+  util::Bytes out;
+  frame_into(out, w.take());
+  return out;
+}
+
+// --- decode helpers (body excludes the length prefix) -----------------------
+
+inline Op peek_op(util::Reader& r) { return static_cast<Op>(r.u8()); }
+
+inline gcs::Message decode_message(util::Reader& r) {
+  gcs::Message msg;
+  msg.group = r.str();
+  msg.sender = gcs::MemberId::decode(r);
+  msg.service = static_cast<gcs::ServiceType>(r.u8());
+  msg.msg_type = static_cast<std::int16_t>(r.u16());
+  msg.view_id = gcs::GroupViewId::decode(r);
+  msg.payload = r.payload();
+  return msg;
+}
+
+inline gcs::GroupView decode_view(util::Reader& r) {
+  gcs::GroupView view;
+  view.group = r.str();
+  view.view_id = gcs::GroupViewId::decode(r);
+  view.reason = static_cast<gcs::MembershipReason>(r.u8());
+  auto members = [&r] {
+    std::vector<gcs::MemberId> ms(r.u32());
+    for (gcs::MemberId& m : ms) m = gcs::MemberId::decode(r);
+    return ms;
+  };
+  view.members = members();
+  view.joined = members();
+  view.left = members();
+  view.transitional = members();
+  return view;
+}
+
+}  // namespace ss::netd::wire

@@ -1,0 +1,111 @@
+#include "netd/daemon_host.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "crypto/dh.h"
+#include "netd/keystore.h"
+#include "util/log.h"
+
+namespace ss::netd {
+
+namespace {
+
+[[noreturn]] void conf_fail(const std::string& origin, const std::string& what) {
+  SS_LOG_ERROR("netd", origin, ": ", what);
+  throw std::invalid_argument(origin + ": " + what);
+}
+
+}  // namespace
+
+ClusterConf parse_cluster_conf(const std::string& text, const std::string& origin) {
+  ClusterConf out;
+  try {
+    out.base = gcs::SpreadConf::parse(text);
+  } catch (const std::invalid_argument& e) {
+    // SpreadConf's messages already carry "spread_conf line N:"; prefix the
+    // origin so an operator knows which file to open.
+    conf_fail(origin, e.what());
+  }
+  for (const gcs::SpreadConf::DaemonEntry& entry : out.base.daemon_entries) {
+    if (entry.address.empty()) {
+      conf_fail(origin, "line " + std::to_string(entry.line) + ": daemon " +
+                            std::to_string(entry.id) +
+                            " has no address (spreadd needs 'daemon <id> <ip:port>')");
+    }
+    try {
+      out.addresses.set(entry.id, net::Endpoint::parse(entry.address));
+    } catch (const net::AddressError& e) {
+      conf_fail(origin, "line " + std::to_string(entry.line) + ": daemon " +
+                            std::to_string(entry.id) + " address '" + entry.address + "': " +
+                            e.what() + " (address column " + std::to_string(e.col()) + ")");
+    } catch (const std::invalid_argument& e) {
+      // AddressMap::set: duplicate endpoint across daemons.
+      conf_fail(origin, "line " + std::to_string(entry.line) + ": " + e.what());
+    }
+  }
+  return out;
+}
+
+ClusterConf load_cluster_conf(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    const std::string msg = "cannot open configuration file";
+    SS_LOG_ERROR("netd", path, ": ", msg);
+    throw std::runtime_error(path + ": " + msg);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_cluster_conf(buf.str(), path);
+}
+
+DaemonHost::DaemonHost(ClusterConf conf, gcs::DaemonId self, Options opts)
+    : conf_(std::move(conf.base)),
+      self_(self),
+      env_(runtime::RealtimeEnv::Options{/*delivery_delay=*/0, opts.lanes,
+                                         opts.worker_threads}) {
+  bool configured = false;
+  for (gcs::DaemonId d : conf_.daemons) configured |= (d == self);
+  if (!configured) {
+    const std::string msg = "daemon id " + std::to_string(self) + " is not in the configuration";
+    SS_LOG_ERROR("netd", msg);
+    throw std::invalid_argument("netd: " + msg);
+  }
+
+  udp_ = std::make_unique<net::UdpTransport>(env_, std::move(conf.addresses));
+  if (conf_.secure_links) {
+    key_store_ = std::make_unique<gcs::DaemonKeyStore>(crypto::DhGroup::tiny64());
+    provision_daemon_keys(*key_store_, conf_.daemons, opts.pki_seed);
+  }
+  runtime::Env e = env_.env(self_);
+  e.net = udp_.get();
+  daemon_ = std::make_unique<gcs::Daemon>(e, conf_.daemons, conf_.timing, opts.seed,
+                                          key_store_.get());
+}
+
+DaemonHost::~DaemonHost() { stop(); }
+
+void DaemonHost::start() {
+  if (started_) return;
+  udp_->open_local(self_);  // throws (and logs) on bind failure
+  udp_->bind(self_, daemon_.get());
+  udp_->start();
+  env_.start();
+  run_on_home([this] { daemon_->start(); });
+  started_ = true;
+  SS_LOG_INFO("netd", "daemon ", self_, " up at ", endpoint().to_string());
+}
+
+void DaemonHost::stop() {
+  if (!started_) return;
+  started_ = false;
+  run_on_home([this] {
+    if (daemon_->running()) daemon_->stop();
+  });
+  udp_->bind(self_, nullptr);
+  udp_->stop();
+  env_.stop();
+}
+
+}  // namespace ss::netd

@@ -1,0 +1,96 @@
+// DaemonHost: one gcs daemon on a RealtimeEnv wired to the UDP transport —
+// the heart of the `spreadd` process (paper: one Spread daemon per host).
+//
+// Wiring: the host owns a RealtimeEnv (event lanes + optional crypto
+// worker pool) and a net::UdpTransport over the cluster's address map; the
+// daemon's Env is the env's per-node adapter with the transport pointer
+// swapped for the UDP backend — the protocol stack cannot tell it is on a
+// real network (DESIGN.md §12). With `secure_links on` the host also owns
+// the deterministic DaemonKeyStore (netd/keystore.h).
+//
+// Configuration errors are routed through util::log with actionable
+// file:line messages before the exception propagates, so `spreadd -c
+// broken.conf` tells an operator which line (and which column of the
+// address) to fix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "gcs/daemon.h"
+#include "gcs/spread_conf.h"
+#include "net/endpoint.h"
+#include "net/udp_transport.h"
+#include "runtime/realtime_env.h"
+
+namespace ss::netd {
+
+/// A parsed cluster configuration: the daemon/timing half plus the address
+/// plan. Every configured daemon must carry an address.
+struct ClusterConf {
+  gcs::SpreadConf base;
+  net::AddressMap addresses;
+};
+
+/// Parses cluster configuration text. `origin` names the source (a file
+/// path) in diagnostics. Throws std::invalid_argument after logging an
+/// "origin:line[:col]: ..." message through util::log.
+ClusterConf parse_cluster_conf(const std::string& text, const std::string& origin);
+
+/// Loads and parses a configuration file (same error contract; an
+/// unreadable file throws std::runtime_error, also logged).
+ClusterConf load_cluster_conf(const std::string& path);
+
+class DaemonHost {
+ public:
+  struct Options {
+    std::size_t lanes = 1;
+    std::size_t worker_threads = 0;
+    /// Daemon protocol seed (gather jitter etc.).
+    std::uint64_t seed = 1;
+    /// Master seed of the deterministic PKI stand-in (netd/keystore.h);
+    /// must match across the cluster.
+    std::uint64_t pki_seed = 0x5353u;
+  };
+
+  /// `self` must be one of the configured daemons (throws
+  /// std::invalid_argument otherwise, logged). Pass `Options{}` for the
+  /// defaults (a nested aggregate cannot be a `= {}` default argument).
+  DaemonHost(ClusterConf conf, gcs::DaemonId self, Options opts);
+  ~DaemonHost();
+
+  DaemonHost(const DaemonHost&) = delete;
+  DaemonHost& operator=(const DaemonHost&) = delete;
+
+  /// Opens the UDP socket (throws on bind failure — see
+  /// UdpTransport::open_local), then starts the lanes and the daemon.
+  void start();
+  void stop();
+
+  gcs::Daemon& daemon() { return *daemon_; }
+  runtime::RealtimeEnv& env() { return env_; }
+  net::UdpTransport& transport() { return *udp_; }
+  gcs::DaemonId id() const { return self_; }
+  const gcs::SpreadConf& conf() const { return conf_; }
+  /// This daemon's bound endpoint (after start(), ephemeral ports resolved).
+  net::Endpoint endpoint() const { return udp_->endpoint_of(self_); }
+
+  /// Runs fn on the daemon's home lane and waits — the only sanctioned way
+  /// for outside threads (the client gate, spreadd's stdin loop) to touch
+  /// the daemon or anything homed on its lane.
+  void run_on_home(const std::function<void()>& fn) {
+    env_.run_on_lane(env_.lane_of(self_), fn);
+  }
+
+ private:
+  gcs::SpreadConf conf_;
+  gcs::DaemonId self_;
+  runtime::RealtimeEnv env_;
+  std::unique_ptr<net::UdpTransport> udp_;
+  std::unique_ptr<gcs::DaemonKeyStore> key_store_;
+  std::unique_ptr<gcs::Daemon> daemon_;
+  bool started_ = false;
+};
+
+}  // namespace ss::netd

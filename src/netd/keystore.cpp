@@ -1,0 +1,31 @@
+#include "netd/keystore.h"
+
+#include <string>
+
+#include "crypto/drbg.h"
+
+namespace ss::netd {
+
+void provision_daemon_keys(gcs::DaemonKeyStore& store, const std::vector<gcs::DaemonId>& daemons,
+                           std::uint64_t master_seed) {
+  for (gcs::DaemonId d : daemons) {
+    // One DRBG per key pair: the derivation depends only on (seed, member),
+    // never on provisioning order, so processes can't drift.
+    crypto::HmacDrbg rnd(master_seed, "netd/daemon-link-key/" + std::to_string(d));
+    store.provision(d, rnd);
+  }
+}
+
+void provision_member_keys(cliques::KeyDirectory& directory,
+                           const std::vector<gcs::DaemonId>& daemons,
+                           std::uint32_t clients_per_daemon, std::uint64_t master_seed) {
+  for (gcs::DaemonId d : daemons) {
+    for (std::uint32_t c = 1; c <= clients_per_daemon; ++c) {
+      crypto::HmacDrbg rnd(master_seed, "netd/member-lt-key/" + std::to_string(d) + "/" +
+                                            std::to_string(c));
+      directory.ensure(gcs::MemberId{d, c}, rnd);
+    }
+  }
+}
+
+}  // namespace ss::netd

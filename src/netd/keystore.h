@@ -1,0 +1,42 @@
+// Deterministic key preprovisioning: the multi-process PKI stand-in.
+//
+// In one process, every client shares a cliques::KeyDirectory object, so
+// long-term DH keys generated lazily by one member are visible to all. In
+// a real deployment each spreadd process has its *own* directory, and
+// A-GDH.2 still needs every peer's long-term public key (the paper gets
+// them from certificates). Until a certificate plane exists, spreadd
+// processes derive the whole cluster's long-term keys deterministically
+// from a shared master seed: each (member, seed) pair maps to a fixed
+// HMAC-DRBG personalization, so every process computes bit-identical key
+// pairs without exchanging a byte. The same trick provisions the daemon
+// link-crypto keystore for `secure_links on`.
+//
+// This is a stand-in, not security: anyone with the master seed owns the
+// cluster. It keeps the protocol stack honest (all lookups go through the
+// directory interface a PKI would implement) while making multi-process
+// clusters runnable today.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cliques/key_directory.h"
+#include "gcs/link_crypto.h"
+#include "gcs/types.h"
+
+namespace ss::netd {
+
+/// Provisions pairwise link-crypto key pairs for every configured daemon.
+/// Identical (daemons, master_seed) inputs yield identical keystores in
+/// every process.
+void provision_daemon_keys(gcs::DaemonKeyStore& store, const std::vector<gcs::DaemonId>& daemons,
+                           std::uint64_t master_seed);
+
+/// Provisions long-term member key pairs for clients 1..clients_per_daemon
+/// of every configured daemon (client indices are assigned in attach
+/// order, starting at 1). Deterministic in the same sense as above.
+void provision_member_keys(cliques::KeyDirectory& directory,
+                           const std::vector<gcs::DaemonId>& daemons,
+                           std::uint32_t clients_per_daemon, std::uint64_t master_seed);
+
+}  // namespace ss::netd

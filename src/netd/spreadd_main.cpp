@@ -1,0 +1,394 @@
+// spreadd — one Secure Spread daemon as a real operating-system process.
+//
+// Usage:
+//   spreadd --conf cluster.conf --id 1 [--seed N] [--lanes N]
+//           [--client-port P] [--stdio-client]
+//
+// The conf file is gcs::SpreadConf text whose daemon lines carry
+// addresses (`daemon 1 127.0.0.1:4803`). The process hosts exactly one
+// gcs::Daemon on a RealtimeEnv wired to net::UdpTransport (netd::DaemonHost)
+// and runs until SIGTERM/SIGINT.
+//
+// --client-port opens the TCP client gate (netd::ClientGate) so external
+// processes can attach with netd::Client; port 0 picks a free port. The
+// bound address is announced on stdout as "gate <ip:port>".
+//
+// --stdio-client additionally hosts an in-process secure client driven by
+// a line protocol on stdin — the surface the multi-process cluster test
+// (tests/netd_cluster_check.cpp) drives. Commands:
+//   join|leave|refresh <group>        secure group membership / key refresh
+//   send <group> <text...>            sealed multicast
+//   status <group>                    -> "status <g> keyed=K epoch=E members=a,b"
+//   keymat <group>                    -> "keymat <g> <hex16|->" (agreement check)
+//   dstatus                           -> "dstatus operational=O members=N"
+//   pjoin <group>                     plain (non-secure) client joins
+//   pview <group>                     -> "pview <g> members=N" (plain view)
+//   psend <group> <bytes> <count>     plain fan-out burst (zero-copy probe)
+//   pstat <group>                     -> "pstat <g> recv=N bytes=B"
+//   netreset | netstats               msgpath/socket counter window
+//   quit                              clean shutdown
+// Asynchronous lines: "ready ...", "msg <group> <sender> <text>".
+// Every line is flushed: the reader is a pipe, not a terminal.
+#include <poll.h>
+#include <sys/prctl.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crypto/dh.h"
+#include "gcs/mailbox.h"
+#include "netd/client_gate.h"
+#include "netd/daemon_host.h"
+#include "netd/keystore.h"
+#include "secure/secure_client.h"
+#include "util/log.h"
+#include "util/msgpath.h"
+#include "util/mutex.h"
+
+namespace {
+
+using namespace ss;  // binary entry point, demo-style brevity
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+void install_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt blocking reads so we can exit
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+struct Args {
+  std::string conf;
+  gcs::DaemonId id = gcs::kInvalidDaemon;
+  std::uint64_t seed = 1;
+  std::size_t lanes = 1;
+  int client_port = -1;  // <0 = gate disabled
+  bool stdio_client = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --conf <file> --id <daemon-id> [--seed N] [--lanes N]\n"
+               "          [--client-port P] [--stdio-client]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Args& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--conf") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      out.conf = v;
+    } else if (arg == "--id") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      out.id = static_cast<gcs::DaemonId>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      out.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--lanes") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      out.lanes = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--client-port") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      out.client_port = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--stdio-client") {
+      out.stdio_client = true;
+    } else {
+      std::fprintf(stderr, "spreadd: unknown argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return !out.conf.empty() && out.id != gcs::kInvalidDaemon;
+}
+
+/// Serializes stdout lines between the stdin thread and daemon-lane
+/// callbacks; every line is flushed immediately (the peer reads a pipe).
+util::Mutex g_out_mu;
+
+void emit(const std::string& line) {
+  util::MutexLock lk(g_out_mu);
+  std::fputs(line.c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+std::string members_csv(const std::vector<gcs::MemberId>& ms) {
+  if (ms.empty()) return "-";
+  std::string out;
+  for (const auto& m : ms) {
+    if (!out.empty()) out += ",";
+    out += m.to_string();
+  }
+  return out;
+}
+
+/// The --stdio-client harness: one secure client plus one lazily created
+/// plain client on the in-process daemon. All protocol access is marshaled
+/// through DaemonHost::run_on_home; this object itself lives on the main
+/// thread.
+class StdioClient {
+ public:
+  StdioClient(netd::DaemonHost& host, std::uint64_t pki_seed)
+      : host_(host), dir_(crypto::DhGroup::tiny64()) {
+    // Every process must derive the same long-term keys for every possible
+    // secure member (netd/keystore.h); client index 1 is the secure client
+    // (attached first), 2 the plain one.
+    netd::provision_member_keys(dir_, host.conf().daemons, kClientsPerDaemon, pki_seed);
+    cfg_.ka_module = "cliques";
+    cfg_.dh = &crypto::DhGroup::tiny64();
+    host_.run_on_home([this] {
+      sec_ = std::make_unique<secure::SecureGroupClient>(
+          host_.daemon(), dir_, /*seed=*/11 * (host_.id() + 1));
+      sec_->on_message([](const secure::SecureMessage& m) {
+        emit("msg " + m.group + " " + m.sender.to_string() + " " + util::string_of(m.plaintext));
+      });
+    });
+  }
+
+  ~StdioClient() {
+    host_.run_on_home([this] {
+      sec_.reset();
+      plain_.reset();
+    });
+  }
+
+  /// Executes one command line; returns false on `quit`/shutdown.
+  bool handle(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) return true;
+    if (cmd == "quit") return false;
+
+    if (cmd == "join" || cmd == "leave" || cmd == "refresh" || cmd == "pjoin" ||
+        cmd == "status" || cmd == "pstat" || cmd == "keymat" || cmd == "pview") {
+      std::string group;
+      in >> group;
+      if (group.empty()) {
+        emit("err " + cmd + ": missing group");
+        return true;
+      }
+      if (cmd == "join") {
+        host_.run_on_home([this, group] { sec_->join(group, cfg_); });
+      } else if (cmd == "leave") {
+        host_.run_on_home([this, group] { sec_->leave(group); });
+      } else if (cmd == "refresh") {
+        host_.run_on_home([this, group] { sec_->refresh_key(group); });
+      } else if (cmd == "pjoin") {
+        host_.run_on_home([this, group] { ensure_plain()->join(group); });
+      } else if (cmd == "status") {
+        emit(status_line(group));
+      } else if (cmd == "keymat") {
+        emit(keymat_line(group));
+      } else if (cmd == "pview") {
+        emit(pview_line(group));
+      } else {
+        emit(pstat_line(group));
+      }
+      return true;
+    }
+    if (cmd == "send") {
+      std::string group;
+      in >> group;
+      std::string text;
+      std::getline(in, text);
+      if (!text.empty() && text.front() == ' ') text.erase(0, 1);
+      host_.run_on_home([this, group, text] { sec_->send(group, util::bytes_of(text)); });
+      return true;
+    }
+    if (cmd == "psend") {
+      std::string group;
+      std::size_t bytes = 0, count = 0;
+      in >> group >> bytes >> count;
+      host_.run_on_home([this, group, bytes, count] {
+        for (std::size_t i = 0; i < count; ++i) {
+          ensure_plain()->multicast(gcs::ServiceType::kFifo, group,
+                                    util::Bytes(bytes, static_cast<std::uint8_t>(i)));
+        }
+      });
+      return true;
+    }
+    if (cmd == "dstatus") {
+      bool operational = false;
+      std::size_t members = 0;
+      host_.run_on_home([this, &operational, &members] {
+        operational = host_.daemon().is_operational();
+        members = host_.daemon().view_members().size();
+      });
+      emit("dstatus operational=" + std::to_string(operational ? 1 : 0) +
+           " members=" + std::to_string(members));
+      return true;
+    }
+    if (cmd == "netreset") {
+      const net::UdpTransport::Stats s = host_.transport().stats();
+      base_copies_ = util::msgpath().payload_copies.load();
+      base_sent_ = s.packets_sent;
+      base_recv_ = s.packets_received;
+      emit("netreset ok");
+      return true;
+    }
+    if (cmd == "netstats") {
+      const net::UdpTransport::Stats s = host_.transport().stats();
+      emit("netstats sent=" + std::to_string(s.packets_sent - base_sent_) +
+           " recvd=" + std::to_string(s.packets_received - base_recv_) +
+           " copies=" + std::to_string(util::msgpath().payload_copies.load() - base_copies_) +
+           " drops=" + std::to_string(s.send_backpressure_drops));
+      return true;
+    }
+    emit("err unknown command '" + cmd + "'");
+    return true;
+  }
+
+ private:
+  static constexpr std::uint32_t kClientsPerDaemon = 4;
+
+  /// Must run on the home lane.
+  gcs::Mailbox* ensure_plain() {
+    if (!plain_) {
+      plain_ = std::make_unique<gcs::Mailbox>(host_.daemon());
+      plain_->on_message([this](const gcs::Message& m) {
+        auto& st = plain_stats_[m.group];
+        st.first += 1;
+        st.second += m.payload.size();
+      });
+      plain_->on_view(
+          [this](const gcs::GroupView& v) { plain_views_[v.group] = v.members.size(); });
+    }
+    return plain_.get();
+  }
+
+  std::string status_line(const std::string& group) {
+    bool keyed = false;
+    std::uint64_t epoch = 0;
+    std::vector<gcs::MemberId> members;
+    host_.run_on_home([&, this] {
+      keyed = sec_->has_key(group);
+      epoch = sec_->key_epoch(group);
+      if (const gcs::GroupView* v = sec_->current_view(group)) members = v->members;
+    });
+    return "status " + group + " keyed=" + std::to_string(keyed ? 1 : 0) +
+           " epoch=" + std::to_string(epoch) + " members=" + members_csv(members);
+  }
+
+  std::string keymat_line(const std::string& group) {
+    // Fixed-width digest of the group key: the harness compares these
+    // across processes to prove A-GDH.2 converged on one key.
+    std::string hex;
+    host_.run_on_home([&, this] {
+      if (!sec_->has_key(group)) return;
+      static const char* digits = "0123456789abcdef";
+      for (std::uint8_t b : sec_->key_material(group, 16)) {
+        hex += digits[b >> 4];
+        hex += digits[b & 0xf];
+      }
+    });
+    return "keymat " + group + " " + (hex.empty() ? "-" : hex);
+  }
+
+  std::string pview_line(const std::string& group) {
+    std::size_t members = 0;
+    host_.run_on_home([&, this] {
+      const auto it = plain_views_.find(group);
+      if (it != plain_views_.end()) members = it->second;
+    });
+    return "pview " + group + " members=" + std::to_string(members);
+  }
+
+  std::string pstat_line(const std::string& group) {
+    std::uint64_t recv = 0, bytes = 0;
+    host_.run_on_home([&, this] {
+      const auto it = plain_stats_.find(group);
+      if (it != plain_stats_.end()) {
+        recv = it->second.first;
+        bytes = it->second.second;
+      }
+    });
+    return "pstat " + group + " recv=" + std::to_string(recv) + " bytes=" + std::to_string(bytes);
+  }
+
+  netd::DaemonHost& host_;
+  cliques::KeyDirectory dir_;
+  secure::SecureGroupConfig cfg_;
+  // Home-lane-owned (created, used and destroyed via run_on_home).
+  std::unique_ptr<secure::SecureGroupClient> sec_;
+  std::unique_ptr<gcs::Mailbox> plain_;
+  std::map<gcs::GroupName, std::pair<std::uint64_t, std::uint64_t>> plain_stats_;
+  std::map<gcs::GroupName, std::size_t> plain_views_;
+  // Counter window for netreset/netstats (main thread only).
+  std::uint64_t base_copies_ = 0;
+  std::uint64_t base_sent_ = 0;
+  std::uint64_t base_recv_ = 0;
+};
+
+int run(const Args& args) {
+  netd::ClusterConf conf = netd::load_cluster_conf(args.conf);  // logs + throws on errors
+  netd::DaemonHost::Options opts;
+  opts.lanes = args.lanes;
+  opts.seed = args.seed;
+  netd::DaemonHost host(std::move(conf), args.id, opts);
+  host.start();
+
+  std::unique_ptr<netd::ClientGate> gate;
+  if (args.client_port >= 0) {
+    gate = std::make_unique<netd::ClientGate>(host);
+    const net::Endpoint ep = gate->start(static_cast<std::uint16_t>(args.client_port));
+    emit("gate " + ep.to_string());
+  }
+  emit("ready " + std::to_string(args.id) + " " + host.endpoint().to_string());
+
+  if (args.stdio_client) {
+    // Harness mode: die with the parent rather than leaking a daemon when
+    // the test harness is killed.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    StdioClient cli(host, netd::DaemonHost::Options{}.pki_seed);
+    std::string line;
+    char buf[4096];
+    while (g_stop == 0 && std::fgets(buf, sizeof(buf), stdin) != nullptr) {
+      line.assign(buf);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) line.pop_back();
+      if (!cli.handle(line)) break;
+    }
+  } else {
+    while (g_stop == 0) ::poll(nullptr, 0, 200);
+  }
+
+  SS_LOG_INFO("netd", "spreadd ", args.id, " shutting down");
+  if (gate) gate->stop();
+  host.stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage(argv[0]);
+  install_signal_handlers();
+  try {
+    return run(args);
+  } catch (const std::exception& e) {
+    // Config/socket failures were already logged with file:line context.
+    std::fprintf(stderr, "spreadd: %s\n", e.what());
+    return 1;
+  }
+}

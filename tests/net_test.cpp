@@ -1,0 +1,203 @@
+// src/net tests: endpoint parsing (column-accurate errors), the address
+// map, and the UDP transport on loopback — including the zero-copy send
+// contract and the socket-level counters.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/endpoint.h"
+#include "net/udp_transport.h"
+#include "runtime/realtime_env.h"
+#include "util/msgpath.h"
+#include "util/mutex.h"
+
+namespace {
+
+using namespace ss;
+
+TEST(Endpoint, ParsesAndPrints) {
+  const net::Endpoint ep = net::Endpoint::parse("127.0.0.1:4803");
+  EXPECT_EQ(ep.ip, 0x7f000001u);
+  EXPECT_EQ(ep.port, 4803);
+  EXPECT_EQ(ep.to_string(), "127.0.0.1:4803");
+  EXPECT_EQ(net::Endpoint::parse("0.0.0.0:0").to_string(), "0.0.0.0:0");
+  EXPECT_EQ(net::Endpoint::parse("255.255.255.255:65535").ip, 0xffffffffu);
+}
+
+TEST(Endpoint, ErrorsCarryTheOffendingColumn) {
+  auto col_of = [](const std::string& text) -> std::size_t {
+    try {
+      net::Endpoint::parse(text);
+    } catch (const net::AddressError& e) {
+      return e.col();
+    }
+    return 0;  // no throw: the test will fail on the column check
+  };
+  EXPECT_EQ(col_of("299.0.0.1:1"), 1u);       // octet out of range
+  EXPECT_EQ(col_of("10.0.0:1"), 7u);          // missing octet
+  EXPECT_EQ(col_of("10.0.0.1"), 9u);          // missing :port
+  EXPECT_EQ(col_of("10.0.0.1:"), 10u);        // empty port
+  EXPECT_EQ(col_of("10.0.0.1:99999"), 10u);   // port out of range
+  EXPECT_EQ(col_of("10.0.0.1:12ab"), 12u);    // junk in the port (the 'a')
+  EXPECT_THROW(net::Endpoint::parse(""), net::AddressError);
+}
+
+TEST(AddressMap, ForwardAndReverseLookup) {
+  net::AddressMap map;
+  map.set(0, net::Endpoint::parse("127.0.0.1:5000"));
+  map.set(2, net::Endpoint::parse("127.0.0.1:5002"));
+  EXPECT_TRUE(map.has(0));
+  EXPECT_FALSE(map.has(1));
+  EXPECT_EQ(map.capacity(), 3u);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.of(2).port, 5002);
+  EXPECT_EQ(map.find(net::Endpoint::parse("127.0.0.1:5000")), std::optional<runtime::NodeId>(0));
+  EXPECT_EQ(map.find(net::Endpoint::parse("127.0.0.1:9999")), std::nullopt);
+  EXPECT_THROW(map.of(1), std::out_of_range);
+  // Two nodes may not share an endpoint (reverse lookup would be ambiguous).
+  EXPECT_THROW(map.set(1, net::Endpoint::parse("127.0.0.1:5000")), std::invalid_argument);
+  // Re-registering the same node moves it and frees the old endpoint.
+  map.set(2, net::Endpoint::parse("127.0.0.1:5003"));
+  map.set(1, net::Endpoint::parse("127.0.0.1:5002"));
+  EXPECT_EQ(map.find(net::Endpoint::parse("127.0.0.1:5002")), std::optional<runtime::NodeId>(1));
+}
+
+// A PacketSink that records what it saw; delivery fires on the node's home
+// lane, reads happen from the test thread.
+class Recorder final : public runtime::PacketSink {
+ public:
+  void on_packet(runtime::NodeId from, const util::Frame& frame) override {
+    util::MutexLock lk(mu_);
+    // Flatten head+body by hand: to_bytes() would book a payload copy and
+    // pollute the zero-copy assertions below.
+    util::Bytes flat(frame.head.begin(), frame.head.end());
+    flat.insert(flat.end(), frame.body.begin(), frame.body.end());
+    got_.emplace_back(from, std::move(flat));
+  }
+  std::size_t count() const {
+    util::MutexLock lk(mu_);
+    return got_.size();
+  }
+  std::pair<runtime::NodeId, util::Bytes> at(std::size_t i) const {
+    util::MutexLock lk(mu_);
+    return got_.at(i);
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  std::vector<std::pair<runtime::NodeId, util::Bytes>> got_;
+};
+
+class UdpLoopback : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 3;
+
+  void SetUp() override {
+    net::AddressMap map;
+    for (runtime::NodeId id = 0; id < kNodes; ++id) {
+      map.set(id, net::Endpoint::parse("127.0.0.1:0"));  // ephemeral: no port races
+    }
+    udp_ = std::make_unique<net::UdpTransport>(env_, std::move(map));
+    for (runtime::NodeId id = 0; id < kNodes; ++id) {
+      udp_->open_local(id);
+      udp_->bind(id, &sinks_[id]);
+    }
+    env_.start();
+    udp_->start();
+  }
+
+  void TearDown() override {
+    udp_->stop();
+    env_.stop();
+  }
+
+  bool wait_for(const std::function<bool()>& pred) {
+    return env_.wait_until(pred, 5 * runtime::kSecond);
+  }
+
+  runtime::RealtimeEnv env_;
+  std::unique_ptr<net::UdpTransport> udp_;
+  Recorder sinks_[kNodes];
+};
+
+TEST_F(UdpLoopback, EphemeralPortsAreWrittenBack) {
+  for (runtime::NodeId id = 0; id < kNodes; ++id) {
+    EXPECT_NE(udp_->endpoint_of(id).port, 0) << "node " << id;
+  }
+}
+
+TEST_F(UdpLoopback, DeliversFramesWithSenderResolution) {
+  udp_->send(0, 1, util::Frame{util::SharedBytes(util::bytes_of("hello"))});
+  ASSERT_TRUE(wait_for([&] { return sinks_[1].count() >= 1; }));
+  EXPECT_EQ(sinks_[1].at(0).first, 0u);
+  EXPECT_EQ(sinks_[1].at(0).second, util::bytes_of("hello"));
+  const net::UdpTransport::Stats s = udp_->stats();
+  EXPECT_GE(s.packets_sent, 1u);
+  EXPECT_GE(s.packets_received, 1u);
+  EXPECT_EQ(s.recv_copies, s.packets_received);  // exactly one copy per datagram
+}
+
+TEST_F(UdpLoopback, FanOutSharesTheBodyWithoutCopying) {
+  // One 4 KiB body multicast to both peers: the send path must not copy
+  // payload bytes at all — head and body go to sendmsg() as an iovec pair.
+  const util::SharedBytes body(util::Bytes(4096, 0xab));
+  const std::uint64_t copies_before = util::msgpath().payload_copies.load();
+  for (int round = 0; round < 8; ++round) {
+    util::Frame frame{util::SharedBytes(util::bytes_of("hdr")), body};
+    udp_->send(0, 1, frame);
+    udp_->send(0, 2, frame);
+  }
+  ASSERT_TRUE(wait_for([&] { return sinks_[1].count() >= 8 && sinks_[2].count() >= 8; }));
+  EXPECT_EQ(util::msgpath().payload_copies.load(), copies_before)
+      << "UDP send path copied a frame body";
+  EXPECT_EQ(sinks_[1].at(0).second.size(), 3u + 4096u);
+  const net::UdpTransport::Stats s = udp_->stats();
+  EXPECT_EQ(s.recv_bytes_copied, s.bytes_received);
+}
+
+TEST_F(UdpLoopback, CrashDropsBothDirectionsUntilRecover) {
+  udp_->crash(2);
+  udp_->send(0, 2, util::Frame{util::SharedBytes(util::bytes_of("to-crashed"))});
+  udp_->send(2, 0, util::Frame{util::SharedBytes(util::bytes_of("from-crashed"))});
+  udp_->send(0, 1, util::Frame{util::SharedBytes(util::bytes_of("alive"))});
+  ASSERT_TRUE(wait_for([&] { return sinks_[1].count() >= 1; }));
+  EXPECT_EQ(sinks_[2].count(), 0u);
+  EXPECT_EQ(sinks_[0].count(), 0u);
+  EXPECT_GE(udp_->stats().dropped_down, 2u);
+
+  udp_->recover(2);
+  udp_->send(0, 2, util::Frame{util::SharedBytes(util::bytes_of("back"))});
+  ASSERT_TRUE(wait_for([&] { return sinks_[2].count() >= 1; }));
+  EXPECT_EQ(sinks_[2].at(0).second, util::bytes_of("back"));
+}
+
+TEST_F(UdpLoopback, UnmappedDestinationIsCountedNotFatal) {
+  const net::UdpTransport::Stats before = udp_->stats();
+  udp_->send(0, 17, util::Frame{util::SharedBytes(util::bytes_of("nowhere"))});
+  EXPECT_EQ(udp_->stats().send_errors, before.send_errors + 1);
+}
+
+TEST(UdpTransport, BindFailureNamesTheEndpointAndHintsAtStaleProcess) {
+  runtime::RealtimeEnv env;
+  net::AddressMap first_map;
+  first_map.set(0, net::Endpoint::parse("127.0.0.1:0"));
+  net::UdpTransport first(env, std::move(first_map));
+  first.open_local(0);
+  const net::Endpoint taken = first.endpoint_of(0);
+
+  net::AddressMap second_map;
+  second_map.set(0, taken);  // same port: bind must fail with EADDRINUSE
+  net::UdpTransport second(env, std::move(second_map));
+  try {
+    second.open_local(0);
+    FAIL() << "open_local bound an already-bound endpoint";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(taken.to_string()), std::string::npos) << what;
+    EXPECT_NE(what.find("spreadd"), std::string::npos) << what;
+  }
+}
+
+}  // namespace

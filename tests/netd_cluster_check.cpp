@@ -1,0 +1,712 @@
+// Multi-process cluster acceptance check (the netd analogue of
+// examples/realtime_demo.cpp).
+//
+// The same secure-group lifecycle — daemon convergence, join, sealed
+// message, join (rekey), plain fan-out burst, leave (rekey), daemon crash
+// (rekey), explicit refresh — is driven twice:
+//
+//   sim arm      three gcs daemons on runtime::SimEnv in this process
+//   process arm  three forked `spreadd --stdio-client` processes on real
+//                UDP loopback sockets, driven over stdin/stdout pipes;
+//                the crash step is a SIGKILL of a live operating-system
+//                process
+//
+// Both arms emit the same membership/key-epoch transcript; any divergence
+// is a failure. The process arm additionally asserts that A-GDH.2
+// converged on one key across process boundaries (keymat lines) and that
+// the fan-out burst stayed on the zero-copy send path (msgpath counters
+// via netstats).
+//
+// Usage: netd_cluster_check <path-to-spreadd>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crypto/dh.h"
+#include "gcs/daemon.h"
+#include "gcs/mailbox.h"
+#include "net/endpoint.h"
+#include "netd/keystore.h"
+#include "runtime/sim_env.h"
+#include "secure/secure_client.h"
+#include "util/bytes.h"
+
+namespace {
+
+using namespace ss;  // standalone check binary, demo-style brevity
+
+constexpr std::size_t kDaemons = 3;
+constexpr std::size_t kFanoutBytes = 4096;
+constexpr std::size_t kFanoutCount = 8;
+const char* const kNames[kDaemons] = {"alice", "bob", "carol"};
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point after(int seconds) { return Clock::now() + std::chrono::seconds(seconds); }
+
+// ---------------------------------------------------------------------------
+// Transcript field helpers (both arms build identical lines).
+
+std::uint64_t num_field(const std::string& line, const std::string& key) {
+  const std::size_t at = line.find(key);
+  if (at == std::string::npos) return 0;
+  return std::strtoull(line.c_str() + at + key.size(), nullptr, 10);
+}
+
+std::string str_field(const std::string& line, const std::string& key) {
+  const std::size_t at = line.find(key);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + key.size();
+  const std::size_t end = line.find(' ', start);
+  return line.substr(start, end == std::string::npos ? std::string::npos : end - start);
+}
+
+std::size_t csv_count(const std::string& csv) {
+  if (csv.empty() || csv == "-") return 0;
+  std::size_t n = 1;
+  for (char ch : csv) {
+    if (ch == ',') ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Process arm: fork/exec spreadd and drive its stdio protocol.
+
+struct Proc {
+  pid_t pid = -1;
+  int in = -1;   // write end: harness -> child stdin
+  int out = -1;  // read end: child stdout -> harness
+  std::string name;
+  std::string buf;
+  bool dead = false;
+};
+
+std::vector<Proc>* g_procs = nullptr;
+std::string g_conf_path;
+
+void kill_children() {
+  if (g_procs == nullptr) return;
+  for (Proc& p : *g_procs) {
+    if (p.pid > 0 && !p.dead) ::kill(p.pid, SIGKILL);
+  }
+  for (Proc& p : *g_procs) {
+    if (p.pid > 0 && !p.dead) {
+      ::waitpid(p.pid, nullptr, 0);
+      p.dead = true;
+    }
+  }
+  if (!g_conf_path.empty()) ::unlink(g_conf_path.c_str());
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+  kill_children();
+  std::exit(1);
+}
+
+/// Three distinct free UDP ports, picked by the kernel. All sockets stay
+/// bound while collecting so the picks cannot collide with each other.
+std::vector<std::uint16_t> free_udp_ports(std::size_t n) {
+  std::vector<int> fds;
+  std::vector<std::uint16_t> ports;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = net::net32(0x7f000001);  // 127.0.0.1
+    if (fd < 0 || ::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+      fail("cannot reserve a loopback UDP port");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    fds.push_back(fd);
+    ports.push_back(net::net16(bound.sin_port));
+  }
+  for (int fd : fds) ::close(fd);
+  return ports;
+}
+
+std::string write_conf(const std::vector<std::uint16_t>& ports) {
+  // Relative to the cwd (the build tree under ctest) — short failure
+  // detection so the SIGKILL step settles in seconds, secure_links off so
+  // the fan-out burst keeps its zero-copy send path measurable.
+  const std::string path = "netd_cluster_" + std::to_string(::getpid()) + ".conf";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) fail("cannot write " + path);
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    std::fprintf(f, "daemon %zu 127.0.0.1:%u\n", i, ports[i]);
+  }
+  std::fputs(
+      "heartbeat_ms 50\n"
+      "fd_check_ms 50\n"
+      "fail_timeout_ms 2000\n"
+      "link_rto_ms 100\n"
+      "gather_stable_ms 200\n"
+      "gather_timeout_ms 3000\n"
+      "recovery_timeout_ms 5000\n",
+      f);
+  std::fclose(f);
+  return path;
+}
+
+Proc spawn_daemon(const std::string& spreadd, const std::string& conf, std::size_t id) {
+  int to_child[2], from_child[2];
+  if (::pipe2(to_child, O_CLOEXEC) != 0 || ::pipe2(from_child, O_CLOEXEC) != 0) {
+    fail("cannot create pipes");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) fail("fork failed");
+  if (pid == 0) {
+    ::dup2(to_child[0], 0);    // dup2 clears O_CLOEXEC on the child's copies
+    ::dup2(from_child[1], 1);  // stderr stays inherited for diagnostics
+    const std::string id_s = std::to_string(id);
+    const std::string seed_s = std::to_string(1000 + id);
+    ::execl(spreadd.c_str(), "spreadd", "--conf", conf.c_str(), "--id", id_s.c_str(), "--seed",
+            seed_s.c_str(), "--stdio-client", static_cast<char*>(nullptr));
+    std::perror("execl spreadd");
+    ::_exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  Proc p;
+  p.pid = pid;
+  p.in = to_child[1];
+  p.out = from_child[0];
+  p.name = kNames[id];
+  return p;
+}
+
+void send_cmd(Proc& p, const std::string& cmd) {
+  const std::string line = cmd + "\n";
+  if (::write(p.in, line.data(), line.size()) != static_cast<ssize_t>(line.size())) {
+    fail(p.name + ": cannot write '" + cmd + "'");
+  }
+}
+
+std::optional<std::string> read_line(Proc& p, Clock::time_point deadline) {
+  for (;;) {
+    const std::size_t nl = p.buf.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = p.buf.substr(0, nl);
+      p.buf.erase(0, nl + 1);
+      return line;
+    }
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+    if (left.count() <= 0) return std::nullopt;
+    pollfd pfd{p.out, POLLIN, 0};
+    const int rv = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (rv < 0 && errno == EINTR) continue;
+    if (rv <= 0) return std::nullopt;
+    char tmp[4096];
+    const ssize_t n = ::read(p.out, tmp, sizeof(tmp));
+    if (n <= 0) return std::nullopt;  // child died
+    p.buf.append(tmp, static_cast<std::size_t>(n));
+  }
+}
+
+/// Reads until a line starting with `prefix` arrives; intervening
+/// asynchronous lines ("ready", late views) are skipped, "err" is fatal.
+std::string expect(Proc& p, const std::string& prefix, Clock::time_point deadline) {
+  for (;;) {
+    std::optional<std::string> line = read_line(p, deadline);
+    if (!line) fail(p.name + ": timed out waiting for '" + prefix + "'");
+    if (line->rfind(prefix, 0) == 0) return *line;
+    if (line->rfind("err ", 0) == 0) fail(p.name + ": daemon error: " + *line);
+  }
+}
+
+std::string query(Proc& p, const std::string& cmd, const std::string& reply_prefix) {
+  send_cmd(p, cmd);
+  return expect(p, reply_prefix, after(10));
+}
+
+/// Polls `pred` (which issues queries) every 50 ms until true or deadline.
+void poll_until(const std::string& what, const std::function<bool()>& pred,
+                Clock::time_point deadline) {
+  for (;;) {
+    if (pred()) return;
+    if (Clock::now() >= deadline) fail("timed out waiting for: " + what);
+    ::poll(nullptr, 0, 50);
+  }
+}
+
+struct SecStatus {
+  bool keyed = false;
+  std::uint64_t epoch = 0;
+  std::size_t members = 0;
+};
+
+SecStatus sec_status(Proc& p, const std::string& group) {
+  const std::string line = query(p, "status " + group, "status " + group + " ");
+  SecStatus s;
+  s.keyed = num_field(line, "keyed=") == 1;
+  s.epoch = num_field(line, "epoch=");
+  s.members = csv_count(str_field(line, "members="));
+  return s;
+}
+
+std::string keymat(Proc& p, const std::string& group) {
+  return str_field(query(p, "keymat " + group, "keymat " + group + " "), group + " ");
+}
+
+/// True when every listed process reports the same non-empty key digest —
+/// the cross-process statement of the demo's keys_agree().
+bool keymats_agree(std::vector<Proc>& procs, const std::vector<std::size_t>& who,
+                   const std::string& group) {
+  std::string first;
+  for (std::size_t i : who) {
+    const std::string mat = keymat(procs[i], group);
+    if (mat == "-" || mat.empty()) return false;
+    if (first.empty()) {
+      first = mat;
+    } else if (mat != first) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool process_arm(const std::string& spreadd, std::vector<std::string>& transcript) {
+  const gcs::GroupName group = "ops";
+  std::vector<Proc> procs;
+  g_procs = &procs;
+  g_conf_path = write_conf(free_udp_ports(kDaemons));
+  for (std::size_t i = 0; i < kDaemons; ++i) {
+    procs.push_back(spawn_daemon(spreadd, g_conf_path, i));
+  }
+  for (Proc& p : procs) expect(p, "ready ", after(20));
+
+  // Daemon-level convergence over real UDP.
+  poll_until(
+      "daemon convergence",
+      [&] {
+        for (Proc& p : procs) {
+          const std::string d = query(p, "dstatus", "dstatus ");
+          if (num_field(d, "operational=") != 1 || num_field(d, "members=") != kDaemons) {
+            return false;
+          }
+        }
+        return true;
+      },
+      after(60));
+  transcript.push_back("converged daemons=" + std::to_string(kDaemons));
+
+  // alice joins solo.
+  send_cmd(procs[0], "join " + group);
+  poll_until("alice keyed", [&] { return sec_status(procs[0], group).keyed; }, after(30));
+  {
+    const SecStatus a = sec_status(procs[0], group);
+    transcript.push_back("alice joined epoch=" + std::to_string(a.epoch) +
+                         " members=" + std::to_string(a.members));
+  }
+
+  // bob joins from another process: rekey, and both processes must hold
+  // the same group key without ever exchanging long-term secrets.
+  send_cmd(procs[1], "join " + group);
+  poll_until(
+      "bob keyed with alice",
+      [&] {
+        return sec_status(procs[0], group).members == 2 &&
+               keymats_agree(procs, {0, 1}, group);
+      },
+      after(30));
+  {
+    const SecStatus a = sec_status(procs[0], group);
+    const SecStatus b = sec_status(procs[1], group);
+    transcript.push_back("bob joined alice.epoch=" + std::to_string(a.epoch) +
+                         " bob.epoch=" + std::to_string(b.epoch) +
+                         " members=" + std::to_string(a.members));
+  }
+
+  // Sealed message across process (and socket) boundaries.
+  send_cmd(procs[0], "send " + group + " wide area secure spread");
+  {
+    const std::string line = expect(procs[1], "msg " + group + " ", after(30));
+    const std::string rest = line.substr(("msg " + group + " ").size());
+    const std::size_t sp = rest.find(' ');
+    transcript.push_back("bob decrypted from " + rest.substr(0, sp) + ": " +
+                         rest.substr(sp + 1));
+  }
+
+  // carol joins: three processes, one key.
+  send_cmd(procs[2], "join " + group);
+  poll_until(
+      "carol keyed with alice and bob",
+      [&] {
+        return sec_status(procs[0], group).members == 3 &&
+               keymats_agree(procs, {0, 1, 2}, group);
+      },
+      after(30));
+  {
+    const SecStatus a = sec_status(procs[0], group);
+    const SecStatus c = sec_status(procs[2], group);
+    transcript.push_back("carol joined alice.epoch=" + std::to_string(a.epoch) +
+                         " carol.epoch=" + std::to_string(c.epoch) +
+                         " members=" + std::to_string(a.members));
+  }
+
+  // Plain fan-out burst: every process pjoins "wire", alice multicasts
+  // kFanoutCount payloads of kFanoutBytes, and the send path must not copy
+  // a single payload byte (netstats window around the burst).
+  for (Proc& p : procs) send_cmd(p, "pjoin wire");
+  poll_until(
+      "plain group formed",
+      [&] {
+        for (Proc& p : procs) {
+          if (num_field(query(p, "pview wire", "pview wire "), "members=") != kDaemons) {
+            return false;
+          }
+        }
+        return true;
+      },
+      after(30));
+  query(procs[0], "netreset", "netreset ");
+  send_cmd(procs[0], "psend wire " + std::to_string(kFanoutBytes) + " " +
+                         std::to_string(kFanoutCount));
+  poll_until(
+      "fan-out delivered",
+      [&] {
+        return num_field(query(procs[1], "pstat wire", "pstat wire "), "recv=") >=
+                   kFanoutCount &&
+               num_field(query(procs[2], "pstat wire", "pstat wire "), "recv=") >= kFanoutCount;
+      },
+      after(30));
+  {
+    const std::string b = query(procs[1], "pstat wire", "pstat wire ");
+    const std::string c = query(procs[2], "pstat wire", "pstat wire ");
+    transcript.push_back("fanout bob recv=" + std::to_string(num_field(b, "recv=")) +
+                         " bytes=" + std::to_string(num_field(b, "bytes=")) + " carol recv=" +
+                         std::to_string(num_field(c, "recv=")) +
+                         " bytes=" + std::to_string(num_field(c, "bytes=")));
+    const std::string stats = query(procs[0], "netstats", "netstats ");
+    const std::uint64_t copies = num_field(stats, "copies=");
+    const std::uint64_t sent = num_field(stats, "sent=");
+    // One encode gather per message (never per destination, never a body
+    // copy to enqueue): a generous cap still catches a copying regression,
+    // which would add >= kFanoutCount * fan-out copies.
+    if (copies > 3 * kFanoutCount) {
+      fail("fan-out send path copied payloads: " + stats);
+    }
+    if (sent < 2 * kFanoutCount) {
+      fail("fan-out under-sent (expected >= 16 datagrams to 2 peers): " + stats);
+    }
+    std::fprintf(stderr, "[process] zero-copy window: %s\n", stats.c_str());
+  }
+
+  // bob leaves voluntarily: survivors rekey.
+  std::uint64_t alice_epoch = sec_status(procs[0], group).epoch;
+  send_cmd(procs[1], "leave " + group);
+  poll_until(
+      "bob left, survivors rekeyed",
+      [&] {
+        const SecStatus a = sec_status(procs[0], group);
+        return a.members == 2 && a.epoch > alice_epoch && keymats_agree(procs, {0, 2}, group);
+      },
+      after(30));
+  {
+    const SecStatus a = sec_status(procs[0], group);
+    transcript.push_back("bob left alice.epoch=" + std::to_string(a.epoch) +
+                         " members=" + std::to_string(a.members));
+  }
+
+  // carol crashes: SIGKILL the live process. The survivors' failure
+  // detectors must notice, reconfigure the daemon membership, and rekey
+  // the group without carol.
+  alice_epoch = sec_status(procs[0], group).epoch;
+  ::kill(procs[2].pid, SIGKILL);
+  ::waitpid(procs[2].pid, nullptr, 0);
+  procs[2].dead = true;
+  poll_until(
+      "carol's crash detected and rekeyed around",
+      [&] {
+        const SecStatus a = sec_status(procs[0], group);
+        return a.members == 1 && a.epoch > alice_epoch &&
+               num_field(query(procs[0], "dstatus", "dstatus "), "members=") == kDaemons - 1;
+      },
+      after(60));
+  {
+    const SecStatus a = sec_status(procs[0], group);
+    const std::uint64_t daemons = num_field(query(procs[0], "dstatus", "dstatus "), "members=");
+    transcript.push_back("carol crashed alice.epoch=" + std::to_string(a.epoch) +
+                         " members=" + std::to_string(a.members) +
+                         " daemons=" + std::to_string(daemons));
+  }
+
+  // Explicit key refresh on the surviving solo member.
+  alice_epoch = sec_status(procs[0], group).epoch;
+  send_cmd(procs[0], "refresh " + group);
+  poll_until(
+      "explicit refresh rekeyed",
+      [&] { return sec_status(procs[0], group).epoch > alice_epoch; }, after(30));
+  {
+    const SecStatus a = sec_status(procs[0], group);
+    transcript.push_back("refreshed alice.epoch=" + std::to_string(a.epoch) +
+                         " members=" + std::to_string(a.members));
+  }
+
+  // Clean shutdown of the survivors.
+  for (std::size_t i : {std::size_t{0}, std::size_t{1}}) {
+    send_cmd(procs[i], "quit");
+  }
+  for (std::size_t i : {std::size_t{0}, std::size_t{1}}) {
+    int status = 0;
+    if (::waitpid(procs[i].pid, &status, 0) != procs[i].pid || status != 0) {
+      fail(procs[i].name + ": spreadd exited uncleanly");
+    }
+    procs[i].dead = true;
+  }
+  ::unlink(g_conf_path.c_str());
+  g_conf_path.clear();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Sim arm: the identical lifecycle on the discrete-event backend.
+
+bool sim_arm(std::vector<std::string>& transcript) {
+  const gcs::GroupName group = "ops";
+  constexpr runtime::Time kBudget = 60 * runtime::kSecond;
+  runtime::SimEnv env(/*seed=*/7);
+  std::vector<gcs::DaemonId> ids;
+  for (std::size_t i = 0; i < kDaemons; ++i) ids.push_back(env.add_node());
+
+  std::vector<std::unique_ptr<gcs::Daemon>> daemons;
+  for (gcs::DaemonId id : ids) {
+    daemons.push_back(
+        std::make_unique<gcs::Daemon>(env.env(id), ids, gcs::TimingConfig{}, 1000 + id));
+    env.transport().bind(id, daemons.back().get());
+  }
+  env.run_on_loop([&] {
+    for (auto& d : daemons) d->start();
+  });
+
+  bool ok = true;
+  auto step = [&](const char* what, const std::function<void()>& action,
+                  const std::function<bool()>& until) {
+    if (!ok) return;
+    if (action) env.run_on_loop(action);
+    if (!env.wait_until(until, kBudget)) {
+      std::fprintf(stderr, "[sim] FAILED waiting for: %s\n", what);
+      ok = false;
+    }
+  };
+
+  step("daemon convergence", nullptr, [&] {
+    for (auto& d : daemons) {
+      if (!d->is_operational() || d->view_members().size() != kDaemons) return false;
+    }
+    return true;
+  });
+  if (ok) transcript.push_back("converged daemons=" + std::to_string(kDaemons));
+
+  // Same deterministic PKI stand-in the spreadd processes derive; the sim
+  // arm shares one directory the way one process's clients would.
+  cliques::KeyDirectory dir(crypto::DhGroup::tiny64());
+  netd::provision_member_keys(dir, ids, /*clients_per_daemon=*/4, /*master_seed=*/0x5353u);
+  secure::SecureGroupConfig cfg;
+  cfg.ka_module = "cliques";
+  cfg.dh = &crypto::DhGroup::tiny64();
+
+  std::unique_ptr<secure::SecureGroupClient> alice, bob, carol;
+  std::vector<std::pair<std::string, std::string>> bob_inbox;  // sender, text
+
+  auto keys_agree = [&](const secure::SecureGroupClient& x, const secure::SecureGroupClient& y) {
+    return x.has_key(group) && y.has_key(group) &&
+           x.key_material(group, 16) == y.key_material(group, 16);
+  };
+  auto members_of = [&](const secure::SecureGroupClient& c) -> std::size_t {
+    const gcs::GroupView* v = c.current_view(group);
+    return v == nullptr ? 0 : v->members.size();
+  };
+
+  step("alice keyed",
+       [&] {
+         alice = std::make_unique<secure::SecureGroupClient>(*daemons[0], dir, /*seed=*/11);
+         alice->join(group, cfg);
+       },
+       [&] { return alice->has_key(group); });
+  if (ok) {
+    transcript.push_back("alice joined epoch=" + std::to_string(alice->key_epoch(group)) +
+                         " members=" + std::to_string(members_of(*alice)));
+  }
+
+  step("bob keyed with alice",
+       [&] {
+         bob = std::make_unique<secure::SecureGroupClient>(*daemons[1], dir, /*seed=*/22);
+         bob->on_message([&](const secure::SecureMessage& m) {
+           bob_inbox.emplace_back(m.sender.to_string(), util::string_of(m.plaintext));
+         });
+         bob->join(group, cfg);
+       },
+       [&] { return members_of(*alice) == 2 && keys_agree(*alice, *bob); });
+  if (ok) {
+    transcript.push_back("bob joined alice.epoch=" + std::to_string(alice->key_epoch(group)) +
+                         " bob.epoch=" + std::to_string(bob->key_epoch(group)) +
+                         " members=" + std::to_string(members_of(*alice)));
+  }
+
+  step("bob received the sealed message",
+       [&] { alice->send(group, util::bytes_of("wide area secure spread")); },
+       [&] { return !bob_inbox.empty(); });
+  if (ok) {
+    transcript.push_back("bob decrypted from " + bob_inbox.front().first + ": " +
+                         bob_inbox.front().second);
+  }
+
+  step("carol keyed with alice and bob",
+       [&] {
+         carol = std::make_unique<secure::SecureGroupClient>(*daemons[2], dir, /*seed=*/33);
+         carol->join(group, cfg);
+       },
+       [&] {
+         return members_of(*alice) == 3 && keys_agree(*alice, *bob) &&
+                keys_agree(*alice, *carol);
+       });
+  if (ok) {
+    transcript.push_back("carol joined alice.epoch=" + std::to_string(alice->key_epoch(group)) +
+                         " carol.epoch=" + std::to_string(carol->key_epoch(group)) +
+                         " members=" + std::to_string(members_of(*alice)));
+  }
+
+  // Plain fan-out burst, mirroring pjoin/psend/pstat.
+  std::vector<std::unique_ptr<gcs::Mailbox>> boxes;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pstats(kDaemons);  // recv, bytes
+  std::vector<std::size_t> pview(kDaemons, 0);
+  step("plain group formed",
+       [&] {
+         for (std::size_t i = 0; i < kDaemons; ++i) {
+           boxes.push_back(std::make_unique<gcs::Mailbox>(*daemons[i]));
+           boxes[i]->on_message([&pstats, i](const gcs::Message& m) {
+             pstats[i].first += 1;
+             pstats[i].second += m.payload.size();
+           });
+           boxes[i]->on_view(
+               [&pview, i](const gcs::GroupView& v) { pview[i] = v.members.size(); });
+           boxes[i]->join("wire");
+         }
+       },
+       [&] {
+         for (std::size_t i = 0; i < kDaemons; ++i) {
+           if (pview[i] != kDaemons) return false;
+         }
+         return true;
+       });
+  step("fan-out delivered",
+       [&] {
+         for (std::size_t i = 0; i < kFanoutCount; ++i) {
+           boxes[0]->multicast(gcs::ServiceType::kFifo, "wire",
+                               util::Bytes(kFanoutBytes, static_cast<std::uint8_t>(i)));
+         }
+       },
+       [&] { return pstats[1].first >= kFanoutCount && pstats[2].first >= kFanoutCount; });
+  if (ok) {
+    transcript.push_back("fanout bob recv=" + std::to_string(pstats[1].first) +
+                         " bytes=" + std::to_string(pstats[1].second) +
+                         " carol recv=" + std::to_string(pstats[2].first) +
+                         " bytes=" + std::to_string(pstats[2].second));
+  }
+
+  std::uint64_t alice_epoch = ok ? alice->key_epoch(group) : 0;
+  step("bob left, survivors rekeyed", [&] { bob->leave(group); },
+       [&] {
+         return members_of(*alice) == 2 && alice->key_epoch(group) > alice_epoch &&
+                keys_agree(*alice, *carol);
+       });
+  if (ok) {
+    transcript.push_back("bob left alice.epoch=" + std::to_string(alice->key_epoch(group)) +
+                         " members=" + std::to_string(members_of(*alice)));
+  }
+
+  // carol's daemon crashes (the sim twin of SIGKILLing the process).
+  alice_epoch = ok ? alice->key_epoch(group) : 0;
+  step("carol's crash detected and rekeyed around", [&] { daemons[2]->crash(); },
+       [&] {
+         return members_of(*alice) == 1 && alice->key_epoch(group) > alice_epoch &&
+                daemons[0]->view_members().size() == kDaemons - 1;
+       });
+  if (ok) {
+    transcript.push_back("carol crashed alice.epoch=" + std::to_string(alice->key_epoch(group)) +
+                         " members=" + std::to_string(members_of(*alice)) +
+                         " daemons=" + std::to_string(daemons[0]->view_members().size()));
+  }
+
+  alice_epoch = ok ? alice->key_epoch(group) : 0;
+  step("explicit refresh rekeyed", [&] { alice->refresh_key(group); },
+       [&] { return alice->key_epoch(group) > alice_epoch; });
+  if (ok) {
+    transcript.push_back("refreshed alice.epoch=" + std::to_string(alice->key_epoch(group)) +
+                         " members=" + std::to_string(members_of(*alice)));
+  }
+
+  env.run_on_loop([&] {
+    alice.reset();
+    bob.reset();
+    carol.reset();
+    boxes.clear();
+    for (auto& d : daemons) d->stop();
+  });
+  for (gcs::DaemonId id : ids) env.transport().bind(id, nullptr);
+  return ok;
+}
+
+void print_transcript(const char* arm, const std::vector<std::string>& t) {
+  std::printf("--- %s transcript ---\n", arm);
+  for (const auto& line : t) std::printf("  %s\n", line.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <path-to-spreadd>\n", argv[0]);
+    return 2;
+  }
+  ::alarm(240);  // hard backstop: spreadd children die with us (PDEATHSIG)
+
+  std::vector<std::string> sim_t, proc_t;
+  if (!sim_arm(sim_t)) {
+    print_transcript("sim", sim_t);
+    return 1;
+  }
+  print_transcript("sim", sim_t);
+
+  if (!process_arm(argv[1], proc_t)) {
+    print_transcript("process", proc_t);
+    kill_children();
+    return 1;
+  }
+  print_transcript("process", proc_t);
+
+  if (sim_t != proc_t) {
+    std::fprintf(stderr, "FAIL: multi-process transcript diverges from sim\n");
+    const std::size_t n = sim_t.size() > proc_t.size() ? sim_t.size() : proc_t.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string& s = i < sim_t.size() ? sim_t[i] : "<missing>";
+      const std::string& p = i < proc_t.size() ? proc_t[i] : "<missing>";
+      if (s != p) std::fprintf(stderr, "  line %zu:\n    sim:     %s\n    process: %s\n", i, s.c_str(), p.c_str());
+    }
+    return 1;
+  }
+  std::printf("OK: %zu-process cluster transcript matches sim (%zu lines)\n", kDaemons,
+              sim_t.size());
+  return 0;
+}

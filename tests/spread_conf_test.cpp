@@ -32,10 +32,28 @@ TEST(SpreadConf, RejectsMalformedInput) {
   EXPECT_THROW(SpreadConf::parse(""), std::invalid_argument);              // no daemons
   EXPECT_THROW(SpreadConf::parse("daemon"), std::invalid_argument);        // missing value
   EXPECT_THROW(SpreadConf::parse("daemon x"), std::invalid_argument);      // not a number
-  EXPECT_THROW(SpreadConf::parse("daemon 1 2"), std::invalid_argument);    // trailing token
+  // `daemon` takes at most id + address; anything else takes one value.
+  EXPECT_THROW(SpreadConf::parse("daemon 1 127.0.0.1:1 x"), std::invalid_argument);
+  EXPECT_THROW(SpreadConf::parse("daemon 1\nheartbeat_ms 5 6"), std::invalid_argument);
   EXPECT_THROW(SpreadConf::parse("daemon 1\ndaemon 1"), std::invalid_argument);  // duplicate
   EXPECT_THROW(SpreadConf::parse("daemon 1\nspeling 3"), std::invalid_argument); // unknown key
   EXPECT_THROW(SpreadConf::parse("daemon 1\nsecure_links maybe"), std::invalid_argument);
+}
+
+TEST(SpreadConf, DaemonLinesCarryOptionalAddresses) {
+  // The third token is kept as opaque text with its source line; netd
+  // parses it into an endpoint and reports "file:line:col" on typos.
+  const SpreadConf conf = SpreadConf::parse(
+      "daemon 1 10.0.0.2:4804\n"
+      "daemon 0 10.0.0.1:4803   # comment after the address\n"
+      "daemon 2\n");
+  ASSERT_EQ(conf.daemon_entries.size(), 3u);  // sorted by id, like daemons
+  EXPECT_EQ(conf.address_of(0), "10.0.0.1:4803");
+  EXPECT_EQ(conf.address_of(1), "10.0.0.2:4804");
+  EXPECT_EQ(conf.address_of(2), "");   // address omitted (sim/in-process)
+  EXPECT_EQ(conf.address_of(99), "");  // unknown id: empty, not a throw
+  EXPECT_EQ(conf.daemon_entries[0].line, 2u);  // id 0 came from line 2
+  EXPECT_EQ(conf.daemon_entries[1].line, 1u);
 }
 
 TEST(SpreadConf, ErrorsCarryLineNumbers) {
@@ -50,12 +68,16 @@ TEST(SpreadConf, ErrorsCarryLineNumbers) {
 TEST(SpreadConf, RoundTripsThroughToString) {
   SpreadConf conf;
   conf.daemons = {0, 1, 2, 5};
+  conf.daemon_entries = {{0, "127.0.0.1:4803", 0}, {1, "", 0}, {2, "127.0.0.1:4805", 0}, {5, "", 0}};
   conf.timing.heartbeat_interval = 9 * sim::kMillisecond;
   conf.secure_links = true;
   const SpreadConf again = SpreadConf::parse(conf.to_string());
   EXPECT_EQ(again.daemons, conf.daemons);
   EXPECT_EQ(again.timing.heartbeat_interval, conf.timing.heartbeat_interval);
   EXPECT_EQ(again.secure_links, conf.secure_links);
+  EXPECT_EQ(again.address_of(0), "127.0.0.1:4803");  // addresses survive the trip
+  EXPECT_EQ(again.address_of(1), "");
+  EXPECT_EQ(again.address_of(2), "127.0.0.1:4805");
 }
 
 TEST(SpreadConf, BootsAClusterFromConfiguration) {

@@ -1,0 +1,6 @@
+// Violation [socket-headers] at lines 4 and 5: protocol layers must not
+// talk to platform sockets directly; the network lives behind src/net's
+// runtime::Transport implementation.
+#include <sys/socket.h>
+#include <netinet/in.h>
+int socketed() { return 0; }

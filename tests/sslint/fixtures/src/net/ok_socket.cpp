@@ -1,0 +1,5 @@
+// Exercises the [ban socket-headers] allow-list: src/net owns the sockets,
+// so these includes must stay silent.
+#include <poll.h>
+#include <sys/socket.h>
+int net_ok() { return 0; }

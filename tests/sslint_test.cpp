@@ -86,7 +86,7 @@ TEST(SslintRules, ParsesTheCommittedRealRules) {
   EXPECT_FALSE(cfg.bans.empty());
   // The layering table must cover every protocol layer the paper's stack
   // names; forgetting one would silently disable its checks.
-  for (const char* layer : {"util", "crypto", "runtime", "gcs", "flush", "secure"}) {
+  for (const char* layer : {"util", "crypto", "runtime", "gcs", "flush", "secure", "net", "netd"}) {
     EXPECT_TRUE(cfg.layers.count(layer) != 0u) << layer;
   }
 }
@@ -123,6 +123,8 @@ TEST(SslintFixtures, FlagsEveryPlantedViolationAtItsLine) {
       {"src/gcs/bad_pool.cpp", 5, "worker-pool"},
       {"src/gcs/bad_pool.cpp", 7, "worker-pool"},
       {"src/gcs/bad_reach.cpp", 3, "layer-reach"},
+      {"src/gcs/bad_socket.cpp", 4, "socket-headers"},
+      {"src/gcs/bad_socket.cpp", 5, "socket-headers"},
       // The a -> b -> c -> a cycle: every edge that can reach sim is
       // flagged. A DFS memo caching partial sets across the back edge
       // would miss cyc_c.h, cyc_victim.cpp and cyc_b.h's cycle edge.
@@ -151,6 +153,7 @@ TEST(SslintFixtures, CleanFilesProduceNoDiagnostics) {
     EXPECT_NE(d.file, "src/util/ok.h") << d.rule;
     EXPECT_NE(d.file, "src/runtime/sim_adapter.h") << d.rule;
     EXPECT_NE(d.file, "src/util/built.cpp") << d.rule;
+    EXPECT_NE(d.file, "src/net/ok_socket.cpp") << d.rule;
   }
 }
 

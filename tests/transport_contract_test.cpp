@@ -1,0 +1,202 @@
+// Shared runtime::Transport contract suite, run over both wall-clock
+// backends: the RealtimeEnv in-process queue transport and the UDP
+// transport on loopback. Whatever backend a daemon is wired to, the
+// semantics the protocol stack observes must be identical: sender
+// resolution, frame integrity, fail-stop crash()/recover(), silent drops
+// to unbound destinations, and the no-body-copy send path.
+//
+// (The discrete-event sim transport is covered by its own deterministic
+// suites; this file is about the two backends real threads run on.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/endpoint.h"
+#include "net/udp_transport.h"
+#include "runtime/realtime_env.h"
+#include "util/msgpath.h"
+#include "util/mutex.h"
+
+namespace {
+
+using namespace ss;
+
+constexpr std::size_t kNodes = 3;
+
+/// RealtimeEnv's own queue transport.
+class QueueBackend {
+ public:
+  QueueBackend() {
+    for (std::size_t i = 0; i < kNodes; ++i) env_.add_node();
+    env_.start();
+  }
+  ~QueueBackend() { env_.stop(); }
+  runtime::Transport& transport() { return env_; }
+  bool wait_until(const std::function<bool()>& pred) {
+    return env_.wait_until(pred, 5 * runtime::kSecond);
+  }
+
+ private:
+  runtime::RealtimeEnv env_;
+};
+
+/// UdpTransport on 127.0.0.1 with ephemeral ports.
+class UdpBackend {
+ public:
+  UdpBackend() {
+    net::AddressMap map;
+    for (runtime::NodeId id = 0; id < kNodes; ++id) {
+      map.set(id, net::Endpoint{0x7f000001, 0});
+    }
+    udp_ = std::make_unique<net::UdpTransport>(env_, std::move(map));
+    for (runtime::NodeId id = 0; id < kNodes; ++id) udp_->open_local(id);
+    env_.start();
+    udp_->start();
+  }
+  ~UdpBackend() {
+    udp_->stop();
+    env_.stop();
+  }
+  runtime::Transport& transport() { return *udp_; }
+  bool wait_until(const std::function<bool()>& pred) {
+    return env_.wait_until(pred, 5 * runtime::kSecond);
+  }
+
+ private:
+  runtime::RealtimeEnv env_;
+  std::unique_ptr<net::UdpTransport> udp_;
+};
+
+class CountingSink final : public runtime::PacketSink {
+ public:
+  void on_packet(runtime::NodeId from, const util::Frame& frame) override {
+    util::MutexLock lk(mu_);
+    util::Bytes flat(frame.head.begin(), frame.head.end());
+    flat.insert(flat.end(), frame.body.begin(), frame.body.end());
+    from_.push_back(from);
+    payloads_.push_back(std::move(flat));
+  }
+  std::size_t count() const {
+    util::MutexLock lk(mu_);
+    return from_.size();
+  }
+  runtime::NodeId from(std::size_t i) const {
+    util::MutexLock lk(mu_);
+    return from_.at(i);
+  }
+  util::Bytes payload(std::size_t i) const {
+    util::MutexLock lk(mu_);
+    return payloads_.at(i);
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  std::vector<runtime::NodeId> from_;
+  std::vector<util::Bytes> payloads_;
+};
+
+template <typename Backend>
+class TransportContract : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (runtime::NodeId id = 0; id < kNodes; ++id) {
+      backend_.transport().bind(id, &sinks_[id]);
+    }
+  }
+  void TearDown() override {
+    for (runtime::NodeId id = 0; id < kNodes; ++id) {
+      backend_.transport().bind(id, nullptr);
+    }
+  }
+
+  static util::Frame frame_of(const std::string& head, const util::SharedBytes& body = {}) {
+    return util::Frame{util::SharedBytes(util::bytes_of(head)), body};
+  }
+
+  Backend backend_;
+  CountingSink sinks_[kNodes];
+};
+
+using Backends = ::testing::Types<QueueBackend, UdpBackend>;
+TYPED_TEST_SUITE(TransportContract, Backends);
+
+TYPED_TEST(TransportContract, DeliversWithSenderResolutionAndIntactBytes) {
+  this->backend_.transport().send(0, 1, this->frame_of("one"));
+  this->backend_.transport().send(2, 1, this->frame_of("two"));
+  ASSERT_TRUE(this->backend_.wait_until([&] { return this->sinks_[1].count() >= 2; }));
+  // Per-(sender) bytes must be intact; arrival order across senders is not
+  // part of the contract.
+  std::vector<std::pair<runtime::NodeId, util::Bytes>> got;
+  for (std::size_t i = 0; i < 2; ++i) {
+    got.emplace_back(this->sinks_[1].from(i), this->sinks_[1].payload(i));
+  }
+  EXPECT_NE(std::find(got.begin(), got.end(),
+                      std::make_pair(runtime::NodeId{0}, util::bytes_of("one"))),
+            got.end());
+  EXPECT_NE(std::find(got.begin(), got.end(),
+                      std::make_pair(runtime::NodeId{2}, util::bytes_of("two"))),
+            got.end());
+}
+
+TYPED_TEST(TransportContract, SendingDoesNotMutateTheFrame) {
+  const util::SharedBytes body(util::bytes_of("shared-body"));
+  util::Frame frame = this->frame_of("hd", body);
+  this->backend_.transport().send(0, 1, frame);
+  this->backend_.transport().send(0, 2, frame);
+  ASSERT_TRUE(this->backend_.wait_until(
+      [&] { return this->sinks_[1].count() >= 1 && this->sinks_[2].count() >= 1; }));
+  EXPECT_EQ(frame.head, util::bytes_of("hd"));
+  EXPECT_EQ(frame.body, util::bytes_of("shared-body"));
+  EXPECT_EQ(this->sinks_[1].payload(0), this->sinks_[2].payload(0));
+}
+
+TYPED_TEST(TransportContract, FanOutNeverCopiesTheBody) {
+  const util::SharedBytes body(util::Bytes(2048, 0x5a));
+  const std::uint64_t before = util::msgpath().payload_copies.load();
+  for (int i = 0; i < 4; ++i) {
+    util::Frame frame = this->frame_of("h", body);
+    this->backend_.transport().send(0, 1, frame);
+    this->backend_.transport().send(0, 2, frame);
+  }
+  ASSERT_TRUE(this->backend_.wait_until(
+      [&] { return this->sinks_[1].count() >= 4 && this->sinks_[2].count() >= 4; }));
+  EXPECT_EQ(util::msgpath().payload_copies.load(), before)
+      << "transport backend copied a frame body on the send path";
+}
+
+TYPED_TEST(TransportContract, CrashIsFailStopBothWaysAndRecoverable) {
+  auto& t = this->backend_.transport();
+  t.crash(2);
+  t.send(0, 2, this->frame_of("to-down"));
+  t.send(2, 0, this->frame_of("from-down"));
+  t.send(0, 1, this->frame_of("alive"));
+  ASSERT_TRUE(this->backend_.wait_until([&] { return this->sinks_[1].count() >= 1; }));
+  EXPECT_EQ(this->sinks_[2].count(), 0u);
+  EXPECT_EQ(this->sinks_[0].count(), 0u);
+
+  t.recover(2);
+  t.send(0, 2, this->frame_of("back"));
+  ASSERT_TRUE(this->backend_.wait_until([&] { return this->sinks_[2].count() >= 1; }));
+  EXPECT_EQ(this->sinks_[2].payload(0), util::bytes_of("back"));
+}
+
+TYPED_TEST(TransportContract, UnboundDestinationDropsSilently) {
+  auto& t = this->backend_.transport();
+  t.bind(2, nullptr);
+  t.send(0, 2, this->frame_of("void"));  // must not crash or error
+  t.send(0, 1, this->frame_of("still-works"));
+  ASSERT_TRUE(this->backend_.wait_until([&] { return this->sinks_[1].count() >= 1; }));
+  EXPECT_EQ(this->sinks_[2].count(), 0u);
+  // Re-bind: deliveries resume (fresh sink sees only new traffic).
+  t.bind(2, &this->sinks_[2]);
+  t.send(0, 2, this->frame_of("rebound"));
+  ASSERT_TRUE(this->backend_.wait_until([&] { return this->sinks_[2].count() >= 1; }));
+  EXPECT_EQ(this->sinks_[2].payload(0), util::bytes_of("rebound"));
+}
+
+}  // namespace
