@@ -232,13 +232,14 @@ void UdpTransport::send(runtime::NodeId from, runtime::NodeId to, util::Frame pa
   msg.msg_iovlen = iovlen;
 
   const ssize_t n = ::sendmsg(fd, &msg, 0);
+  const int err = errno;  // before the lock: a contended acquire may clobber errno
   util::MutexLock lk(mu_);
   if (n >= 0) {
     ++stats_.packets_sent;
     stats_.bytes_sent += static_cast<std::uint64_t>(n);
     obs_locked().packets_sent->inc();
     obs_locked().bytes_sent->inc(static_cast<std::uint64_t>(n));
-  } else if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) {
+  } else if (err == EAGAIN || err == EWOULDBLOCK || err == ENOBUFS) {
     // Kernel buffer full: backpressure becomes loss, which the link layer's
     // retransmission absorbs. Dropping beats blocking a protocol lane.
     ++stats_.send_backpressure_drops;
@@ -246,7 +247,7 @@ void UdpTransport::send(runtime::NodeId from, runtime::NodeId to, util::Frame pa
   } else {
     ++stats_.send_errors;
     obs_locked().send_errors->inc();
-    SS_LOG_WARN("net", "node ", from, " -> ", to, ": sendmsg failed: ", errno_text(errno));
+    SS_LOG_WARN("net", "node ", from, " -> ", to, ": sendmsg failed: ", errno_text(err));
   }
 }
 

@@ -1,5 +1,6 @@
 #include "netd/client.h"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -44,24 +45,47 @@ void Client::fail(const std::string& what) {
 
 void Client::connect(const net::Endpoint& gate, std::chrono::milliseconds timeout) {
   if (fd_ >= 0) fail("already connected");
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  // One deadline covers the whole handshake: TCP connect AND the welcome
+  // read. The connect is done non-blocking + poll so a black-holed address
+  // or a stalled accept queue cannot hang past `timeout`.
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) fail("cannot create socket: " + errno_text(errno));
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
   sa.sin_port = net::net16(gate.port);
   sa.sin_addr.s_addr = net::net32(gate.ip);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
-    const int err = errno;
+  auto fail_connect = [&](int err) {
     ::close(fd);
     fail("cannot connect to " + gate.to_string() + ": " + errno_text(err) +
          (err == ECONNREFUSED ? " (is spreadd running and its client gate enabled?)" : ""));
+  };
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    if (errno != EINPROGRESS) fail_connect(errno);
+    for (;;) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int rv = ::poll(&pfd, 1, remaining_ms(deadline));
+      if (rv > 0) break;
+      if (rv == 0) {
+        ::close(fd);
+        fail("connect to " + gate.to_string() + " timed out");
+      }
+      if (errno != EINTR) fail_connect(errno);
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) err = errno;
+    if (err != 0) fail_connect(err);
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    fail_connect(errno);  // restore blocking mode: send_frame relies on it
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
   in_.clear();
 
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::optional<util::Bytes> body = read_frame(deadline);
   if (!body) fail("no welcome from " + gate.to_string() + " before the timeout");
   util::Reader r(*body);
@@ -103,7 +127,9 @@ void Client::send_frame(const util::Bytes& framed) {
   if (fd_ < 0) fail("not connected");
   std::size_t off = 0;
   while (off < framed.size()) {
-    const ssize_t n = ::write(fd_, framed.data() + off, framed.size() - off);
+    // MSG_NOSIGNAL: a daemon that died under us must surface as EPIPE (and
+    // become the runtime_error below), not SIGPIPE-kill the client process.
+    const ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
       continue;

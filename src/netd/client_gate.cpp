@@ -257,7 +257,9 @@ bool ClientGate::read_ready(Conn& c) {
 bool ClientGate::write_ready(Conn& c) {
   util::MutexLock lk(mu_);
   while (!c.out.empty()) {
-    const ssize_t n = ::write(c.fd, c.out.data(), c.out.size());
+    // MSG_NOSIGNAL: a client killed mid-write (the crash fault path) must
+    // surface as EPIPE here, not SIGPIPE-terminate the whole daemon.
+    const ssize_t n = ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
     if (n > 0) {
       c.out.erase(c.out.begin(), c.out.begin() + n);
       continue;

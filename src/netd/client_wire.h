@@ -174,7 +174,15 @@ inline gcs::GroupView decode_view(util::Reader& r) {
   view.view_id = gcs::GroupViewId::decode(r);
   view.reason = static_cast<gcs::MembershipReason>(r.u8());
   auto members = [&r] {
-    std::vector<gcs::MemberId> ms(r.u32());
+    const std::uint32_t n = r.u32();
+    // The count is untrusted: bound it by the bytes actually present
+    // (each MemberId encodes as two u32s) before sizing the vector, so a
+    // corrupt count fails as a SerialError instead of a huge allocation.
+    constexpr std::size_t kEncodedMemberSize = 8;
+    if (n > r.remaining() / kEncodedMemberSize) {
+      throw util::SerialError("netd wire: member count exceeds frame");
+    }
+    std::vector<gcs::MemberId> ms(n);
     for (gcs::MemberId& m : ms) m = gcs::MemberId::decode(r);
     return ms;
   };

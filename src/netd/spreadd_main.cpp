@@ -32,10 +32,12 @@
 #include <poll.h>
 #include <sys/prctl.h>
 
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -87,30 +89,49 @@ int usage(const char* argv0) {
   return 2;
 }
 
+/// Strict decimal parse: the whole string must be a number within
+/// [0, max]. `spreadd --id foo` must be a usage error, not daemon 0.
+bool parse_number(const char* flag, const char* v, std::uint64_t max, std::uint64_t& out) {
+  if (v == nullptr || *v == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || parsed > max) {
+    std::fprintf(stderr, "spreadd: %s expects a number in [0, %llu], got '%s'\n", flag,
+                 static_cast<unsigned long long>(max), v);
+    return false;
+  }
+  out = parsed;
+  return true;
+}
+
 bool parse_args(int argc, char** argv, Args& out) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    std::uint64_t n = 0;
     if (arg == "--conf") {
       const char* v = value();
       if (v == nullptr) return false;
       out.conf = v;
     } else if (arg == "--id") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      out.id = static_cast<gcs::DaemonId>(std::strtoul(v, nullptr, 10));
+      if (!parse_number("--id", value(), gcs::kInvalidDaemon - 1, n)) return false;
+      out.id = static_cast<gcs::DaemonId>(n);
     } else if (arg == "--seed") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      out.seed = std::strtoull(v, nullptr, 10);
+      if (!parse_number("--seed", value(), std::numeric_limits<std::uint64_t>::max(), n)) {
+        return false;
+      }
+      out.seed = n;
     } else if (arg == "--lanes") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      out.lanes = std::strtoul(v, nullptr, 10);
+      if (!parse_number("--lanes", value(), 1024, n)) return false;
+      if (n == 0) {
+        std::fprintf(stderr, "spreadd: --lanes must be at least 1\n");
+        return false;
+      }
+      out.lanes = static_cast<std::size_t>(n);
     } else if (arg == "--client-port") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      out.client_port = static_cast<int>(std::strtol(v, nullptr, 10));
+      if (!parse_number("--client-port", value(), 65535, n)) return false;
+      out.client_port = static_cast<int>(n);
     } else if (arg == "--stdio-client") {
       out.stdio_client = true;
     } else {

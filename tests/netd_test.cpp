@@ -150,6 +150,21 @@ TEST(ClientWire, OversizedPrefixThrowsInsteadOfAllocating) {
   EXPECT_THROW(netd::wire::next_frame(buf), util::SerialError);
 }
 
+TEST(ClientWire, CorruptViewMemberCountThrowsInsteadOfAllocating) {
+  // A kView body whose member count claims 2^32-1 entries with no bytes
+  // behind it must fail bounds-checked, not pre-allocate gigabytes.
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(netd::wire::Op::kView));
+  w.str("ops");
+  gcs::GroupViewId{gcs::ViewId{3, 0}, 2}.encode(w);
+  w.u8(static_cast<std::uint8_t>(gcs::MembershipReason::kDisconnect));
+  w.u32(0xffffffffu);
+  util::Bytes body = w.take();
+  util::Reader r(body);
+  ASSERT_EQ(netd::wire::peek_op(r), netd::wire::Op::kView);
+  EXPECT_THROW(netd::wire::decode_view(r), util::SerialError);
+}
+
 // --- live gate + client -----------------------------------------------------
 
 class GateFixture : public ::testing::Test {
