@@ -1,0 +1,334 @@
+#include "crypto/key_tree.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/exp_counter.h"
+
+namespace ss::crypto {
+
+KeyTreeNodeId KeyTree::id_of(const Node* n) {
+  KeyTreeNodeId id;
+  // Collect branch bits walking up, then reverse into root-first order.
+  std::uint64_t bits = 0;
+  std::uint8_t depth = 0;
+  for (const Node* cur = n; cur->parent != nullptr; cur = cur->parent) {
+    bits = (bits << 1) | (cur->parent->right.get() == cur ? 1u : 0u);
+    ++depth;
+  }
+  id.depth = depth;
+  std::uint64_t path = 0;
+  for (std::uint8_t i = 0; i < depth; ++i) {
+    path = (path << 1) | (bits & 1u);
+    bits >>= 1;
+  }
+  id.path = path;
+  return id;
+}
+
+KeyTree::Node* KeyTree::find(const KeyTreeNodeId& id) const {
+  Node* cur = root_.get();
+  for (std::uint8_t i = 0; cur != nullptr && i < id.depth; ++i) {
+    const bool right = ((id.path >> (id.depth - 1 - i)) & 1u) != 0;
+    cur = right ? cur->right.get() : cur->left.get();
+  }
+  return cur;
+}
+
+void KeyTree::invalidate_ancestors(Node* n) {
+  for (Node* cur = n->parent; cur != nullptr; cur = cur->parent) {
+    cur->secret.reset();
+    cur->blinded.reset();
+  }
+}
+
+void KeyTree::index_leaves(Node* n) {
+  if (n == nullptr) return;
+  if (n->is_leaf) {
+    leaves_[n->leaf] = n;
+    return;
+  }
+  index_leaves(n->left.get());
+  index_leaves(n->right.get());
+}
+
+void KeyTree::build(const std::vector<LeafId>& leaves) {
+  root_.reset();
+  leaves_.clear();
+  if (leaves.empty()) return;
+  // Recursive balanced split, extra leaf to the left.
+  struct Builder {
+    static std::unique_ptr<Node> make(const LeafId* ids, std::size_t n) {
+      auto node = std::make_unique<Node>();
+      if (n == 1) {
+        node->is_leaf = true;
+        node->leaf = ids[0];
+        return node;
+      }
+      const std::size_t nl = n - n / 2;
+      node->left = make(ids, nl);
+      node->right = make(ids + nl, n - nl);
+      node->left->parent = node.get();
+      node->right->parent = node.get();
+      return node;
+    }
+  };
+  root_ = Builder::make(leaves.data(), leaves.size());
+  index_leaves(root_.get());
+  if (leaves_.size() != leaves.size()) {
+    root_.reset();
+    leaves_.clear();
+    throw std::invalid_argument("KeyTree: duplicate leaf in build");
+  }
+}
+
+void KeyTree::load(const std::vector<std::pair<KeyTreeNodeId, LeafId>>& layout) {
+  root_.reset();
+  leaves_.clear();
+  if (layout.empty()) return;
+  root_ = std::make_unique<Node>();
+  for (const auto& [id, leaf] : layout) {
+    Node* cur = root_.get();
+    for (std::uint8_t i = 0; i < id.depth; ++i) {
+      if (cur->is_leaf) throw std::invalid_argument("KeyTree: leaf with children in layout");
+      const bool right = ((id.path >> (id.depth - 1 - i)) & 1u) != 0;
+      std::unique_ptr<Node>& slot = right ? cur->right : cur->left;
+      if (!slot) {
+        slot = std::make_unique<Node>();
+        slot->parent = cur;
+      }
+      cur = slot.get();
+    }
+    if (cur->is_leaf || cur->left != nullptr || cur->right != nullptr) {
+      throw std::invalid_argument("KeyTree: overlapping nodes in layout");
+    }
+    cur->is_leaf = true;
+    cur->leaf = leaf;
+  }
+  // Every internal node must have exactly two children (a proper tree).
+  struct Check {
+    static void run(const Node* n) {
+      if (n->is_leaf) return;
+      if (n->left == nullptr || n->right == nullptr) {
+        throw std::invalid_argument("KeyTree: non-binary layout");
+      }
+      run(n->left.get());
+      run(n->right.get());
+    }
+  };
+  Check::run(root_.get());
+  index_leaves(root_.get());
+  if (leaves_.size() != layout.size()) {
+    root_.reset();
+    leaves_.clear();
+    throw std::invalid_argument("KeyTree: duplicate leaf in layout");
+  }
+}
+
+std::vector<std::pair<KeyTreeNodeId, KeyTree::LeafId>> KeyTree::leaf_layout() const {
+  std::vector<std::pair<KeyTreeNodeId, LeafId>> out;
+  struct Walk {
+    std::vector<std::pair<KeyTreeNodeId, LeafId>>& out;
+    void run(const Node* n) {
+      if (n == nullptr) return;
+      if (n->is_leaf) {
+        out.emplace_back(id_of(n), n->leaf);
+        return;
+      }
+      run(n->left.get());
+      run(n->right.get());
+    }
+  };
+  Walk{out}.run(root_.get());
+  return out;
+}
+
+void KeyTree::insert_leaf(LeafId id) {
+  if (contains(id)) throw std::logic_error("KeyTree: leaf already present");
+  if (root_ == nullptr) throw std::logic_error("KeyTree: insert into empty tree");
+  // Shallowest, leftmost leaf hosts the split (deterministic at every
+  // member; keeps the tree balanced as levels fill left to right).
+  Node* best = nullptr;
+  std::uint8_t best_depth = 0;
+  struct Scan {
+    Node*& best;
+    std::uint8_t& best_depth;
+    void run(Node* n, std::uint8_t depth) {
+      if (n->is_leaf) {
+        if (best == nullptr || depth < best_depth) {
+          best = n;
+          best_depth = depth;
+        }
+        return;
+      }
+      run(n->left.get(), depth + 1);
+      run(n->right.get(), depth + 1);
+    }
+  };
+  Scan{best, best_depth}.run(root_.get(), 0);
+
+  // Split: the occupant moves down-left (keeping its keys), the new leaf
+  // becomes the right child, and the split node turns internal.
+  auto moved = std::make_unique<Node>();
+  moved->is_leaf = true;
+  moved->leaf = best->leaf;
+  moved->secret = std::move(best->secret);
+  moved->blinded = std::move(best->blinded);
+  auto fresh = std::make_unique<Node>();
+  fresh->is_leaf = true;
+  fresh->leaf = id;
+  best->is_leaf = false;
+  best->leaf = 0;
+  best->secret.reset();
+  best->blinded.reset();
+  moved->parent = best;
+  fresh->parent = best;
+  best->left = std::move(moved);
+  best->right = std::move(fresh);
+  leaves_[best->left->leaf] = best->left.get();
+  leaves_[id] = best->right.get();
+  invalidate_ancestors(best->right.get());
+}
+
+bool KeyTree::remove_leaf(LeafId id) {
+  auto it = leaves_.find(id);
+  if (it == leaves_.end()) return false;
+  Node* leaf = it->second;
+  leaves_.erase(it);
+  Node* parent = leaf->parent;
+  if (parent == nullptr) {
+    root_.reset();
+    return true;
+  }
+  // Promote the sibling subtree into the parent's slot; its cached keys
+  // stay valid (same leaf set), everything above recomputes.
+  std::unique_ptr<Node> sibling =
+      parent->left.get() == leaf ? std::move(parent->right) : std::move(parent->left);
+  Node* grandparent = parent->parent;
+  sibling->parent = grandparent;
+  if (grandparent == nullptr) {
+    root_ = std::move(sibling);
+  } else if (grandparent->left.get() == parent) {
+    grandparent->left = std::move(sibling);
+  } else {
+    grandparent->right = std::move(sibling);
+  }
+  for (Node* cur = grandparent; cur != nullptr; cur = cur->parent) {
+    cur->secret.reset();
+    cur->blinded.reset();
+  }
+  // Subtree moves changed every descendant's address: reindex.
+  leaves_.clear();
+  index_leaves(root_.get());
+  return true;
+}
+
+void KeyTree::set_leaf_secret(LeafId id, const DhGroup& dh, Bignum secret) {
+  auto it = leaves_.find(id);
+  if (it == leaves_.end()) throw std::logic_error("KeyTree: unknown leaf");
+  ExpPurposeScope scope(ExpPurpose::kUpdateKeyShare);
+  it->second->blinded = dh.exp_g(secret);
+  it->second->secret = std::move(secret);
+  invalidate_ancestors(it->second);
+}
+
+void KeyTree::clear_leaf_key(LeafId id) {
+  auto it = leaves_.find(id);
+  if (it == leaves_.end()) return;
+  it->second->secret.reset();
+  it->second->blinded.reset();
+  invalidate_ancestors(it->second);
+}
+
+bool KeyTree::set_blinded(const KeyTreeNodeId& id, const Bignum& bk) {
+  Node* n = find(id);
+  if (n == nullptr || n->blinded.has_value()) return false;
+  n->blinded = bk;
+  return true;
+}
+
+bool KeyTree::replace_blinded(const KeyTreeNodeId& id, const Bignum& bk) {
+  Node* n = find(id);
+  if (n == nullptr) return false;
+  if (n->blinded.has_value() && *n->blinded == bk) return false;
+  n->blinded = bk;
+  n->secret.reset();
+  invalidate_ancestors(n);
+  return true;
+}
+
+std::optional<Bignum> KeyTree::blinded(const KeyTreeNodeId& id) const {
+  const Node* n = find(id);
+  return n != nullptr ? n->blinded : std::nullopt;
+}
+
+std::vector<std::pair<KeyTreeNodeId, Bignum>> KeyTree::known_blindeds() const {
+  std::vector<std::pair<KeyTreeNodeId, Bignum>> out;
+  struct Walk {
+    std::vector<std::pair<KeyTreeNodeId, Bignum>>& out;
+    void run(const Node* n) {
+      if (n == nullptr) return;
+      if (n->blinded.has_value()) out.emplace_back(id_of(n), *n->blinded);
+      if (!n->is_leaf) {
+        run(n->left.get());
+        run(n->right.get());
+      }
+    }
+  };
+  Walk{out}.run(root_.get());
+  return out;
+}
+
+std::vector<std::pair<KeyTreeNodeId, Bignum>> KeyTree::path_blindeds(LeafId self) const {
+  std::vector<std::pair<KeyTreeNodeId, Bignum>> out;
+  auto it = leaves_.find(self);
+  if (it == leaves_.end()) return out;
+  for (const Node* cur = it->second; cur != nullptr; cur = cur->parent) {
+    if (cur->blinded.has_value()) out.emplace_back(id_of(cur), *cur->blinded);
+  }
+  return out;
+}
+
+std::vector<KeyTreeNodeId> KeyTree::climb(LeafId self, const DhGroup& dh) {
+  std::vector<KeyTreeNodeId> fresh;
+  auto it = leaves_.find(self);
+  if (it == leaves_.end()) return fresh;
+  Node* cur = it->second;
+  if (!cur->secret.has_value()) return fresh;
+  while (cur->parent != nullptr) {
+    Node* parent = cur->parent;
+    if (parent->secret.has_value()) {
+      cur = parent;
+      continue;
+    }
+    const Node* sibling =
+        parent->left.get() == cur ? parent->right.get() : parent->left.get();
+    if (!sibling->blinded.has_value()) break;
+    {
+      // The root step yields the group secret itself; inner levels are the
+      // member's share updates (Tables 2-4 bucketing).
+      ExpPurposeScope scope(parent->parent == nullptr ? ExpPurpose::kSessionKey
+                                                      : ExpPurpose::kUpdateKeyShare);
+      parent->secret = dh.exp(*sibling->blinded, *cur->secret);
+      parent->blinded = dh.exp_g(*parent->secret);
+    }
+    fresh.push_back(id_of(parent));
+    cur = parent;
+  }
+  return fresh;
+}
+
+KeyTree::LeafId KeyTree::sponsor_of(const KeyTreeNodeId& id) const {
+  const Node* n = find(id);
+  if (n == nullptr) throw std::logic_error("KeyTree: unknown node");
+  while (!n->is_leaf) n = n->right.get();
+  return n->leaf;
+}
+
+KeyTreeNodeId KeyTree::leaf_node(LeafId id) const {
+  auto it = leaves_.find(id);
+  if (it == leaves_.end()) throw std::logic_error("KeyTree: unknown leaf");
+  return id_of(it->second);
+}
+
+}  // namespace ss::crypto

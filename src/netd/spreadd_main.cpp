@@ -79,13 +79,23 @@ struct Args {
   std::size_t lanes = 1;
   int client_port = -1;  // <0 = gate disabled
   bool stdio_client = false;
+  std::string ka = "cliques";
 };
+
+std::string registered_ka_names() {
+  std::string out;
+  for (const auto& name : secure::KaRegistry::instance().names()) {
+    if (!out.empty()) out += "|";
+    out += name;
+  }
+  return out;
+}
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --conf <file> --id <daemon-id> [--seed N] [--lanes N]\n"
-               "          [--client-port P] [--stdio-client]\n",
-               argv0);
+               "          [--client-port P] [--stdio-client] [--ka <%s>]\n",
+               argv0, registered_ka_names().c_str());
   return 2;
 }
 
@@ -134,6 +144,14 @@ bool parse_args(int argc, char** argv, Args& out) {
       out.client_port = static_cast<int>(n);
     } else if (arg == "--stdio-client") {
       out.stdio_client = true;
+    } else if (arg == "--ka") {
+      const char* v = value();
+      if (v == nullptr || !secure::KaRegistry::instance().has(v)) {
+        std::fprintf(stderr, "spreadd: --ka expects one of %s, got '%s'\n",
+                     registered_ka_names().c_str(), v == nullptr ? "" : v);
+        return false;
+      }
+      out.ka = v;
     } else {
       std::fprintf(stderr, "spreadd: unknown argument '%s'\n", arg.c_str());
       return false;
@@ -169,13 +187,13 @@ std::string members_csv(const std::vector<gcs::MemberId>& ms) {
 /// thread.
 class StdioClient {
  public:
-  StdioClient(netd::DaemonHost& host, std::uint64_t pki_seed)
+  StdioClient(netd::DaemonHost& host, std::uint64_t pki_seed, const std::string& ka)
       : host_(host), dir_(crypto::DhGroup::tiny64()) {
     // Every process must derive the same long-term keys for every possible
     // secure member (netd/keystore.h); client index 1 is the secure client
     // (attached first), 2 the plain one.
     netd::provision_member_keys(dir_, host.conf().daemons, kClientsPerDaemon, pki_seed);
-    cfg_.ka_module = "cliques";
+    cfg_.ka_module = ka;
     cfg_.dh = &crypto::DhGroup::tiny64();
     host_.run_on_home([this] {
       sec_ = std::make_unique<secure::SecureGroupClient>(
@@ -381,7 +399,7 @@ int run(const Args& args) {
     // Harness mode: die with the parent rather than leaking a daemon when
     // the test harness is killed.
     ::prctl(PR_SET_PDEATHSIG, SIGKILL);
-    StdioClient cli(host, netd::DaemonHost::Options{}.pki_seed);
+    StdioClient cli(host, netd::DaemonHost::Options{}.pki_seed, args.ka);
     std::string line;
     char buf[4096];
     while (g_stop == 0 && std::fgets(buf, sizeof(buf), stdin) != nullptr) {

@@ -37,7 +37,8 @@ KaActions CkdKaModule::maybe_distribute() {
   return KaActions::deferred("ckd.distribute", [this] { return distribute_now(); });
 }
 
-KaActions CkdKaModule::on_view(const gcs::GroupView& view) {
+KaActions CkdKaModule::on_membership(const KaMembershipEvent& event) {
+  const gcs::GroupView& view = event.view;
   const MemberId previous_controller = last_controller_;
   view_ = view;
   have_view_ = true;
@@ -57,9 +58,10 @@ KaActions CkdKaModule::on_view(const gcs::GroupView& view) {
   }
 
   if (i_am_controller()) {
-    // Drop pairwise keys with members that departed (cheap map surgery);
-    // the Round 1 exponentiations are the deferred work.
-    for (const auto& m : view.left) ctx_->forget_pairwise(m);
+    // Drop pairwise keys with members that departed — the batch's aggregate
+    // leave set, so a coalesced cascade forgets every leaver at once (cheap
+    // map surgery); the Round 1 exponentiations are the deferred work.
+    for (const auto& m : event.left) ctx_->forget_pairwise(m);
     if (previous_controller != env_.self) {
       // Just became controller (predecessor departed): start from scratch.
       ctx_->reset_pairwise();

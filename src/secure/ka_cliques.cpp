@@ -4,6 +4,7 @@
 
 #include "crypto/exp_counter.h"
 #include "secure/ka_ckd.h"
+#include "secure/ka_tgdh.h"
 #include "util/log.h"
 
 namespace ss::secure {
@@ -43,10 +44,14 @@ KaRegistry& KaRegistry::instance() {
     r.register_module("cliques", [](const KaModuleEnv& env) {
       return std::make_unique<CliquesKaModule>(env);
     });
-    // CKD registered here too: self-registering statics in a static library
-    // are dropped by the linker unless their object file is referenced.
+    // CKD and TGDH registered here too: self-registering statics in a
+    // static library are dropped by the linker unless their object file is
+    // referenced.
     r.register_module("ckd", [](const KaModuleEnv& env) {
       return std::make_unique<CkdKaModule>(env);
+    });
+    r.register_module("tgdh", [](const KaModuleEnv& env) {
+      return std::make_unique<TgdhKaModule>(env);
     });
     return r;
   }();
@@ -55,6 +60,13 @@ KaRegistry& KaRegistry::instance() {
 
 void KaRegistry::register_module(const std::string& name, Factory factory) {
   factories_[name] = std::move(factory);
+}
+
+std::vector<std::string> KaRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
 }
 
 std::unique_ptr<KeyAgreementModule> KaRegistry::create(const std::string& name,
@@ -91,7 +103,8 @@ bool CliquesKaModule::is_merge_initiator(const gcs::GroupView& view,
   return keyed.back() == env_.self;
 }
 
-KaActions CliquesKaModule::on_view(const gcs::GroupView& view) {
+KaActions CliquesKaModule::on_membership(const KaMembershipEvent& event) {
+  const gcs::GroupView& view = event.view;
   view_ = view;
   have_view_ = true;
   keyed_current_ = false;
@@ -108,8 +121,10 @@ KaActions CliquesKaModule::on_view(const gcs::GroupView& view) {
     });
   }
 
+  // New to this agreement (in the batch's aggregate join set — for a
+  // singleton batch that is exactly the view's own joined list).
   const bool i_am_new =
-      std::find(view.joined.begin(), view.joined.end(), env_.self) != view.joined.end();
+      std::find(event.joined.begin(), event.joined.end(), env_.self) != event.joined.end();
   if (i_am_new) {
     // Joining/merging member: fresh context; wait for handoff or chain.
     return KaActions::deferred("clq.reset", [this] {

@@ -30,7 +30,7 @@ class CliquesKaModule final : public KeyAgreementModule {
   explicit CliquesKaModule(const KaModuleEnv& env);
 
   std::string name() const override { return "cliques"; }
-  KaActions on_view(const gcs::GroupView& view) override;
+  KaActions on_membership(const KaMembershipEvent& event) override;
   KaActions on_message(const gcs::Message& msg) override;
   KaActions request_refresh() override;
   util::Bytes session_key(std::size_t len) const override;

@@ -1,9 +1,10 @@
 // Key-agreement module interface: the pluggable heart of secure Spread
-// (paper Section 5.2). A module turns View Synchrony membership events into
-// key-agreement protocol actions, consumes protocol messages, and announces
-// fresh group keys. Modules are chosen per group at join time; Cliques
-// (distributed) and CKD (centralized) ship built in, and new modules can be
-// registered at run time.
+// (paper Section 5.2). A module turns batched View Synchrony membership
+// events into key-agreement protocol actions, consumes protocol messages,
+// and announces fresh group keys. Modules are chosen per group at join
+// time; Cliques (distributed), CKD (centralized) and TGDH (tree-based,
+// O(log n) rekey) ship built in, and new modules can be registered at run
+// time.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +36,17 @@ enum class KaMsgType : std::int16_t {
   kCkdRound2 = -31012,
   kCkdKeyDist = -31013,
   kRefreshRequest = -31021,
+  kTgdhLeafKey = -31031,
+  kTgdhUpdate = -31032,
+};
+
+/// Every protocol message type, for exhaustive checks (tests assert each
+/// maps to a distinct ka_phase_name). Keep in sync with KaMsgType.
+inline constexpr KaMsgType kAllKaMsgTypes[] = {
+    KaMsgType::kClqHandoff,      KaMsgType::kClqBroadcast, KaMsgType::kClqMergeChain,
+    KaMsgType::kClqMergePartial, KaMsgType::kClqFactorOut, KaMsgType::kCkdRound1,
+    KaMsgType::kCkdRound2,       KaMsgType::kCkdKeyDist,   KaMsgType::kRefreshRequest,
+    KaMsgType::kTgdhLeafKey,     KaMsgType::kTgdhUpdate,
 };
 
 /// Stable span name for a key-agreement protocol message (trace phase
@@ -50,9 +62,28 @@ inline const char* ka_phase_name(std::int16_t msg_type) {
     case KaMsgType::kCkdRound2: return "ka.ckd_round2";
     case KaMsgType::kCkdKeyDist: return "ka.ckd_key_dist";
     case KaMsgType::kRefreshRequest: return "ka.refresh_request";
+    case KaMsgType::kTgdhLeafKey: return "ka.tgdh_leaf_key";
+    case KaMsgType::kTgdhUpdate: return "ka.tgdh_update";
   }
   return "ka.message";
 }
+
+/// One batched membership event (CKCS-style batched rekeying): the newest
+/// installed view plus the aggregate membership delta since the module was
+/// last handed an event. The host may coalesce several cascaded views into
+/// one event; `joined`/`left` are then the net difference — a member that
+/// joined and left within the batch appears in neither list. For a
+/// singleton batch (`coalesced == 1`) `joined`/`left` equal the view's own
+/// delta, so modules see exactly the classic per-view flow.
+struct KaMembershipEvent {
+  gcs::GroupView view;
+  /// Members of `view` the module has not been handed before (join order).
+  std::vector<gcs::MemberId> joined;
+  /// Previously handed members that are gone from `view`.
+  std::vector<gcs::MemberId> left;
+  /// Number of views folded into this event (>= 1).
+  std::size_t coalesced = 1;
+};
 
 /// What a module wants done after handling an event.
 ///
@@ -110,8 +141,9 @@ class KeyAgreementModule {
 
   virtual std::string name() const = 0;
 
-  /// A new VS view was installed for the group.
-  virtual KaActions on_view(const gcs::GroupView& view) = 0;
+  /// A batched membership event: one or more VS views coalesced into a
+  /// single membership diff. One event starts (at most) one agreement round.
+  virtual KaActions on_membership(const KaMembershipEvent& event) = 0;
 
   /// A protocol message addressed to this module (multicast delivered under
   /// VS, or unicast pre-filtered by view tag).
@@ -162,12 +194,15 @@ class KaRegistry {
  public:
   using Factory = std::function<std::unique_ptr<KeyAgreementModule>(const KaModuleEnv&)>;
 
-  /// Process-wide registry, preloaded with "cliques" and "ckd".
+  /// Process-wide registry, preloaded with "cliques", "ckd" and "tgdh".
   static KaRegistry& instance();
 
   void register_module(const std::string& name, Factory factory);
   std::unique_ptr<KeyAgreementModule> create(const std::string& name,
                                              const KaModuleEnv& env) const;
+  bool has(const std::string& name) const { return factories_.count(name) != 0; }
+  /// Registered module names, sorted (registry iteration for tests/tools).
+  std::vector<std::string> names() const;
 
  private:
   std::map<std::string, Factory> factories_;

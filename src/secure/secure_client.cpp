@@ -12,6 +12,7 @@ namespace {
 
 constexpr std::size_t kKeyIdBytes = 8;
 constexpr std::size_t kOldCipherWindow = 4;
+constexpr std::size_t kEarlyUnicastWindow = 32;
 
 /// Unicast protocol messages carry the view they belong to (multicasts get
 /// this from VS delivery for free).
@@ -71,6 +72,10 @@ SecureGroupClient::~SecureGroupClient() {
       clock_.cancel(st.refresh_timer);
       st.refresh_timer_armed = false;
     }
+    if (st.batch_timer_armed) {
+      clock_.cancel(st.batch_timer);
+      st.batch_timer_armed = false;
+    }
   }
   // After this, a completion timer from a still-running deferred step finds
   // the token expired and returns without touching the freed client. The
@@ -106,9 +111,15 @@ void SecureGroupClient::join(const gcs::GroupName& group, SecureGroupConfig conf
 
 void SecureGroupClient::leave(const gcs::GroupName& group) {
   auto it = groups_.find(group);
-  if (it != groups_.end() && it->second.refresh_timer_armed) {
-    clock_.cancel(it->second.refresh_timer);
-    it->second.refresh_timer_armed = false;
+  if (it != groups_.end()) {
+    if (it->second.refresh_timer_armed) {
+      clock_.cancel(it->second.refresh_timer);
+      it->second.refresh_timer_armed = false;
+    }
+    if (it->second.batch_timer_armed) {
+      clock_.cancel(it->second.batch_timer);
+      it->second.batch_timer_armed = false;
+    }
   }
   fm_.leave(group);
 }
@@ -152,6 +163,7 @@ void SecureGroupClient::refresh_key(const gcs::GroupName& group) {
     auto it2 = groups_.find(group);
     if (it2 == groups_.end()) return;
     GroupState& st = it2->second;
+    if (st.pending_batch) return;  // a membership rekey round is already due
     if (!st.in_rekey) {
       st.in_rekey = true;
       st.rekey_start = clock_.now();
@@ -252,6 +264,10 @@ void SecureGroupClient::handle_view(const gcs::GroupView& view) {
   if (it == groups_.end()) return;
 
   if (view.reason == gcs::MembershipReason::kSelfLeave) {
+    if (it->second.batch_timer_armed) {
+      clock_.cancel(it->second.batch_timer);
+      it->second.batch_timer_armed = false;
+    }
     groups_.erase(it);
     if (on_view_) on_view_(view);
     return;
@@ -261,6 +277,9 @@ void SecureGroupClient::handle_view(const gcs::GroupView& view) {
   st.view = view;
   st.have_view = true;
   st.key_ready = false;
+  SS_LOG_DEBUG("secure", fm_.id().to_string(), " view in ", view.group, ": members=",
+               view.members.size(), " joined=", view.joined.size(), " left=",
+               view.left.size(), " reason=", static_cast<int>(view.reason));
   // Old-view keys can never validate new-view traffic: retire them all.
   st.old_ciphers.clear();
   st.inbox_pending.clear();
@@ -278,15 +297,105 @@ void SecureGroupClient::handle_view(const gcs::GroupView& view) {
   begin_rekey_span(view.group, st);
 
   if (on_view_) on_view_(view);
-  // The module itself must not be entered while a superseded step still
-  // runs (it mutates the module): queue behind it if necessary.
-  run_or_queue(st, [this, view] {
-    auto it2 = groups_.find(view.group);
-    if (it2 == groups_.end()) return;
-    GroupState& s = it2->second;
-    dispatch(view.group, s,
-             run_module(s, view.group, "ka.on_view", [&] { return s.ka->on_view(view); }));
-  });
+
+  // Batched rekeying: fold the view into the pending membership batch. The
+  // batch is handed to the module as ONE event when (a) the batch window
+  // (if configured) elapses and (b) no superseded deferred step is still
+  // mutating the module off-lane. With window 0 and no compute in flight
+  // this flushes immediately — the classic per-view flow.
+  fold_into_batch(st, view);
+  // The window amortizes rekeys of an ESTABLISHED membership. A module that
+  // was never handed an event has no key to re-agree — delaying its
+  // bootstrap saves nothing, and folding the self-join singleton into a
+  // later join would hand Cliques/CKD an everyone-new batch with no keyed
+  // member to initiate from. First event always flushes immediately.
+  if (st.config.rekey_batch_window != 0 && st.handed_any) {
+    if (!st.batch_timer_armed) {
+      st.batch_timer_armed = true;
+      st.batch_timer =
+          clock_.after(st.config.rekey_batch_window, [this, group = view.group] {
+            auto it2 = groups_.find(group);
+            if (it2 == groups_.end()) return;
+            it2->second.batch_timer_armed = false;
+            flush_batch(group);
+            // Traffic that arrived for the batched membership while the
+            // window was open is buffered; the module can process it now
+            // that it has the batch (or it queues behind an in-flight
+            // compute, which preserves the same order).
+            replay_early_unicasts(group);
+          });
+    }
+    replay_early_unicasts(view.group);
+    return;
+  }
+  flush_batch(view.group);
+  replay_early_unicasts(view.group);
+}
+
+void SecureGroupClient::replay_early_unicasts(const gcs::GroupName& group) {
+  auto it = groups_.find(group);
+  if (it == groups_.end() || it->second.ka_early.empty()) return;
+  // Re-run buffered unicasts through the normal path: one matching the view
+  // just installed is processed, one still ahead re-buffers, stale ones
+  // drop. Processing may itself change views (inline compute), so re-find
+  // the group each round.
+  std::deque<gcs::Message> early = std::move(it->second.ka_early);
+  it->second.ka_early.clear();
+  for (auto& msg : early) handle_message(msg);
+}
+
+void SecureGroupClient::fold_into_batch(GroupState& st, const gcs::GroupView& view) {
+  if (!st.pending_batch) {
+    // Singleton batch: the view's own delta, verbatim — modules see exactly
+    // the transcript the per-event flow produced.
+    KaMembershipEvent ev;
+    ev.view = view;
+    ev.joined = view.joined;
+    ev.left = view.left;
+    st.pending_batch = std::move(ev);
+    return;
+  }
+  ++st.stats.coalesced_views;
+  KaMembershipEvent& ev = *st.pending_batch;
+  ev.view = view;
+  ++ev.coalesced;
+  // Aggregate diff against the membership last handed to the module: a
+  // member that joined and left within the batch cancels out of both lists.
+  ev.joined.clear();
+  ev.left.clear();
+  if (!st.handed_any) {
+    // Module is fresh (never keyed any membership): everyone is new to it.
+    ev.joined = view.members;
+    return;
+  }
+  for (const auto& m : view.members) {
+    if (std::find(st.handed_members.begin(), st.handed_members.end(), m) ==
+        st.handed_members.end()) {
+      ev.joined.push_back(m);
+    }
+  }
+  for (const auto& m : st.handed_members) {
+    if (!view.contains(m)) ev.left.push_back(m);
+  }
+}
+
+void SecureGroupClient::flush_batch(const gcs::GroupName& group) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  GroupState& st = it->second;
+  if (!st.pending_batch) return;
+  if (st.batch_timer_armed) return;     // window still open: keep folding
+  if (st.inflight_generation != 0) return;  // finish_compute flushes
+  KaMembershipEvent ev = std::move(*st.pending_batch);
+  st.pending_batch.reset();
+  st.handed_members = ev.view.members;
+  st.handed_any = true;
+  SS_LOG_DEBUG("secure", fm_.id().to_string(), " rekey round in ", group, ": members=",
+               ev.view.members.size(), " joined=", ev.joined.size(), " left=",
+               ev.left.size(), " coalesced=", ev.coalesced);
+  dispatch(group, st,
+           run_module(st, group, "ka.on_membership",
+                      [&] { return st.ka->on_membership(ev); }));
 }
 
 void SecureGroupClient::handle_message(const gcs::Message& msg) {
@@ -301,21 +410,51 @@ void SecureGroupClient::handle_message(const gcs::Message& msg) {
 
   if (is_ka_type(msg.msg_type)) {
     gcs::Message inner = msg;
-    if (!st.have_view) return;
     // Unicasts carry an explicit view tag; multicasts are VS-delivered with
-    // the view they were sent in. Either way: drop anything stale. A
-    // unicast is recognized by its default-constructed view id (the GCS
-    // only stamps multicast deliveries).
+    // the view they were sent in. Stale traffic is dropped; a unicast from
+    // a view we have not installed yet (unicasts are not VS-ordered, so a
+    // peer's protocol round can race our view install) is buffered and
+    // replayed once the view lands. A unicast is recognized by its
+    // default-constructed view id (the GCS only stamps multicast
+    // deliveries).
     if (msg.view_id == gcs::GroupViewId{}) {
       try {
         auto [vid, payload] = unwrap_unicast(msg.payload);
-        if (vid != st.view.view_id) return;
+        if (vid != st.view.view_id) {
+          if (!st.have_view || vid > st.view.view_id) {
+            st.ka_early.push_back(msg);
+            if (st.ka_early.size() > kEarlyUnicastWindow) st.ka_early.pop_front();
+          } else {
+            SS_LOG_DEBUG("secure", fm_.id().to_string(), " dropped stale KA unicast ",
+                         ka_phase_name(msg.msg_type), " in ", msg.group);
+          }
+          return;
+        }
         inner.payload = std::move(payload);
       } catch (const util::SerialError&) {
         return;
       }
-    } else if (msg.view_id != st.view.view_id) {
+    } else if (!st.have_view || msg.view_id != st.view.view_id) {
+      SS_LOG_DEBUG("secure", fm_.id().to_string(), " dropped stale KA multicast ",
+                   ka_phase_name(msg.msg_type), " in ", msg.group);
       return;
+    }
+    // A KA message valid for the current view proves a peer has already
+    // started agreement for this membership, but the module has not been
+    // handed the batch containing it yet. While the batch window is open,
+    // buffer the message and replay it after the flush — collapsing the
+    // window on first traffic would defeat coalescing entirely (proactive
+    // protocols like TGDH multicast within milliseconds of a view). With
+    // the window closed (flush only blocked by in-flight compute), hand
+    // the batch over now so the module never sees traffic for a
+    // membership it was not told about.
+    if (st.pending_batch) {
+      if (st.batch_timer_armed) {
+        st.ka_early.push_back(msg);
+        if (st.ka_early.size() > kEarlyUnicastWindow) st.ka_early.pop_front();
+        return;
+      }
+      flush_batch(msg.group);
     }
     // Valid for the current view; if it has to queue behind in-flight
     // compute, a view change clears the queue (making it stale is the only
@@ -334,6 +473,8 @@ void SecureGroupClient::handle_message(const gcs::Message& msg) {
 void SecureGroupClient::dispatch(const gcs::GroupName& group, GroupState& st,
                                  KaActions actions) {
   for (const auto& u : actions.unicasts) {
+    SS_LOG_DEBUG("secure", fm_.id().to_string(), " KA unicast ", ka_phase_name(u.msg_type),
+                 " -> ", u.to.to_string(), " in ", group);
     fm_.unicast(u.to, group, wrap_unicast(st.view.view_id, u.payload), u.msg_type);
   }
   for (const auto& m : actions.multicasts) {
@@ -424,10 +565,15 @@ void SecureGroupClient::finish_compute(const gcs::GroupName& group, std::uint64_
   GroupState& st = it->second;
   if (st.inflight_generation == gen) st.inflight_generation = 0;
   if (st.ka_generation != gen) {
+    SS_LOG_DEBUG("secure", fm_.id().to_string(), " dropped superseded compute result in ",
+                 group);
     // Superseded by a newer view. The module already absorbed the step —
     // equivalent to serial delivery just before the view change — but its
     // outputs belong to the old view and are dropped like any stale
-    // traffic. Queued invocations for the new view may now run.
+    // traffic. The views that arrived while the step ran folded into one
+    // membership batch: hand it over now (one event for the whole
+    // cascade), then let queued invocations for the new view run.
+    flush_batch(group);
     drain_queue(group);
     return;
   }
@@ -449,6 +595,7 @@ void SecureGroupClient::finish_compute(const gcs::GroupName& group, std::uint64_
     result = KaActions{};
   }
   dispatch(group, st, std::move(result));
+  flush_batch(group);
   drain_queue(group);
 }
 

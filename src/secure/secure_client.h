@@ -64,6 +64,14 @@ struct SecureGroupConfig {
   /// module — with CKD, messages go out unsigned (the paper's stated
   /// limitation of centralized key management, Section 2.2).
   bool authenticate_senders = false;
+  /// Batched rekeying (CKCS-style): when nonzero, a view change does not
+  /// start key agreement immediately — views arriving within this window
+  /// are coalesced into one membership event, so a join+leave storm costs
+  /// one rekey round instead of one per view. 0 hands every view to the
+  /// module as a singleton batch, transcript-identical to the classic
+  /// per-event flow (views still coalesce while a superseded deferred
+  /// compute step is in flight — those were stale restarts anyway).
+  runtime::Time rekey_batch_window = 0;
 };
 
 /// Per-group data-path counters.
@@ -74,6 +82,9 @@ struct SecureGroupStats {
   std::uint64_t dropped_undecodable = 0;
   std::uint64_t rekeys = 0;
   std::uint64_t auto_refreshes = 0;
+  /// Views folded into an already-pending membership batch (each one is a
+  /// rekey round the batching saved).
+  std::uint64_t coalesced_views = 0;
 };
 
 /// Measurements for one completed key agreement (drives Figures 3-4).
@@ -164,6 +175,10 @@ class SecureGroupClient {
     std::deque<std::pair<std::int16_t, util::Bytes>> outbox;
     /// Ciphertext that arrived before our key (sender keyed first).
     std::deque<gcs::Message> inbox_pending;
+    /// KA unicasts that arrived before the view they belong to (unicasts
+    /// are not VS-ordered; a peer's round can race our view install).
+    /// Replayed on the next view install, bounded to absorb one cascade.
+    std::deque<gcs::Message> ka_early;
 
     // Rekey instrumentation.
     bool in_rekey = false;
@@ -192,6 +207,16 @@ class SecureGroupClient {
     /// serialization; cleared on view change — stale anyway).
     std::deque<std::function<void()>> pending_invocations;
 
+    // Batched-rekey state (the tentpole contract): membership as last
+    // handed to the module, and the folded batch a window timer or an
+    // in-flight compute step is holding back.
+    /// Members the module was last handed (empty before the first event).
+    std::vector<gcs::MemberId> handed_members;
+    bool handed_any = false;
+    std::optional<KaMembershipEvent> pending_batch;
+    runtime::TimerId batch_timer = 0;
+    bool batch_timer_armed = false;
+
     /// Sender-authentication state (authenticate_senders mode): announced
     /// commitments g^{N_sender}, keyed by the key id they were sealed under.
     std::map<gcs::MemberId, std::pair<util::Bytes, crypto::Bignum>> commitments;
@@ -201,6 +226,16 @@ class SecureGroupClient {
 
   void handle_view(const gcs::GroupView& view);
   void handle_message(const gcs::Message& msg);
+  /// Folds `view` into the group's pending membership batch (creating it if
+  /// none), recomputing the aggregate joined/left diff against the
+  /// membership last handed to the module.
+  void fold_into_batch(GroupState& st, const gcs::GroupView& view);
+  /// Hands the pending batch to the module as one membership event, unless
+  /// compute is in flight (finish_compute flushes then) or the batch window
+  /// is still open.
+  void flush_batch(const gcs::GroupName& group);
+  /// Replays KA unicasts buffered ahead of their view (see ka_early).
+  void replay_early_unicasts(const gcs::GroupName& group);
   /// Runs a module call with CPU/exponentiation instrumentation. `phase`
   /// names the trace span recorded for the call (e.g. "ka.clq_broadcast");
   /// its end event carries the call's CPU time and per-purpose mod-exps.

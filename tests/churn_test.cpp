@@ -43,7 +43,9 @@ TEST_P(ChurnTest, ConvergesToOneKeyAfterRandomChurn) {
   cliques::KeyDirectory dir(crypto::DhGroup::tiny64());
 
   SecureGroupConfig cfg;
-  cfg.ka_module = script.chance(0.5) ? "cliques" : "ckd";
+  // Every registered KA module must survive churn, not just the default.
+  const char* ka_modules[] = {"cliques", "ckd", "tgdh"};
+  cfg.ka_module = ka_modules[script.below(std::size(ka_modules))];
   cfg.dh = &crypto::DhGroup::tiny64();
 
   std::vector<std::unique_ptr<ChurnApp>> apps;

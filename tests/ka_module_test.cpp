@@ -3,8 +3,10 @@
 // pure role-selection and protocol-flow logic.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <deque>
 #include <memory>
+#include <set>
 
 #include "secure/ka_cliques.h"
 #include "secure/ka_ckd.h"
@@ -65,10 +67,11 @@ struct Bus {
     current_view = v;
     int ready = 0;
     for (auto& [id, module] : modules) {
-      GroupView per = v;
       // Per-member perspective: joined/transitional relative to itself is
       // approximated by the global view (sufficient for these scenarios).
-      ready += enqueue(module->on_view(per), id);
+      // The bus hands singleton batches: joined/left are the view's own.
+      KaMembershipEvent ev{v, v.joined, v.left, 1};
+      ready += enqueue(module->on_membership(ev), id);
     }
     return ready + pump();
   }
@@ -235,7 +238,60 @@ TEST_P(KaModuleParam, RefreshFromControllerRekeys) {
   EXPECT_NE(bus.modules[mid(1)]->session_key(16), before);
 }
 
-INSTANTIATE_TEST_SUITE_P(Modules, KaModuleParam, ::testing::Values("cliques", "ckd"));
+TEST_P(KaModuleParam, LeaveThenRejoinRestartsKey) {
+  Bus bus(GetParam());
+  bus.add_member(1);
+  bus.deliver_view(bus.make_view({1}, MembershipReason::kJoin, {1}, {}));
+  bus.add_member(2);
+  bus.deliver_view(bus.make_view({1, 2}, MembershipReason::kJoin, {2}, {}));
+  bus.add_member(3);
+  bus.deliver_view(bus.make_view({1, 2, 3}, MembershipReason::kJoin, {3}, {}));
+  bus.assert_all_keyed();
+  const util::Bytes with_three = bus.modules[mid(1)]->session_key(16);
+
+  // Member 2 leaves, then rejoins with a FRESH module instance (a real
+  // rejoiner restarts its key epoch — no state survives the leave).
+  bus.remove_member(2);
+  bus.deliver_view(bus.make_view({1, 3}, MembershipReason::kLeave, {}, {2}));
+  bus.assert_all_keyed();
+  const util::Bytes without_two = bus.modules[mid(1)]->session_key(16);
+  EXPECT_NE(without_two, with_three) << "leave must rotate the key";
+
+  bus.add_member(2);
+  bus.deliver_view(bus.make_view({1, 3, 2}, MembershipReason::kJoin, {2}, {}));
+  bus.assert_all_keyed();
+  const util::Bytes rejoined = bus.modules[mid(1)]->session_key(16);
+  EXPECT_NE(rejoined, without_two) << "rejoin must rotate the key";
+  EXPECT_NE(rejoined, with_three) << "the rejoined group must not resurrect the old key";
+}
+
+INSTANTIATE_TEST_SUITE_P(Modules, KaModuleParam,
+                         ::testing::Values("cliques", "ckd", "tgdh"));
+
+// Trace span names: every protocol message type must map to its own stable
+// phase label (dashboards and transcript diffs key on them), and unknown
+// types must fall back to the generic label rather than crash or collide.
+TEST(KaPhaseNames, EveryMsgTypeHasADistinctStableName) {
+  std::set<std::string> seen;
+  for (const KaMsgType t : kAllKaMsgTypes) {
+    const std::string name = ka_phase_name(static_cast<std::int16_t>(t));
+    EXPECT_NE(name, "ka.message") << "unnamed protocol type " << static_cast<int>(t);
+    EXPECT_TRUE(name.rfind("ka.", 0) == 0) << name << " must live in the ka. namespace";
+    EXPECT_TRUE(seen.insert(name).second) << name << " is claimed by two message types";
+  }
+  EXPECT_EQ(seen.size(), std::size(kAllKaMsgTypes));
+  EXPECT_STREQ(ka_phase_name(0), "ka.message");
+  EXPECT_STREQ(ka_phase_name(12345), "ka.message");
+}
+
+// The registry itself: each module name resolves, and the phase-name table
+// covers the types the registered modules can emit.
+TEST(KaPhaseNames, RegistryKnowsAllThreeModules) {
+  const std::vector<std::string> names = KaRegistry::instance().names();
+  for (const char* want : {"cliques", "ckd", "tgdh"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), want), names.end()) << want;
+  }
+}
 
 TEST(CliquesModuleOnly, MergeOfTwoKeyedSides) {
   // Two components that were keyed independently heal: the side holding

@@ -178,8 +178,13 @@ Proc spawn_daemon(const std::string& spreadd, const std::string& conf, std::size
     ::dup2(from_child[1], 1);  // stderr stays inherited for diagnostics
     const std::string id_s = std::to_string(id);
     const std::string seed_s = std::to_string(1000 + id);
+    // SS_CLUSTER_KA reruns the whole check under another key-agreement
+    // module (cliques|ckd|tgdh); the flag is exercised on every run.
+    const char* ka_env = std::getenv("SS_CLUSTER_KA");
+    const std::string ka = ka_env != nullptr && *ka_env != '\0' ? ka_env : "cliques";
     ::execl(spreadd.c_str(), "spreadd", "--conf", conf.c_str(), "--id", id_s.c_str(), "--seed",
-            seed_s.c_str(), "--stdio-client", static_cast<char*>(nullptr));
+            seed_s.c_str(), "--stdio-client", "--ka", ka.c_str(),
+            static_cast<char*>(nullptr));
     std::perror("execl spreadd");
     ::_exit(127);
   }
@@ -522,7 +527,8 @@ bool sim_arm(std::vector<std::string>& transcript) {
   cliques::KeyDirectory dir(crypto::DhGroup::tiny64());
   netd::provision_member_keys(dir, ids, /*clients_per_daemon=*/4, /*master_seed=*/0x5353u);
   secure::SecureGroupConfig cfg;
-  cfg.ka_module = "cliques";
+  const char* ka_env = std::getenv("SS_CLUSTER_KA");
+  cfg.ka_module = ka_env != nullptr && *ka_env != '\0' ? ka_env : "cliques";
   cfg.dh = &crypto::DhGroup::tiny64();
 
   std::unique_ptr<secure::SecureGroupClient> alice, bob, carol;

@@ -1,0 +1,5 @@
+// Violation [layer-reach] at line 4: the tree KA module may use the
+// runtime seam, but never the simulator behind it.
+#include "util/ok.h"
+#include "runtime/sim_adapter.h"
+int tgdh_reached() { return 0; }

@@ -1,0 +1,7 @@
+// Violation [predictable-rng] at line 5: leaf secrets feed the group key;
+// they must come from the DRBG, not an ambient engine.
+#include <random>
+unsigned long tgdh_leaf_secret() {
+  std::mt19937 gen(42);
+  return gen();
+}

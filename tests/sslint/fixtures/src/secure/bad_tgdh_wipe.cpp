@@ -1,0 +1,7 @@
+// Violation [secret-wipe] at line 6: dropping a tree node's path secret
+// with memset is dead-store-eliminated; use util::secure_wipe.
+#include "util/ok.h"
+#include <cstring>
+void tgdh_drop_path_secret(unsigned char* secret, unsigned long n) {
+  memset(secret, 0, n);
+}

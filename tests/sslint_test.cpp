@@ -135,6 +135,12 @@ TEST(SslintFixtures, FlagsEveryPlantedViolationAtItsLine) {
       {"src/gcs/cyc_victim.cpp", 3, "layer-reach"},
       {"src/obs/bad_clock.cpp", 4, "wall-clock"},
       {"src/obs/bad_rng.cpp", 4, "predictable-rng"},
+      // The secure-layer corpus mirrors ka_tgdh's failure modes: simulator
+      // reach through the runtime seam, ambient RNG feeding leaf secrets,
+      // and memset-wiping a path secret.
+      {"src/secure/bad_tgdh_reach.cpp", 4, "layer-reach"},
+      {"src/secure/bad_tgdh_rng.cpp", 5, "predictable-rng"},
+      {"src/secure/bad_tgdh_wipe.cpp", 6, "secret-wipe"},
       {"src/util/bad_parent.cpp", 3, "parent-include"},
       {"src/util/bad_resolve.cpp", 3, "include-unresolved"},
       {"src/util/no_pragma.h", 0, "pragma-once"},

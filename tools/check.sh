@@ -21,7 +21,10 @@
 #          against the recorded BENCH_rekey.json baseline (exponentiation
 #          counts must match within 10% — a drift means the rekey protocol
 #          started doing more or less crypto work; latency has a loose 30x
-#          band so shared CI boxes don't flake); either binary exiting
+#          band so shared CI boxes don't flake), then bench_ablation_rekey
+#          (cliques vs CKD vs TGDH at n=50,500 against
+#          BENCH_rekey_ablation.json, asserting TGDH stays O(log n) per
+#          member while Cliques' controller is O(n)); any binary exiting
 #          nonzero fails the stage
 #   obs    observability gate: runs the Obs* test suites (metrics math,
 #          trace span balance, golden cluster trace), then captures a live
@@ -109,12 +112,19 @@ for stage in "${STAGES[@]}"; do
       # bench_msg_path's overhead A/B defaults (10 reps, 15% band) already
       # tolerate single-core shared boxes; SS_BENCH_OVERHEAD_* still
       # overrides for local experiments.
+      # The rekey ablation (cliques/ckd/tgdh at n=50,500) asserts TGDH's
+      # O(log n) per-member cost against Cliques' O(n) and compares per-member
+      # exp counts with the recorded baseline; its cliques n=500 bootstrap
+      # dominates the stage (~3 min).
       if cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null \
           && cmake --build build-check \
-              --target bench_msg_path bench_parallel_rekey -j "$JOBS" \
+              --target bench_msg_path bench_parallel_rekey bench_ablation_rekey \
+              -j "$JOBS" \
           && ./build-check/bench/bench_msg_path > /dev/null \
           && ./build-check/bench/bench_parallel_rekey \
-              --baseline BENCH_rekey.json > /dev/null; then
+              --baseline BENCH_rekey.json > /dev/null \
+          && ./build-check/bench/bench_ablation_rekey \
+              --baseline BENCH_rekey_ablation.json > /dev/null; then
         echo "==== stage bench: OK ===="
       else
         echo "==== stage bench: FAILED ===="
