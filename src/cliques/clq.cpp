@@ -288,6 +288,12 @@ ClqBroadcastMsg ClqContext::join_finalize(const ClqHandoffMsg& handoff,
   return out;
 }
 
+void ClqContext::forget(const MemberId& member) {
+  if (member == self_) return;
+  pending_.erase(member);
+  members_.erase(std::remove(members_.begin(), members_.end(), member), members_.end());
+}
+
 ClqBroadcastMsg ClqContext::leave(const std::vector<MemberId>& leavers) {
   for (const auto& l : leavers) {
     if (l == self_) throw std::logic_error("ClqContext: cannot remove self via leave");

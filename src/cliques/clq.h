@@ -192,6 +192,13 @@ class ClqContext {
   /// controller (the secure layer forwards such requests).
   ClqBroadcastMsg refresh() { return leave({}); }
 
+  /// Drops a member's stale share with no key operation (no broadcast, no
+  /// exponentiation). Used when the host learns a still-present member's
+  /// state is void — it left and rejoined within one batched rekey round —
+  /// so the follow-up join/merge re-admits it from scratch. No-op for
+  /// unknown members and for self.
+  void forget(const MemberId& member);
+
  private:
   /// Pairwise long-term key with `peer`, as an exponent mod q (cached).
   crypto::Bignum lt_key(const MemberId& peer);

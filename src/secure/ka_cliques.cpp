@@ -133,6 +133,11 @@ KaActions CliquesKaModule::on_membership(const KaMembershipEvent& event) {
     });
   }
 
+  // A joined member we still hold a share for left and rejoined within the
+  // batch (it appears in both lists): its old share is void. Drop it so the
+  // role selection below re-admits it through the normal join/merge path.
+  for (const auto& m : event.joined) ctx_->forget(m);
+
   return start_operation();
 }
 

@@ -72,9 +72,12 @@ inline const char* ka_phase_name(std::int16_t msg_type) {
 /// installed view plus the aggregate membership delta since the module was
 /// last handed an event. The host may coalesce several cascaded views into
 /// one event; `joined`/`left` are then the net difference — a member that
-/// joined and left within the batch appears in neither list. For a
-/// singleton batch (`coalesced == 1`) `joined`/`left` equal the view's own
-/// delta, so modules see exactly the classic per-view flow.
+/// joined and left within the batch appears in neither list, while a member
+/// that LEFT AND REJOINED within the batch appears in BOTH (it restarted
+/// with fresh state; modules must tear down whatever they still hold for it
+/// and re-admit it like any joiner). For a singleton batch
+/// (`coalesced == 1`) `joined`/`left` equal the view's own delta, so
+/// modules see exactly the classic per-view flow.
 struct KaMembershipEvent {
   gcs::GroupView view;
   /// Members of `view` the module has not been handed before (join order).

@@ -73,13 +73,25 @@ TgdhUpdateMsg TgdhUpdateMsg::decode(const util::SharedBytes& raw) {
   TgdhUpdateMsg m;
   m.sender = MemberId::decode(r);
   m.round = r.u32();
+  // Counts are untrusted: clamp each against the remaining payload (every
+  // entry has a known minimum encoded width — node id 9 bytes, member id 8,
+  // byte-string length prefix 4) BEFORE reserving, so a tiny malformed
+  // message claiming ~4G entries cannot trigger a multi-GB allocation.
+  constexpr std::size_t kMinLeafEntry = 9 + 8;
+  constexpr std::size_t kMinBlindedEntry = 9 + 4;
   const std::uint32_t nl = r.u32();
+  if (nl > r.remaining() / kMinLeafEntry) {
+    throw util::SerialError("TgdhUpdateMsg: leaf count exceeds payload");
+  }
   m.leaves.reserve(nl);
   for (std::uint32_t i = 0; i < nl; ++i) {
     const KeyTreeNodeId id = decode_node_id(r);
     m.leaves.emplace_back(id, MemberId::decode(r));
   }
   const std::uint32_t nb = r.u32();
+  if (nb > r.remaining() / kMinBlindedEntry) {
+    throw util::SerialError("TgdhUpdateMsg: blinded count exceeds payload");
+  }
   m.blindeds.reserve(nb);
   for (std::uint32_t i = 0; i < nb; ++i) {
     const KeyTreeNodeId id = decode_node_id(r);
@@ -198,12 +210,16 @@ KaActions TgdhKaModule::apply_membership(const KaMembershipEvent& event) {
   }
 
   // Survivor: evolve the tree deterministically — drop every leaf that
-  // left the view, insert every new member (view order). Each member
-  // applies the same mutation to the same tree, so shapes stay identical
-  // with no negotiation.
+  // left the view AND every leaf the batch re-admits (a member that left
+  // and rejoined within the window appears in both lists: it restarted
+  // with fresh state, and keeping its old blinded key would make
+  // set_blinded refuse its fresh leaf-key broadcast). Then insert every
+  // new member (view order). Each member applies the same mutation to the
+  // same tree, so shapes stay identical with no negotiation.
   std::vector<crypto::KeyTree::LeafId> stale;
   for (const auto& [id, leaf] : tree_.leaf_layout()) {
-    if (!view.contains(mid_of(leaf))) stale.push_back(leaf);
+    const MemberId m = mid_of(leaf);
+    if (!view.contains(m) || contains_member(event.joined, m)) stale.push_back(leaf);
   }
   for (const auto leaf : stale) tree_.remove_leaf(leaf);
   for (const auto& m : view.members) {

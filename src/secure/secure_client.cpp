@@ -1,5 +1,7 @@
 #include "secure/secure_client.h"
 
+#include <algorithm>
+
 #include "crypto/hmac.h"
 #include "crypto/schnorr.h"
 #include "gcs/trace.h"
@@ -344,6 +346,22 @@ void SecureGroupClient::replay_early_unicasts(const gcs::GroupName& group) {
   for (auto& msg : early) handle_message(msg);
 }
 
+void SecureGroupClient::buffer_early_ka(GroupState& st, const gcs::Message& msg) {
+  // Sized to absorb one coalesced cascade: with the batch window open every
+  // live member can have a couple of protocol rounds in flight against a
+  // membership the module has not been handed yet.
+  const std::size_t cap =
+      std::max<std::size_t>(kEarlyUnicastWindow, 2 * st.view.members.size());
+  st.ka_early.push_back(msg);
+  if (st.ka_early.size() > cap) {
+    ++st.stats.dropped_early_ka;
+    SS_LOG_WARN("secure", fm_.id().to_string(), " early-KA buffer full in ", msg.group,
+                ": evicted ", ka_phase_name(st.ka_early.front().msg_type),
+                " (dropped_early_ka=", st.stats.dropped_early_ka, ")");
+    st.ka_early.pop_front();
+  }
+}
+
 void SecureGroupClient::fold_into_batch(GroupState& st, const gcs::GroupView& view) {
   if (!st.pending_batch) {
     // Singleton batch: the view's own delta, verbatim — modules see exactly
@@ -353,12 +371,22 @@ void SecureGroupClient::fold_into_batch(GroupState& st, const gcs::GroupView& vi
     ev.joined = view.joined;
     ev.left = view.left;
     st.pending_batch = std::move(ev);
+    st.batch_departed = view.left;
     return;
   }
   ++st.stats.coalesced_views;
   KaMembershipEvent& ev = *st.pending_batch;
   ev.view = view;
   ++ev.coalesced;
+  // Record who departed at ANY view of the batch: a member that leaves and
+  // rejoins within the window cancels out of the endpoint diff below even
+  // though it restarted with fresh module state.
+  for (const auto& m : view.left) {
+    if (std::find(st.batch_departed.begin(), st.batch_departed.end(), m) ==
+        st.batch_departed.end()) {
+      st.batch_departed.push_back(m);
+    }
+  }
   // Aggregate diff against the membership last handed to the module: a
   // member that joined and left within the batch cancels out of both lists.
   ev.joined.clear();
@@ -377,6 +405,15 @@ void SecureGroupClient::fold_into_batch(GroupState& st, const gcs::GroupView& vi
   for (const auto& m : st.handed_members) {
     if (!view.contains(m)) ev.left.push_back(m);
   }
+  // A handed member that departed mid-batch but is back in the final view
+  // left and rejoined inside the window: force it into BOTH lists so the
+  // module tears down its stale state and re-admits it as a joiner.
+  for (const auto& m : st.batch_departed) {
+    if (!view.contains(m)) continue;
+    if (std::find(ev.joined.begin(), ev.joined.end(), m) != ev.joined.end()) continue;
+    ev.joined.push_back(m);
+    ev.left.push_back(m);
+  }
 }
 
 void SecureGroupClient::flush_batch(const gcs::GroupName& group) {
@@ -388,6 +425,7 @@ void SecureGroupClient::flush_batch(const gcs::GroupName& group) {
   if (st.inflight_generation != 0) return;  // finish_compute flushes
   KaMembershipEvent ev = std::move(*st.pending_batch);
   st.pending_batch.reset();
+  st.batch_departed.clear();
   st.handed_members = ev.view.members;
   st.handed_any = true;
   SS_LOG_DEBUG("secure", fm_.id().to_string(), " rekey round in ", group, ": members=",
@@ -422,8 +460,7 @@ void SecureGroupClient::handle_message(const gcs::Message& msg) {
         auto [vid, payload] = unwrap_unicast(msg.payload);
         if (vid != st.view.view_id) {
           if (!st.have_view || vid > st.view.view_id) {
-            st.ka_early.push_back(msg);
-            if (st.ka_early.size() > kEarlyUnicastWindow) st.ka_early.pop_front();
+            buffer_early_ka(st, msg);
           } else {
             SS_LOG_DEBUG("secure", fm_.id().to_string(), " dropped stale KA unicast ",
                          ka_phase_name(msg.msg_type), " in ", msg.group);
@@ -450,8 +487,7 @@ void SecureGroupClient::handle_message(const gcs::Message& msg) {
     // membership it was not told about.
     if (st.pending_batch) {
       if (st.batch_timer_armed) {
-        st.ka_early.push_back(msg);
-        if (st.ka_early.size() > kEarlyUnicastWindow) st.ka_early.pop_front();
+        buffer_early_ka(st, msg);
         return;
       }
       flush_batch(msg.group);

@@ -85,6 +85,9 @@ struct SecureGroupStats {
   /// Views folded into an already-pending membership batch (each one is a
   /// rekey round the batching saved).
   std::uint64_t coalesced_views = 0;
+  /// Early-buffered KA messages evicted because the buffer overflowed (a
+  /// dropped protocol message can delay key agreement until a refresh).
+  std::uint64_t dropped_early_ka = 0;
 };
 
 /// Measurements for one completed key agreement (drives Figures 3-4).
@@ -214,6 +217,11 @@ class SecureGroupClient {
     std::vector<gcs::MemberId> handed_members;
     bool handed_any = false;
     std::optional<KaMembershipEvent> pending_batch;
+    /// Members that departed at ANY view folded into the pending batch. A
+    /// member that leaves and rejoins within the window cancels out of the
+    /// endpoint diff, yet it restarted with fresh module state — it must be
+    /// forced into both `left` and `joined` of the flushed event.
+    std::vector<gcs::MemberId> batch_departed;
     runtime::TimerId batch_timer = 0;
     bool batch_timer_armed = false;
 
@@ -236,6 +244,9 @@ class SecureGroupClient {
   void flush_batch(const gcs::GroupName& group);
   /// Replays KA unicasts buffered ahead of their view (see ka_early).
   void replay_early_unicasts(const gcs::GroupName& group);
+  /// Buffers a KA message for later replay (see ka_early), evicting the
+  /// oldest — logged and counted in stats — when the buffer is full.
+  void buffer_early_ka(GroupState& st, const gcs::Message& msg);
   /// Runs a module call with CPU/exponentiation instrumentation. `phase`
   /// names the trace span recorded for the call (e.g. "ka.clq_broadcast");
   /// its end event carries the call's CPU time and per-purpose mod-exps.

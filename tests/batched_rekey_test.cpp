@@ -96,6 +96,67 @@ TEST_P(BatchedStorm, StormCostsOneRekeyRoundSim) {
   EXPECT_EQ(c2->key_material(kGroup, 32), ref);
 }
 
+// The endpoint-diff trap: a member that leaves and REJOINS inside one batch
+// window cancels out of a naive final-members-vs-handed diff, so survivors
+// would never be told it joined — its module state restarted, survivors'
+// did not, and key agreement diverges permanently. The batch contract
+// forces such a member into BOTH `left` and `joined`; survivors must tear
+// it down, re-admit it, and the whole group must converge on one key in
+// one rekey round — for every module.
+TEST_P(BatchedStorm, LeaveThenRejoinInsideWindowSim) {
+  Cluster c(3);
+  ASSERT_TRUE(c.converge(3));
+  cliques::KeyDirectory dir(DhGroup::tiny64());
+  const SecureGroupConfig cfg = config(800 * runtime::kMillisecond);
+
+  auto make = [&](std::size_t daemon, std::uint64_t seed) {
+    return std::make_unique<SecureGroupClient>(*c.daemons[daemon], dir, seed);
+  };
+  auto a = make(0, 1);
+  auto b = make(1, 2);
+  auto d = make(2, 3);
+  a->join(kGroup, cfg);
+  b->join(kGroup, cfg);
+  d->join(kGroup, cfg);
+  ASSERT_TRUE(c.run_until(
+      [&] { return a->has_key(kGroup) && b->has_key(kGroup) && d->has_key(kGroup); },
+      10 * sim::kSecond));
+
+  const SecureGroupStats before = a->group_stats(kGroup);
+  const std::uint64_t epoch_before = a->key_epoch(kGroup);
+
+  // Same member, same id: leave and rejoin with both views landing inside
+  // the surviving members' batch window.
+  b->leave(kGroup);
+  c.run_for(60 * runtime::kMillisecond);
+  b->join(kGroup, cfg);
+
+  ASSERT_TRUE(c.run_until(
+      [&] {
+        for (SecureGroupClient* m : {a.get(), b.get(), d.get()}) {
+          const gcs::GroupView* v = m->current_view(kGroup);
+          if (v == nullptr || v->members.size() != 3 || !m->has_key(kGroup)) return false;
+        }
+        return a->key_epoch(kGroup) > epoch_before;
+      },
+      20 * sim::kSecond))
+      << "leave-then-rejoin inside the window never re-keyed the rejoiner";
+  // Let the batch window drain fully before counting rounds.
+  c.run_for(2 * runtime::kSecond);
+
+  const SecureGroupStats after = a->group_stats(kGroup);
+  EXPECT_EQ(after.rekeys - before.rekeys, 1u)
+      << "a leave+rejoin folded into one batch must cost one rekey round";
+  EXPECT_EQ(a->key_epoch(kGroup) - epoch_before, 1u);
+  EXPECT_GE(after.coalesced_views - before.coalesced_views, 1u)
+      << "the rejoin view must have folded into the leave's pending batch";
+
+  const util::Bytes ref = a->key_material(kGroup, 32);
+  EXPECT_EQ(b->key_material(kGroup, 32), ref)
+      << "the rejoined member must share the new group key";
+  EXPECT_EQ(d->key_material(kGroup, 32), ref);
+}
+
 // With NO batch window, a cascade of views during an in-flight agreement
 // exercises the generation guard instead: each superseding view bumps the
 // KA generation, stale deferred compute results are dropped on arrival,

@@ -7,6 +7,7 @@
 #include "cliques/clq.h"
 #include "gcs/link.h"
 #include "gcs/wire.h"
+#include "secure/ka_tgdh.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
@@ -71,6 +72,23 @@ TEST_P(FuzzDecode, KeyAgreementMessages) {
     expect_contained([](const Bytes& d) { ckd::CkdRound1Msg::decode(d); }, data);
     expect_contained([](const Bytes& d) { ckd::CkdRound2Msg::decode(d); }, data);
     expect_contained([](const Bytes& d) { ckd::CkdKeyDistMsg::decode(d); }, data);
+    expect_contained([](const Bytes& d) { secure::TgdhLeafKeyMsg::decode(d); }, data);
+    expect_contained([](const Bytes& d) { secure::TgdhUpdateMsg::decode(d); }, data);
+  }
+}
+
+// A tiny message claiming ~4G entries must be rejected by the count clamp
+// BEFORE any allocation happens — a transient multi-GB reserve() can OOM
+// the process on overcommit systems even when the bad_alloc is caught.
+TEST(TgdhDecodeClamp, HugeCountsRejectedWithoutAllocation) {
+  for (const bool huge_leaves : {true, false}) {
+    util::Writer w;
+    gcs::MemberId{1, 1}.encode(w);
+    w.u32(0);                                         // round
+    w.u32(huge_leaves ? 0xFFFFFFFFu : 0u);            // leaf count
+    if (!huge_leaves) w.u32(0xFFFFFFFFu);             // blinded count
+    const Bytes data = w.take();
+    EXPECT_THROW(secure::TgdhUpdateMsg::decode(data), util::SerialError);
   }
 }
 
